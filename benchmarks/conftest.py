@@ -1,0 +1,70 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure of the paper's evaluation has one module here.  Each module
+contains
+
+- a ``test_*_table`` benchmark that regenerates the figure's data once,
+  asserts the paper's qualitative shape, and writes the table (text + CSV)
+  into ``benchmarks/results/``;
+- per-algorithm microbenchmarks timing one incremental tick on a live
+  workload (movement applied in the setup hook, so only the query
+  execution is measured — the quantity the paper plots).
+
+Workload sizes scale with ``IGERN_SCALE`` (default 1.0 keeps the whole
+suite around a minute; ~10 approaches the paper's sizes).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine.workload import WorkloadSpec, build_simulator, central_object
+from repro.experiments.report import experiment_table, write_csv
+from repro.queries.base import QueryPosition
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(results) -> None:
+    """Write one or more ExperimentResults to the results directory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if not isinstance(results, dict):
+        results = {results.exp_id: results}
+    for result in results.values():
+        text = experiment_table(result)
+        (RESULTS_DIR / f"{result.exp_id}.txt").write_text(text + "\n")
+        write_csv(result, RESULTS_DIR / f"{result.exp_id}.csv")
+        print("\n" + text)
+
+
+class LiveWorkload:
+    """A simulator plus one registered query, steppable per benchmark round."""
+
+    def __init__(self, spec: WorkloadSpec, query_factory, category=None):
+        self.sim = build_simulator(spec)
+        qid = central_object(self.sim, category)
+        self.position = QueryPosition(self.sim.grid, query_id=qid)
+        self.query = query_factory(self.sim.grid, self.position)
+        self.query.initial()
+
+    def advance(self):
+        """Apply one tick of movement (the benchmark setup hook)."""
+        for oid, pos in self.sim.generator.step(1.0):
+            self.sim.grid.move(oid, pos)
+        return (), {}
+
+    def tick(self):
+        return self.query.tick()
+
+
+def bench_tick(benchmark, workload: LiveWorkload, rounds: int = 25) -> None:
+    """Benchmark one incremental query execution per movement tick."""
+    benchmark.pedantic(
+        workload.tick,
+        setup=workload.advance,
+        rounds=rounds,
+        iterations=1,
+        warmup_rounds=2,
+    )

@@ -1,0 +1,53 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+- pruning policy: the paper's literal rule minimizes the monitored set
+  (its ~3.5 objects) but unbounds the region; the guarded default keeps
+  the region tight at the cost of a few more monitored objects; no
+  pruning maximizes the monitored set;
+- pie count: six pies are the minimum for monochromatic correctness, and
+  every extra pie adds monitored candidates and per-tick searches.
+"""
+
+from conftest import LiveWorkload, bench_tick, emit
+
+from repro.engine.workload import WorkloadSpec
+from repro.experiments import figures
+from repro.queries import IGERNMonoQuery
+
+
+def test_ablation_prune_modes(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures.ablation_prune_modes(), rounds=1, iterations=1
+    )
+    emit(result)
+    guarded_mon, literal_mon, off_mon = result.series_by_name("avg monitored").y
+    assert literal_mon < guarded_mon < off_mon
+    guarded_t, literal_t, off_t = result.series_by_name("avg CPU time (s)").y
+    # The guarded policy must not be slower than both alternatives.
+    assert guarded_t <= max(literal_t, off_t)
+
+
+def test_ablation_pie_count(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures.ablation_pie_count(), rounds=1, iterations=1
+    )
+    emit(result)
+    monitored = result.series_by_name("avg monitored").y
+    assert monitored[0] <= monitored[-1]
+
+
+def _workload(mode):
+    spec = WorkloadSpec(n_objects=5000, grid_size=64, seed=7)
+    return LiveWorkload(spec, lambda g, p: IGERNMonoQuery(g, p, prune=mode))
+
+
+def test_prune_guarded_tick(benchmark):
+    bench_tick(benchmark, _workload("guarded"))
+
+
+def test_prune_literal_tick(benchmark):
+    bench_tick(benchmark, _workload("literal"), rounds=10)
+
+
+def test_prune_off_tick(benchmark):
+    bench_tick(benchmark, _workload("off"))

@@ -1,0 +1,31 @@
+"""Section 6: the analytical cost model against measured behavior.
+
+Feeds workload parameters measured on a live run (candidate counts and
+per-search operation costs) through the paper's closed-form cost functions
+and checks that the model predicts the same winners the wall clock shows.
+"""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def test_cost_model_agrees_with_measurement(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures.cost_model_check(), rounds=1, iterations=1
+    )
+    emit(result)
+
+    analytical = result.series_by_name("analytical").y
+    measured = result.series_by_name("measured wall (s)").y
+    igern_mono_a, crnn_a, tpl_a, igern_bi_a, voronoi_a = analytical
+    igern_mono_m, crnn_m, tpl_m, igern_bi_m, voronoi_m = measured
+
+    # The model's dominance claims (Section 6).
+    assert igern_mono_a <= crnn_a
+    assert igern_mono_a <= tpl_a
+    assert igern_bi_a <= voronoi_a
+
+    # The measurements agree on the headline winners.
+    assert igern_mono_m < crnn_m
+    assert igern_bi_m < voronoi_m

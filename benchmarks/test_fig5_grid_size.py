@@ -1,0 +1,49 @@
+"""Figure 5: effect of the grid size.
+
+(a) number of cell changes vs grid size — grows monotonically with the
+    resolution (grid maintenance overhead);
+(b) CPU time vs grid size — U-shaped: small grids overload each cell,
+    large grids multiply maintenance; the best sits at intermediate sizes.
+"""
+
+from conftest import LiveWorkload, bench_tick, emit
+
+from repro.engine.workload import WorkloadSpec
+from repro.experiments import figures
+from repro.queries import IGERNMonoQuery
+
+
+def test_fig5_table(benchmark):
+    results = benchmark.pedantic(
+        lambda: figures.fig5(), rounds=1, iterations=1
+    )
+    emit(results)
+
+    changes = results["fig5a"].series[0].y
+    assert all(b >= a for a, b in zip(changes, changes[1:])), (
+        "cell changes must grow with grid resolution"
+    )
+    assert changes[-1] > 2 * changes[0]
+
+    times = results["fig5b"].series_by_name("IGERN").y
+    grids = results["fig5b"].x
+    best = grids[times.index(min(times))]
+    # The optimum must be an intermediate size, not an extreme (U-shape).
+    assert grids[0] < best < grids[-1], f"expected U-shape, optimum at {best}"
+
+
+def _workload(grid_size):
+    spec = WorkloadSpec(n_objects=4000, grid_size=grid_size, seed=7)
+    return LiveWorkload(spec, lambda grid, pos: IGERNMonoQuery(grid, pos))
+
+
+def test_fig5_tick_grid_8(benchmark):
+    bench_tick(benchmark, _workload(8))
+
+
+def test_fig5_tick_grid_64(benchmark):
+    bench_tick(benchmark, _workload(64))
+
+
+def test_fig5_tick_grid_256(benchmark):
+    bench_tick(benchmark, _workload(256))

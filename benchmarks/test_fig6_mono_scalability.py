@@ -1,0 +1,45 @@
+"""Figure 6: monochromatic scalability, IGERN vs CRNN.
+
+(a) average CPU time per tick vs number of objects — IGERN wins at every
+    size (it monitors one region and a few objects; CRNN always six of
+    each);
+(b) average number of monitored objects — CRNN pins six; IGERN-literal
+    (the paper's pruning rule verbatim) lands around the paper's ~3.5.
+"""
+
+from conftest import LiveWorkload, bench_tick, emit
+
+from repro.engine.workload import WorkloadSpec
+from repro.experiments import figures
+from repro.queries import CRNNQuery, IGERNMonoQuery
+
+
+def test_fig6_table(benchmark):
+    results = benchmark.pedantic(lambda: figures.fig6(), rounds=1, iterations=1)
+    emit(results)
+
+    igern = results["fig6a"].series_by_name("IGERN").y
+    crnn = results["fig6a"].series_by_name("CRNN").y
+    wins = sum(1 for i, c in zip(igern, crnn) if i < c)
+    assert wins >= len(igern) - 1, f"IGERN should win (almost) everywhere: {wins}"
+    assert sum(igern) < sum(crnn)
+
+    crnn_mon = results["fig6b"].series_by_name("CRNN").y
+    assert all(5.0 <= v <= 6.0 for v in crnn_mon), "CRNN monitors six candidates"
+    literal_mon = results["fig6b"].series_by_name("IGERN-literal").y
+    assert all(v < 6.0 for v in literal_mon), (
+        "the paper's pruning rule keeps fewer than six monitored objects"
+    )
+
+
+def _workload(query_factory, n=8000):
+    spec = WorkloadSpec(n_objects=n, grid_size=64, seed=7)
+    return LiveWorkload(spec, query_factory)
+
+
+def test_fig6_igern_tick(benchmark):
+    bench_tick(benchmark, _workload(lambda g, p: IGERNMonoQuery(g, p)))
+
+
+def test_fig6_crnn_tick(benchmark):
+    bench_tick(benchmark, _workload(lambda g, p: CRNNQuery(g, p)))

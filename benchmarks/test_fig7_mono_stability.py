@@ -1,0 +1,39 @@
+"""Figure 7: monochromatic stability over time, IGERN vs CRNN.
+
+(a) CPU time per time interval — both algorithms are most expensive at
+    the initial step; IGERN stays below CRNN at every interval and its
+    incremental performance does not deteriorate over time;
+(b) accumulated CPU time — the gap widens the longer the query runs.
+"""
+
+from conftest import emit
+
+from repro.analysis.stats import mean
+from repro.experiments import figures
+
+
+def test_fig7_table(benchmark):
+    results = benchmark.pedantic(lambda: figures.fig7(), rounds=1, iterations=1)
+    emit(results)
+
+    per_tick_i = results["fig7a"].series_by_name("IGERN").y
+    per_tick_c = results["fig7a"].series_by_name("CRNN").y
+    # IGERN below CRNN at (almost) every plotted interval.
+    wins = sum(1 for i, c in zip(per_tick_i, per_tick_c) if i < c)
+    assert wins >= len(per_tick_i) - 1
+
+    acc_i = results["fig7b"].series_by_name("IGERN").y
+    acc_c = results["fig7b"].series_by_name("CRNN").y
+    assert acc_i[-1] < acc_c[-1]
+    # The saving grows with the horizon: the gap at the end exceeds the
+    # gap at one quarter of the run.
+    quarter = len(acc_i) // 4
+    assert (acc_c[-1] - acc_i[-1]) > (acc_c[quarter] - acc_i[quarter])
+
+    # Stability: late incremental steps are not systematically more
+    # expensive than early ones (no deterioration over time).
+    times_i = results["fig7b"].x  # just for length
+    n = len(acc_i)
+    early = [acc_i[t] - acc_i[t - 1] for t in range(1, n // 3)]
+    late = [acc_i[t] - acc_i[t - 1] for t in range(2 * n // 3, n)]
+    assert mean(late) < 3.0 * mean(early)

@@ -1,0 +1,24 @@
+"""Analytical tooling: the Section 6 cost model and summary statistics."""
+
+from repro.analysis.cost_model import (
+    CostModelParams,
+    crnn_cost,
+    igern_bi_cost,
+    igern_mono_cost,
+    tpl_cost,
+    voronoi_cost,
+)
+from repro.analysis.stats import mean, percentile, running_sum, summarize
+
+__all__ = [
+    "CostModelParams",
+    "igern_mono_cost",
+    "igern_bi_cost",
+    "crnn_cost",
+    "tpl_cost",
+    "voronoi_cost",
+    "mean",
+    "percentile",
+    "running_sum",
+    "summarize",
+]

@@ -1,0 +1,161 @@
+"""The paper's Section 6 analytical cost model, as executable code.
+
+The paper expresses the cost of each algorithm over a query lifetime of
+``T`` time units in terms of three primitive search costs at each tick
+``t``:
+
+- ``NN(q_t)``   — an unconstrained nearest neighbor search,
+- ``NN_c(q_t)`` — a constrained search (within the remaining alive cells),
+- ``NN_b(q_t)`` — a bounded search (within a small monitored region),
+
+and per-tick workload parameters: ``r_t`` (number of RNN candidates,
+monochromatic), ``a_t`` (monitored A objects) and ``b_t`` (B objects in
+the monitored region).  This module reproduces each formula verbatim so
+experiments can (1) predict relative algorithm cost from measured
+operation counts and (2) check the paper's dominance claims (IGERN <=
+CRNN, TPL, Voronoi for every tick beyond the first) mechanically.
+
+Formulas (paper, Section 6) — cost of a query over ticks ``t = 0..T``:
+
+- mono IGERN:   ``r_0 (NN_c(q_0) + NN(q_0)) + sum_{t>=1} (NN_b(q_t) + r_t NN(q_t))``
+- CRNN:         ``6 (NN_c(q_0) + NN(q_0)) + sum_{t>=1} 6 (NN_b(q_t) + NN(q_t))``
+- repeated TPL: ``sum_{t>=0} r_t (NN_c(q_t) + NN(q_t))``
+- bi IGERN:     ``a_0 NN_c(q_0) + b_0 NN(q_0) + sum_{t>=1} (NN_b(q_t) + b_t NN(q_t))``
+- Voronoi:      ``sum_{t>=0} (a_t NN_c(q_t) + b_t NN(q_t))``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+def _series(values: Sequence[float], length: int, name: str) -> List[float]:
+    out = list(values)
+    if len(out) == 1:
+        out = out * length
+    if len(out) != length:
+        raise ValueError(
+            f"{name} must have 1 or {length} entries, got {len(out)}"
+        )
+    return out
+
+
+@dataclass
+class CostModelParams:
+    """Per-tick primitive costs and workload parameters.
+
+    Every field accepts either a single value (constant over time) or one
+    value per tick.  ``ticks`` counts all executions including the initial
+    step at ``t = 0``.
+    """
+
+    ticks: int
+    nn: Sequence[float] = (1.0,)  # unconstrained NN cost
+    nn_c: Sequence[float] = (1.0,)  # constrained NN cost
+    nn_b: Sequence[float] = (0.25,)  # bounded NN cost
+    r: Sequence[float] = (3.5,)  # mono candidates per tick (r_t)
+    a: Sequence[float] = (6.0,)  # monitored A objects per tick (a_t)
+    b: Sequence[float] = (2.0,)  # B objects in the region per tick (b_t)
+    n_pies: int = 6
+
+    def __post_init__(self) -> None:
+        if self.ticks < 1:
+            raise ValueError(f"ticks must be >= 1, got {self.ticks}")
+        self.nn = _series(self.nn, self.ticks, "nn")
+        self.nn_c = _series(self.nn_c, self.ticks, "nn_c")
+        self.nn_b = _series(self.nn_b, self.ticks, "nn_b")
+        self.r = _series(self.r, self.ticks, "r")
+        self.a = _series(self.a, self.ticks, "a")
+        self.b = _series(self.b, self.ticks, "b")
+
+
+def igern_mono_cost(p: CostModelParams) -> float:
+    """``mi(q)`` — monochromatic IGERN cost over the query lifetime."""
+    total = p.r[0] * (p.nn_c[0] + p.nn[0])
+    for t in range(1, p.ticks):
+        total += p.nn_b[t] + p.r[t] * p.nn[t]
+    return total
+
+
+def crnn_cost(p: CostModelParams) -> float:
+    """``C(q)`` — CRNN cost: six regions and six candidates, always."""
+    pies = float(p.n_pies)
+    total = pies * (p.nn_c[0] + p.nn[0])
+    for t in range(1, p.ticks):
+        total += pies * (p.nn_b[t] + p.nn[t])
+    return total
+
+
+def tpl_cost(p: CostModelParams) -> float:
+    """``L(q)`` — repeated snapshot TPL cost (no incremental reuse)."""
+    return sum(
+        p.r[t] * (p.nn_c[t] + p.nn[t]) for t in range(p.ticks)
+    )
+
+
+def igern_bi_cost(p: CostModelParams) -> float:
+    """``bi(q_A)`` — bichromatic IGERN cost over the query lifetime."""
+    total = p.a[0] * p.nn_c[0] + p.b[0] * p.nn[0]
+    for t in range(1, p.ticks):
+        total += p.nn_b[t] + p.b[t] * p.nn[t]
+    return total
+
+
+def voronoi_cost(p: CostModelParams) -> float:
+    """``V(q_A)`` — repeated Voronoi-cell construction cost."""
+    return sum(
+        p.a[t] * p.nn_c[t] + p.b[t] * p.nn[t] for t in range(p.ticks)
+    )
+
+
+def per_tick_series(p: CostModelParams) -> dict:
+    """Per-tick cost of every algorithm, tick 0 first.
+
+    The model-side analogue of Figures 7a/9a; feed through
+    :func:`accumulated_series` for the 7b/9b curves.
+    """
+    out = {
+        "igern_mono": [p.r[0] * (p.nn_c[0] + p.nn[0])],
+        "crnn": [p.n_pies * (p.nn_c[0] + p.nn[0])],
+        "tpl": [p.r[0] * (p.nn_c[0] + p.nn[0])],
+        "igern_bi": [p.a[0] * p.nn_c[0] + p.b[0] * p.nn[0]],
+        "voronoi": [p.a[0] * p.nn_c[0] + p.b[0] * p.nn[0]],
+    }
+    for t in range(1, p.ticks):
+        out["igern_mono"].append(p.nn_b[t] + p.r[t] * p.nn[t])
+        out["crnn"].append(p.n_pies * (p.nn_b[t] + p.nn[t]))
+        out["tpl"].append(p.r[t] * (p.nn_c[t] + p.nn[t]))
+        out["igern_bi"].append(p.nn_b[t] + p.b[t] * p.nn[t])
+        out["voronoi"].append(p.a[t] * p.nn_c[t] + p.b[t] * p.nn[t])
+    return out
+
+
+def accumulated_series(p: CostModelParams) -> dict:
+    """Accumulated per-tick costs (the model's Figures 7b/9b)."""
+    out = {}
+    for name, series in per_tick_series(p).items():
+        acc = []
+        total = 0.0
+        for value in series:
+            total += value
+            acc.append(total)
+        out[name] = acc
+    return out
+
+
+def igern_beats_crnn(p: CostModelParams) -> bool:
+    """The paper's claim: ``mi(q) <= C(q)`` whenever ``r_t <= 6``."""
+    return igern_mono_cost(p) <= crnn_cost(p)
+
+
+def igern_beats_tpl(p: CostModelParams) -> bool:
+    """The paper's claim: IGERN dominates repeated TPL for ``T > 1``
+    (the ratio is exactly one at ``T = 1``)."""
+    return igern_mono_cost(p) <= tpl_cost(p)
+
+
+def igern_beats_voronoi(p: CostModelParams) -> bool:
+    """The paper's claim: bichromatic IGERN dominates repeated Voronoi
+    construction for ``T > 1``."""
+    return igern_bi_cost(p) <= voronoi_cost(p)

@@ -1,0 +1,62 @@
+"""Small statistics helpers used by the experiment reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two values."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / n)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile (``pct`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of an empty sequence is undefined")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100.0 * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def running_sum(values: Sequence[float]) -> List[float]:
+    """Prefix sums (the accumulated-time series of Figures 7b/9b)."""
+    out: List[float] = []
+    total = 0.0
+    for v in values:
+        total += v
+        out.append(total)
+    return out
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean/stdev/min/median/p95/max of a series, as a flat dict."""
+    if not values:
+        return {"mean": 0.0, "stdev": 0.0, "min": 0.0, "median": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "mean": mean(values),
+        "stdev": stdev(values),
+        "min": min(values),
+        "median": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "max": max(values),
+    }

@@ -1,0 +1,230 @@
+"""``igern`` command-line interface.
+
+Subcommands:
+
+- ``igern demo`` — run a small continuous query live and print per-tick
+  answers (monochromatic by default, ``--bi`` for bichromatic);
+- ``igern experiment <id|all>`` — regenerate one (or every) figure of the
+  paper and print its table; ``--csv DIR`` also writes CSV files;
+- ``igern trace`` — record a reproducible moving-object trace to CSV;
+- ``igern list`` — list the available experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.engine.workload import WorkloadSpec, build_generator, build_simulator, central_object
+from repro.experiments.figures import ALL_EXPERIMENTS
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import experiment_table, write_csv
+from repro.motion.trace import Trace
+from repro.queries import (
+    BruteForceBiQuery,
+    BruteForceMonoQuery,
+    IGERNBiQuery,
+    IGERNMonoQuery,
+    QueryPosition,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="igern",
+        description=(
+            "Continuous reverse nearest neighbor monitoring (IGERN, ICDE"
+            " 2007 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a small live demo query")
+    demo.add_argument("--bi", action="store_true", help="bichromatic query")
+    demo.add_argument("-n", "--objects", type=int, default=2000)
+    demo.add_argument("--ticks", type=int, default=10)
+    demo.add_argument("--grid", type=int, default=64)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument(
+        "--check", action="store_true", help="verify each tick against brute force"
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    exp.add_argument("exp_id", help="experiment id (see 'igern list') or 'all'")
+    exp.add_argument("--scale", type=float, default=None, help="workload scale")
+    exp.add_argument("--seed", type=int, default=7)
+    exp.add_argument("--csv", type=Path, default=None, help="directory for CSV output")
+    exp.add_argument(
+        "--markdown", type=Path, default=None, help="write a markdown report here"
+    )
+
+    trace = sub.add_parser("trace", help="record a moving-object trace to CSV")
+    trace.add_argument("output", type=Path)
+    trace.add_argument("-n", "--objects", type=int, default=1000)
+    trace.add_argument("--ticks", type=int, default=50)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--bi", action="store_true", help="two object categories")
+    trace.add_argument(
+        "--network",
+        choices=["grid_city", "delaunay", "walk", "jump"],
+        default="grid_city",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="render the monitored region live in the terminal"
+    )
+    watch.add_argument("-n", "--objects", type=int, default=400)
+    watch.add_argument("--ticks", type=int, default=6)
+    watch.add_argument("--grid", type=int, default=24)
+    watch.add_argument("--seed", type=int, default=13)
+
+    sub.add_parser("list", help="list available experiments")
+    return parser
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        n_objects=args.objects,
+        grid_size=args.grid,
+        seed=args.seed,
+        bichromatic=args.bi,
+    )
+    sim = build_simulator(spec)
+    if args.bi:
+        qid = central_object(sim, "A")
+        pos = QueryPosition(sim.grid, query_id=qid)
+        sim.add_query("igern", IGERNBiQuery(sim.grid, pos))
+        if args.check:
+            sim.add_query("brute", BruteForceBiQuery(sim.grid, pos))
+    else:
+        qid = central_object(sim)
+        pos = QueryPosition(sim.grid, query_id=qid)
+        sim.add_query("igern", IGERNMonoQuery(sim.grid, pos))
+        if args.check:
+            sim.add_query("brute", BruteForceMonoQuery(sim.grid, pos))
+
+    kind = "bichromatic" if args.bi else "monochromatic"
+    print(
+        f"{kind} IGERN demo: {args.objects} objects, grid {args.grid}x"
+        f"{args.grid}, query object {qid}"
+    )
+    result = sim.run(args.ticks)
+    log = result["igern"]
+    ok = True
+    for metrics in log.ticks:
+        line = (
+            f"t={metrics.tick:3d}  answer={sorted(metrics.answer)!s:<28}"
+            f" monitored={metrics.monitored:2d}"
+            f" time={metrics.wall_time * 1e6:7.0f}us"
+        )
+        if args.check:
+            expected = result["brute"].ticks[metrics.tick].answer
+            match = metrics.answer == expected
+            ok = ok and match
+            line += f"  brute-check={'ok' if match else 'MISMATCH'}"
+        print(line)
+    if args.check:
+        print("verification:", "all ticks match brute force" if ok else "FAILED")
+        return 0 if ok else 1
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    if args.exp_id == "all":
+        names = list(ALL_EXPERIMENTS)
+    elif args.exp_id in ALL_EXPERIMENTS:
+        names = [args.exp_id]
+    else:
+        print(
+            f"unknown experiment {args.exp_id!r}; available: "
+            f"{', '.join(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.markdown is not None:
+        from repro.experiments.summary import write_report
+
+        path = write_report(
+            args.markdown, scale=args.scale, seed=args.seed, experiments=names
+        )
+        print(f"wrote markdown report to {path}")
+        return 0
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        outcome = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        results: List[ExperimentResult]
+        if isinstance(outcome, dict):
+            results = list(outcome.values())
+        else:
+            results = [outcome]
+        for result in results:
+            print(experiment_table(result))
+            print()
+            if args.csv is not None:
+                write_csv(result, args.csv / f"{result.exp_id}.csv")
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        n_objects=args.objects,
+        seed=args.seed,
+        network=args.network,
+        bichromatic=args.bi,
+    )
+    generator = build_generator(spec)
+    trace = Trace.record(generator, args.ticks)
+    trace.save(args.output)
+    print(
+        f"recorded {trace.n_objects} objects x {len(trace)} ticks"
+        f" ({args.network}) -> {args.output}"
+    )
+    return 0
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    from repro.viz import render_query_state
+
+    spec = WorkloadSpec(n_objects=args.objects, grid_size=args.grid, seed=args.seed)
+    sim = build_simulator(spec)
+    qid = central_object(sim)
+    query = IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+    sim.add_query("rnn", query)
+
+    def show(tick, simulator):
+        print(
+            f"--- t={tick}  answer={sorted(query.answer)} "
+            f"monitored={query.monitored_count} "
+            f"alive cells={query.monitored_region_cells}"
+        )
+        print(render_query_state(query._state, simulator.grid))
+        print()
+
+    sim.run(0)
+    show(0, sim)
+    sim.run(args.ticks, on_tick=show)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _run_demo(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "watch":
+        return _run_watch(args)
+    if args.command == "list":
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Shared verification across many monochromatic queries.
+
+The paper motivates IGERN as a building block for system query processors
+(PLACE, SINA, SECONDO) that host *many* continuous queries over one
+object population.  Each monochromatic query's verification phase asks,
+per candidate ``o``: "is any object other than ``o`` and the query
+strictly closer to ``o`` than the query is?" — knowledge about ``o``'s
+neighborhood that co-located queries can share.
+
+:class:`SharedVerificationCache` keeps, per object and per tick:
+
+- a **YES record**: a concrete witness ``(id, d2)`` once one is found —
+  any other query whose threshold exceeds ``d2`` (and whose own query
+  object is not that witness) gets an O(1) "yes";
+- a **NO record**: the largest exhausted threshold ``t2`` (no object
+  other than the excluded query was within it) — another query with a
+  smaller threshold completes the answer in O(1) by checking only the
+  previously excluded object's distance.
+
+Cache misses cost exactly what the uncached path costs (one
+short-circuiting witness probe); hits are O(1).  The cache is therefore
+never a pessimization, unlike eager top-k precomputation.
+
+Only the paper's ``k = 1`` semantics are cacheable this way; queries with
+``k > 1`` fall back to their own searches automatically.  Tick changes
+are detected through the grid's update counters, so no explicit reset is
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.geometry.point import dist_sq
+from repro.grid.index import GridIndex, ObjectId
+from repro.grid.search import GridSearch, SearchKind
+
+
+class _Entry:
+    """Per-object knowledge accumulated within one tick."""
+
+    __slots__ = ("witness_id", "witness_d2", "no_t2", "no_excluded")
+
+    def __init__(self):
+        self.witness_id: Optional[ObjectId] = None
+        self.witness_d2: float = 0.0
+        self.no_t2: float = 0.0
+        self.no_excluded: Optional[ObjectId] = None
+
+
+class SharedVerificationCache:
+    """Per-tick witness memo over one grid index (k = 1 verification)."""
+
+    def __init__(self, grid: GridIndex, search: Optional[GridSearch] = None):
+        self.grid = grid
+        #: The search doing the shared probes; its counters show what the
+        #: whole query population paid beyond the cache hits.
+        self.search = search if search is not None else GridSearch(grid)
+        self._memo: Dict[ObjectId, _Entry] = {}
+        self._version: Tuple[int, int, int] = (-1, -1, -1)
+        #: How often the memo answered without a search.
+        self.hits = 0
+        self.misses = 0
+
+    def _current_version(self) -> Tuple[int, int, int]:
+        grid = self.grid
+        return (grid.updates, grid.cell_changes, len(grid))
+
+    def has_witness(
+        self,
+        oid: ObjectId,
+        dq2: float,
+        query_id: Optional[ObjectId],
+    ) -> bool:
+        """Whether some object (other than ``oid`` and ``query_id``) lies
+        at squared distance strictly below ``dq2`` from object ``oid``.
+
+        Exactly the k=1 verification predicate of Algorithms 1/2 Phase II.
+        """
+        version = self._current_version()
+        if version != self._version:
+            self._memo.clear()
+            self._version = version
+
+        grid = self.grid
+        entry = self._memo.get(oid)
+        if entry is None:
+            entry = _Entry()
+            self._memo[oid] = entry
+        else:
+            # YES reuse: a known witness below our threshold that is not
+            # our own query object.
+            if (
+                entry.witness_id is not None
+                and entry.witness_d2 < dq2
+                and entry.witness_id != query_id
+            ):
+                self.hits += 1
+                return True
+            # NO reuse: some probe exhausted a threshold at least as large
+            # as ours; only its excluded object remains to be checked.
+            if entry.no_t2 >= dq2:
+                excluded = entry.no_excluded
+                if excluded is None or excluded == query_id or excluded not in grid:
+                    self.hits += 1
+                    return False
+                wd2 = dist_sq(grid.position(excluded), grid.position(oid))
+                self.hits += 1
+                if wd2 < dq2:
+                    # The previously excluded object is our witness; keep it.
+                    self._record_witness(entry, excluded, wd2)
+                    return True
+                return False
+
+        # Miss: probe exactly like the uncached path would.
+        self.misses += 1
+        exclude = {oid} if query_id is None else {oid, query_id}
+        hit = self.search.first_closer_than(
+            grid.position(oid),
+            dq2,
+            exclude=exclude,
+            kind=SearchKind.UNCONSTRAINED,
+        )
+        if hit is not None:
+            self._record_witness(entry, hit[0], hit[1])
+            return True
+        if dq2 > entry.no_t2:
+            entry.no_t2 = dq2
+            entry.no_excluded = query_id
+        return False
+
+    @staticmethod
+    def _record_witness(entry: _Entry, wid: ObjectId, wd2: float) -> None:
+        if entry.witness_id is None or wd2 < entry.witness_d2:
+            entry.witness_id = wid
+            entry.witness_d2 = wd2
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

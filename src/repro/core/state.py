@@ -1,0 +1,71 @@
+"""Monitored state and per-step reports for the IGERN algorithms.
+
+The whole point of IGERN is that an incremental execution needs only
+
+- the monitored *bounded region* (an alive-cell mask shaped by bisector
+  half-planes), and
+- the monitored *object set* (``RNNcand`` in the monochromatic case,
+  ``NN_A`` in the bichromatic case) with a position snapshot per object so
+  movement can be detected,
+
+rather than the whole space.  These live in :class:`MonoState` /
+:class:`BiState` and are threaded through consecutive incremental steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Set
+
+from repro.geometry.point import Point
+from repro.grid.alive import AliveCellGrid
+
+ObjectId = Hashable
+
+
+@dataclass
+class StepReport:
+    """What one initial/incremental execution did and produced.
+
+    ``answer`` is the query result of this step; the remaining fields feed
+    the experiment metrics (monitored objects — Figures 6b and 8b — and
+    the monitored-area comparison against CRNN in the paper's discussion).
+    """
+
+    answer: FrozenSet[ObjectId]
+    monitored: FrozenSet[ObjectId]
+    alive_cells: int
+    alive_fraction: float
+    is_initial: bool
+    movement_rebuild: bool = False
+    tightened: int = 0
+    pruned: int = 0
+
+    @property
+    def monitored_count(self) -> int:
+        return len(self.monitored)
+
+
+@dataclass
+class MonoState:
+    """Monitored state of a monochromatic IGERN query between executions."""
+
+    qpos: Point
+    candidates: Dict[ObjectId, Point] = field(default_factory=dict)
+    alive: AliveCellGrid = None  # type: ignore[assignment]
+    answer: Set[ObjectId] = field(default_factory=set)
+
+
+@dataclass
+class BiState:
+    """Monitored state of a bichromatic IGERN query between executions.
+
+    ``nn_a`` is the monitored set of A objects whose movement can change
+    the answer; ``answer`` holds the current reverse nearest neighbors of
+    type B.
+    """
+
+    qpos: Point
+    nn_a: Dict[ObjectId, Point] = field(default_factory=dict)
+    alive: AliveCellGrid = None  # type: ignore[assignment]
+    answer: Set[ObjectId] = field(default_factory=set)

@@ -1,0 +1,114 @@
+"""Per-tick and per-query measurement records.
+
+The paper reports, per algorithm: CPU time per tick (Figures 7a/9a),
+average CPU time (6a/8a), accumulated CPU time (7b/9b), and the number of
+monitored objects (6b/8b); plus grid cell changes (5a).  The engine
+captures all of these, and additionally the machine-independent operation
+counts of the shared NN subsystem (cells visited / objects examined per
+search kind), which mirror the Section 6 analytical cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Sequence
+
+
+@dataclass
+class TickMetrics:
+    """Everything measured for one query execution at one tick."""
+
+    tick: int
+    wall_time: float
+    answer: FrozenSet[Hashable]
+    monitored: int
+    region_cells: int
+    ops: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def answer_size(self) -> int:
+        return len(self.answer)
+
+
+@dataclass
+class QueryLog:
+    """The tick-by-tick history of one query under one algorithm."""
+
+    name: str
+    ticks: List[TickMetrics] = field(default_factory=list)
+
+    def append(self, metrics: TickMetrics) -> None:
+        self.ticks.append(metrics)
+
+    # -- series ---------------------------------------------------------
+
+    def times(self) -> List[float]:
+        """Wall time per tick, index 0 being the initial step."""
+        return [t.wall_time for t in self.ticks]
+
+    def accumulated_times(self) -> List[float]:
+        """Running total of wall time (Figures 7b / 9b)."""
+        out: List[float] = []
+        total = 0.0
+        for t in self.ticks:
+            total += t.wall_time
+            out.append(total)
+        return out
+
+    def monitored_series(self) -> List[int]:
+        return [t.monitored for t in self.ticks]
+
+    def ops_series(self, key: str) -> List[int]:
+        return [t.ops.get(key, 0) for t in self.ticks]
+
+    # -- aggregates ------------------------------------------------------
+
+    @property
+    def total_time(self) -> float:
+        return sum(t.wall_time for t in self.ticks)
+
+    @property
+    def avg_time(self) -> float:
+        """Mean wall time across all executions (incl. the initial step)."""
+        if not self.ticks:
+            return 0.0
+        return self.total_time / len(self.ticks)
+
+    @property
+    def avg_incremental_time(self) -> float:
+        """Mean wall time of the incremental executions only."""
+        tail = self.ticks[1:]
+        if not tail:
+            return 0.0
+        return sum(t.wall_time for t in tail) / len(tail)
+
+    @property
+    def avg_monitored(self) -> float:
+        """Mean monitored-object count (Figure 6b reports ~3.5 for IGERN)."""
+        if not self.ticks:
+            return 0.0
+        return sum(t.monitored for t in self.ticks) / len(self.ticks)
+
+    def total_ops(self, key: str) -> int:
+        return sum(t.ops.get(key, 0) for t in self.ticks)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulator run: one log per query plus grid stats."""
+
+    logs: Dict[str, QueryLog] = field(default_factory=dict)
+    cell_changes: int = 0
+    updates: int = 0
+    n_ticks: int = 0
+
+    def __getitem__(self, name: str) -> QueryLog:
+        return self.logs[name]
+
+    def names(self) -> Sequence[str]:
+        return list(self.logs)
+
+
+def diff_ops(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Operation-count delta between two :class:`SearchStats` snapshots."""
+    return {key: after.get(key, 0) - before.get(key, 0) for key in after}

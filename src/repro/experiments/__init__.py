@@ -1,0 +1,31 @@
+"""Experiment harness: one registered experiment per figure of the paper.
+
+Each ``fig*`` function in :mod:`repro.experiments.figures` regenerates the
+series of one subfigure of the paper's evaluation (Section 8) and returns
+an :class:`repro.experiments.harness.ExperimentResult` that renders as an
+ASCII table (and CSV).  The benchmark suite and the ``igern`` CLI both
+drive these functions; ``IGERN_SCALE`` scales the workload sizes up toward
+the paper's (Python being much slower than the authors' 2007 C++ testbed,
+the defaults are scaled down — shapes, not absolute numbers, are the
+reproduction target).
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    Series,
+    scale_factor,
+    scaled,
+)
+from repro.experiments.report import experiment_table, format_table, write_csv
+from repro.experiments import figures
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "scale_factor",
+    "scaled",
+    "experiment_table",
+    "format_table",
+    "write_csv",
+    "figures",
+]

@@ -1,0 +1,143 @@
+"""Experiment plumbing: results, series, and workload scaling."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.simulation import Simulator
+from repro.engine.workload import WorkloadSpec, build_simulator, central_object
+from repro.queries.base import ContinuousQuery, QueryPosition
+
+#: Environment variable scaling every experiment's workload (1.0 =
+#: benchmark defaults; ~10-20 approaches the paper's sizes).
+SCALE_ENV = "IGERN_SCALE"
+
+
+def scale_factor(override: Optional[float] = None) -> float:
+    """The active workload scale factor."""
+    if override is not None:
+        return float(override)
+    raw = os.environ.get(SCALE_ENV)
+    if raw is None:
+        return 1.0
+    value = float(raw)
+    if value <= 0.0:
+        raise ValueError(f"{SCALE_ENV} must be positive, got {raw!r}")
+    return value
+
+
+def scaled(base: int, scale: Optional[float] = None, minimum: int = 1) -> int:
+    """``base`` objects/ticks adjusted by the scale factor."""
+    return max(minimum, int(round(base * scale_factor(scale))))
+
+
+@dataclass
+class Series:
+    """One plotted line: y values over shared x values."""
+
+    name: str
+    y: List[float] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated data behind one figure of the paper."""
+
+    exp_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x: List[float] = field(default_factory=list)
+    series: List[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def series_by_name(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named {name!r} in {self.exp_id}")
+
+    def add_series(self, name: str, y: Sequence[float]) -> Series:
+        if len(y) != len(self.x):
+            raise ValueError(
+                f"series {name!r} has {len(y)} points but x has {len(self.x)}"
+            )
+        s = Series(name=name, y=list(y))
+        self.series.append(s)
+        return s
+
+
+QueryFactory = Callable[[Simulator], ContinuousQuery]
+
+
+def run_competitors(
+    spec: WorkloadSpec,
+    n_ticks: int,
+    factories: Dict[str, QueryFactory],
+):
+    """Run several algorithms over one shared workload.
+
+    Builds the simulator, instantiates each competitor from its factory
+    (factories receive the simulator so they can locate the grid and pick
+    the query object), runs ``n_ticks``, and returns the
+    :class:`repro.engine.metrics.SimulationResult`.
+    """
+    sim = build_simulator(spec)
+    for name, factory in factories.items():
+        sim.add_query(name, factory(sim))
+    return sim.run(n_ticks)
+
+
+def query_position(sim: Simulator, category=None) -> QueryPosition:
+    """A :class:`QueryPosition` tracking the central object of a category."""
+    qid = central_object(sim, category)
+    return QueryPosition(sim.grid, query_id=qid)
+
+
+def repeat_with_seeds(experiment, seeds, scale: Optional[float] = None):
+    """Run an experiment once per seed and average the series.
+
+    Individual runs of sub-millisecond measurements are noisy; the
+    benchmark suite uses this to assert the paper's claims on seed-wise
+    *means*.  Returns a new :class:`ExperimentResult` whose series hold
+    the mean over seeds, with ``<name> (std)`` companions for the spread.
+    All runs must produce identical x values and series names.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs = [experiment(scale=scale, seed=seed) for seed in seeds]
+    if isinstance(runs[0], dict):
+        raise TypeError(
+            "repeat_with_seeds needs a single-figure experiment; pick one "
+            "subfigure (e.g. lambda **kw: fig6(**kw)['fig6a'])"
+        )
+    base = runs[0]
+    for other in runs[1:]:
+        if other.x != base.x or [s.name for s in other.series] != [
+            s.name for s in base.series
+        ]:
+            raise ValueError("seed runs produced inconsistent structure")
+
+    out = ExperimentResult(
+        exp_id=f"{base.exp_id}-seeds",
+        title=f"{base.title} (mean of {len(seeds)} seeds)",
+        x_label=base.x_label,
+        y_label=base.y_label,
+        x=list(base.x),
+        notes=base.notes,
+    )
+    for idx, series in enumerate(base.series):
+        stacked = [run.series[idx].y for run in runs]
+        means = [
+            sum(vals) / len(vals) for vals in zip(*stacked)
+        ]
+        stds = [
+            (sum((v - m) ** 2 for v in vals) / len(vals)) ** 0.5
+            for vals, m in zip(zip(*stacked), means)
+        ]
+        out.add_series(series.name, means)
+        out.add_series(f"{series.name} (std)", stds)
+    return out

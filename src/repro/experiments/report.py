@@ -1,0 +1,58 @@
+"""Rendering experiment results as ASCII tables and CSV files."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.experiments.harness import ExperimentResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A plain monospace table with column-wise alignment."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for j, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if j == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.6f}"
+    return str(value)
+
+
+def experiment_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` the way the paper plots it:
+    one x column, one column per algorithm series."""
+    headers = [result.x_label] + [s.name for s in result.series]
+    rows: List[List[object]] = []
+    for i, x in enumerate(result.x):
+        rows.append([x] + [s.y[i] for s in result.series])
+    table = format_table(headers, rows)
+    title = f"{result.exp_id}: {result.title}  (y = {result.y_label})"
+    parts = [title, table]
+    if result.notes:
+        parts.append(f"note: {result.notes}")
+    return "\n".join(parts)
+
+
+def write_csv(result: ExperimentResult, path: Union[str, Path]) -> None:
+    """Dump an experiment's series to CSV (one row per x value)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([result.x_label] + [s.name for s in result.series])
+        for i, x in enumerate(result.x):
+            writer.writerow([x] + [s.y[i] for s in result.series])

@@ -1,0 +1,41 @@
+"""Computational-geometry substrate for IGERN.
+
+This package provides the planar primitives that the IGERN algorithms and
+their competitors are built on: points, half-planes induced by perpendicular
+bisectors, axis-aligned rectangles (grid cells), convex polygons with
+half-plane clipping, the six-pie partition used by CRNN-style algorithms, and
+Voronoi-cell construction used by the bichromatic baseline.
+
+All coordinates are plain Python floats in an arbitrary planar coordinate
+system; the rest of the library normalizes the data space to the unit square
+``[0, 1] x [0, 1]`` but nothing in this package requires that.
+"""
+
+from repro.geometry.point import (
+    Point,
+    dist,
+    dist_sq,
+    midpoint,
+)
+from repro.geometry.halfplane import HalfPlane, RectSide
+from repro.geometry.bisector import bisector_halfplane, equidistant_line
+from repro.geometry.rectangle import Rect
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.pies import PiePartition
+from repro.geometry.voronoi import voronoi_cell, voronoi_neighbors
+
+__all__ = [
+    "Point",
+    "dist",
+    "dist_sq",
+    "midpoint",
+    "HalfPlane",
+    "RectSide",
+    "bisector_halfplane",
+    "equidistant_line",
+    "Rect",
+    "ConvexPolygon",
+    "PiePartition",
+    "voronoi_cell",
+    "voronoi_neighbors",
+]

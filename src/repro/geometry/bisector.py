@@ -1,0 +1,44 @@
+"""Perpendicular bisectors between a query point and a data object.
+
+The central geometric step of IGERN (Algorithms 1-4 in the paper): the
+bisector ``b_j`` between the query ``q`` and an object ``o_j`` splits the
+plane into the side closer to ``q`` (where further reverse nearest neighbors
+may still exist) and the side closer to ``o_j`` (where every object is
+provably not an RNN of ``q``, because ``o_j`` is closer to it than ``q``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.geometry.halfplane import HalfPlane
+
+
+def bisector_halfplane(q: Iterable[float], o: Iterable[float]) -> HalfPlane:
+    """Half-plane of points at least as close to ``q`` as to ``o``.
+
+    A point ``p`` satisfies ``dist(p, q) <= dist(p, o)`` iff
+
+    ``2*(q - o) . p + (|o|^2 - |q|^2) >= 0``
+
+    which is linear in ``p``; the returned :class:`HalfPlane` keeps the
+    ``q``-side (the *alive* side in IGERN's terminology).
+
+    Raises ``ValueError`` when ``q`` and ``o`` coincide, since the bisector
+    is then undefined.
+    """
+    qx, qy = q
+    ox, oy = o
+    a = 2.0 * (qx - ox)
+    b = 2.0 * (qy - oy)
+    if a == 0.0 and b == 0.0:
+        raise ValueError(f"bisector undefined: query and object coincide at {tuple(q)}")
+    c = (ox * ox + oy * oy) - (qx * qx + qy * qy)
+    return HalfPlane(a, b, c)
+
+
+def equidistant_line(
+    q: Iterable[float], o: Iterable[float]
+) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+    """Two points on the perpendicular bisector line of segment ``qo``."""
+    return bisector_halfplane(q, o).boundary_points()

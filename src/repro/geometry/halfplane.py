@@ -1,0 +1,121 @@
+"""Half-planes and their classification against rectangles.
+
+A half-plane is the set ``{p : a*p.x + b*p.y + c >= 0}``.  IGERN's pruning
+works at grid-cell granularity: a cell is *dead* with respect to a bisector
+when the whole cell lies on the negative (pruned) side.  Because the
+evaluation function is linear, a rectangle lies entirely on one side iff all
+four corners do, which is what :meth:`HalfPlane.classify_rect` checks.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Iterable, Tuple
+
+
+class RectSide(enum.Enum):
+    """How a rectangle relates to a half-plane."""
+
+    INSIDE = "inside"  # whole rectangle on the non-negative side
+    OUTSIDE = "outside"  # whole rectangle on the negative side
+    STRADDLE = "straddle"  # the boundary line crosses the rectangle
+
+
+class HalfPlane:
+    """The closed half-plane ``a*x + b*y + c >= 0``.
+
+    Instances are immutable.  ``(a, b)`` is the inward normal: it points
+    into the kept region.
+    """
+
+    __slots__ = ("a", "b", "c")
+
+    def __init__(self, a: float, b: float, c: float):
+        if a == 0.0 and b == 0.0:
+            raise ValueError("degenerate half-plane: normal vector is zero")
+        self.a = a
+        self.b = b
+        self.c = c
+
+    def __repr__(self) -> str:
+        return f"HalfPlane({self.a!r}, {self.b!r}, {self.c!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HalfPlane):
+            return NotImplemented
+        return (self.a, self.b, self.c) == (other.a, other.b, other.c)
+
+    def __hash__(self) -> int:
+        return hash((self.a, self.b, self.c))
+
+    def value(self, p: Iterable[float]) -> float:
+        """Signed value of the defining linear function at ``p``.
+
+        Positive means strictly inside the kept region, negative strictly
+        outside, zero on the boundary line.
+        """
+        x, y = p
+        return self.a * x + self.b * y + self.c
+
+    def contains(self, p: Iterable[float]) -> bool:
+        """Whether ``p`` lies in the closed half-plane."""
+        return self.value(p) >= 0.0
+
+    def strictly_contains(self, p: Iterable[float]) -> bool:
+        """Whether ``p`` lies strictly inside (not on the boundary)."""
+        return self.value(p) > 0.0
+
+    def signed_distance(self, p: Iterable[float]) -> float:
+        """Signed Euclidean distance from ``p`` to the boundary line."""
+        return self.value(p) / math.hypot(self.a, self.b)
+
+    def normalized(self) -> "HalfPlane":
+        """Equivalent half-plane with a unit-length normal vector."""
+        scale = math.hypot(self.a, self.b)
+        return HalfPlane(self.a / scale, self.b / scale, self.c / scale)
+
+    def flipped(self) -> "HalfPlane":
+        """The complementary half-plane (open complement, closed here)."""
+        return HalfPlane(-self.a, -self.b, -self.c)
+
+    def classify_rect(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> RectSide:
+        """Classify an axis-aligned rectangle against this half-plane.
+
+        Exploits linearity: the extreme values over the rectangle occur at
+        the corner selected by the signs of ``a`` and ``b``, so only two
+        corner evaluations are needed.
+        """
+        # Corner maximizing the linear function.
+        mx = xmax if self.a >= 0.0 else xmin
+        my = ymax if self.b >= 0.0 else ymin
+        if self.a * mx + self.b * my + self.c < 0.0:
+            return RectSide.OUTSIDE
+        # Corner minimizing the linear function.
+        nx = xmin if self.a >= 0.0 else xmax
+        ny = ymin if self.b >= 0.0 else ymax
+        if self.a * nx + self.b * ny + self.c >= 0.0:
+            return RectSide.INSIDE
+        return RectSide.STRADDLE
+
+    def rect_outside(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> bool:
+        """True iff the whole rectangle lies on the pruned (negative) side.
+
+        This is the hot predicate of the alive/dead cell tracker, kept
+        branch-minimal on purpose.
+        """
+        mx = xmax if self.a >= 0.0 else xmin
+        my = ymax if self.b >= 0.0 else ymin
+        return self.a * mx + self.b * my + self.c < 0.0
+
+    def boundary_points(self) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        """Two distinct points on the boundary line (for plotting/tests)."""
+        a, b, c = self.a, self.b, self.c
+        if abs(b) >= abs(a):
+            # Solve for y at x = 0 and x = 1.
+            return ((0.0, -c / b), (1.0, -(a + c) / b))
+        return ((-c / a, 0.0), (-(b + c) / a, 1.0))

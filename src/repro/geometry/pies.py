@@ -1,0 +1,137 @@
+"""Pie (sector) partition of the plane around a query point.
+
+The classic monochromatic RNN property (Stanoi et al.) states that when the
+space around the query ``q`` is divided into six 60-degree pies, the only
+possible RNN inside each pie is the object of that pie nearest to ``q`` —
+hence at most six monochromatic RNNs.  The CRNN baseline monitors each of
+the six pies independently; IGERN's whole point is to replace them with a
+single bounded region.
+
+:class:`PiePartition` supports an arbitrary number of sectors so the
+benchmark suite can ablate the pie count (6 is the minimum that is correct
+for the monochromatic problem).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+_TWO_PI = 2.0 * math.pi
+
+
+def _norm_angle(theta: float) -> float:
+    """Normalize an angle into ``[0, 2*pi)``."""
+    theta = math.fmod(theta, _TWO_PI)
+    if theta < 0.0:
+        theta += _TWO_PI
+    return theta
+
+
+class PiePartition:
+    """Equal-angle sectors around a center point.
+
+    Sector ``i`` covers polar angles ``[offset + i*w, offset + (i+1)*w)``
+    with ``w = 2*pi / n_pies``, measured counter-clockwise from the positive
+    x axis.
+    """
+
+    __slots__ = ("center", "n_pies", "offset", "_width")
+
+    def __init__(self, center: Iterable[float], n_pies: int = 6, offset: float = 0.0):
+        if n_pies < 3:
+            raise ValueError(f"a pie partition needs at least 3 sectors, got {n_pies}")
+        cx, cy = center
+        self.center = Point(cx, cy)
+        self.n_pies = n_pies
+        self.offset = _norm_angle(offset)
+        self._width = _TWO_PI / n_pies
+
+    def __repr__(self) -> str:
+        return f"PiePartition(center={tuple(self.center)}, n_pies={self.n_pies})"
+
+    def angle_of(self, p: Iterable[float]) -> float:
+        """Polar angle of ``p`` around the center, in ``[0, 2*pi)``."""
+        x, y = p
+        return _norm_angle(math.atan2(y - self.center.y, x - self.center.x))
+
+    def pie_of(self, p: Iterable[float]) -> int:
+        """Index of the sector containing ``p``.
+
+        The center itself is assigned to sector 0 by convention; callers
+        (the CRNN monitor) never ask for the query's own pie.
+        """
+        rel = _norm_angle(self.angle_of(p) - self.offset)
+        idx = int(rel / self._width)
+        # Guard against floating point landing exactly on 2*pi.
+        return idx if idx < self.n_pies else 0
+
+    def pie_bounds(self, i: int) -> Tuple[float, float]:
+        """``(start, end)`` angles of sector ``i`` (end may exceed 2*pi)."""
+        if not 0 <= i < self.n_pies:
+            raise IndexError(f"pie index {i} out of range 0..{self.n_pies - 1}")
+        start = self.offset + i * self._width
+        return (start, start + self._width)
+
+    def rect_angular_interval(self, rect: Rect) -> Tuple[float, float]:
+        """Angular interval subtended by ``rect`` as seen from the center.
+
+        Returns ``(start, extent)`` with ``extent`` in ``(0, pi)``.  Raises
+        ``ValueError`` if the center lies inside the rectangle, where the
+        subtended interval is the whole circle (callers special-case this).
+        """
+        if rect.contains(self.center):
+            raise ValueError("center inside rectangle subtends the full circle")
+        angles = sorted(self.angle_of(c) for c in rect.corners())
+        # The subtended interval is the complement of the largest angular gap
+        # between consecutive corner angles: an outside convex shape spans
+        # less than pi, so the largest gap exceeds pi.
+        best_gap = _TWO_PI - angles[-1] + angles[0]
+        best_idx = len(angles) - 1  # gap between last and first (wrapping)
+        for j in range(len(angles) - 1):
+            gap = angles[j + 1] - angles[j]
+            if gap > best_gap:
+                best_gap = gap
+                best_idx = j
+        start = angles[(best_idx + 1) % len(angles)]
+        extent = _TWO_PI - best_gap
+        return (start, extent)
+
+    def rect_intersects_pie(self, rect: Rect, i: int) -> bool:
+        """Whether any point of ``rect`` falls in sector ``i``.
+
+        Exact for rectangles not containing the center (angular-interval
+        overlap); rectangles containing the center intersect every sector.
+        """
+        if rect.contains(self.center):
+            return True
+        r_start, r_extent = self.rect_angular_interval(rect)
+        p_start, p_end = self.pie_bounds(i)
+        return _intervals_overlap(r_start, r_extent, p_start, p_end - p_start)
+
+    def pies_of_rect(self, rect: Rect) -> List[int]:
+        """All sector indices intersected by ``rect``."""
+        if rect.contains(self.center):
+            return list(range(self.n_pies))
+        r_start, r_extent = self.rect_angular_interval(rect)
+        hits = []
+        for i in range(self.n_pies):
+            p_start, p_end = self.pie_bounds(i)
+            if _intervals_overlap(r_start, r_extent, p_start, p_end - p_start):
+                hits.append(i)
+        return hits
+
+
+def _intervals_overlap(s1: float, e1: float, s2: float, e2: float) -> bool:
+    """Whether two circular intervals ``[s, s+e)`` overlap (angles, wrap 2*pi)."""
+    s1 = _norm_angle(s1)
+    s2 = _norm_angle(s2)
+    # Shift so interval 1 starts at zero; then interval 2 overlaps iff its
+    # start falls inside interval 1 or interval 1's start falls inside it.
+    rel = _norm_angle(s2 - s1)
+    if rel < e1:
+        return True
+    return _TWO_PI - rel < e2

@@ -1,0 +1,70 @@
+"""Planar points and distance helpers.
+
+``Point`` is a :class:`typing.NamedTuple` rather than a dataclass: the hot
+loops of the library (grid search, bisector evaluation) create and compare
+millions of points, and named tuples are both immutable and cheap while
+still unpacking like the ``(x, y)`` pairs used throughout the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple
+
+
+class Point(NamedTuple):
+    """A point in the plane.
+
+    Supports tuple unpacking (``x, y = p``) and the arithmetic needed by the
+    geometry layer.  Instances are immutable and hashable, so they can be
+    used as dictionary keys for position snapshots.
+    """
+
+    x: float
+    y: float
+
+    def __add__(self, other):  # type: ignore[override]
+        return Point(self.x + other[0], self.y + other[1])
+
+    def __sub__(self, other):
+        return Point(self.x - other[0], self.y - other[1])
+
+    def __mul__(self, scalar):  # type: ignore[override]
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Point") -> float:
+        """Dot product with another point treated as a vector."""
+        return self.x * other[0] + self.y * other[1]
+
+    def norm(self) -> float:
+        """Euclidean length of this point treated as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other[0], self.y - other[1])
+
+
+def dist(a: Iterable[float], b: Iterable[float]) -> float:
+    """Euclidean distance between two ``(x, y)`` pairs."""
+    ax, ay = a
+    bx, by = b
+    return math.hypot(ax - bx, ay - by)
+
+
+def dist_sq(a: Iterable[float], b: Iterable[float]) -> float:
+    """Squared Euclidean distance; avoids the ``sqrt`` in comparisons."""
+    ax, ay = a
+    bx, by = b
+    dx = ax - bx
+    dy = ay - by
+    return dx * dx + dy * dy
+
+
+def midpoint(a: Iterable[float], b: Iterable[float]) -> Point:
+    """Midpoint of the segment ``ab``."""
+    ax, ay = a
+    bx, by = b
+    return Point((ax + bx) / 2.0, (ay + by) / 2.0)

@@ -1,0 +1,170 @@
+"""Convex polygons with half-plane clipping.
+
+Used by the bichromatic baseline (repeated Voronoi-cell construction) and by
+tests that compare IGERN's cell-granularity alive region against the exact
+geometric region.  Clipping is the single-half-plane case of
+Sutherland-Hodgman, which preserves convexity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+_EPS = 1e-12
+
+
+class ConvexPolygon:
+    """A convex polygon given by its vertices in counter-clockwise order.
+
+    The empty polygon (no vertices) represents an empty region, which is a
+    legitimate outcome of repeated clipping.
+    """
+
+    __slots__ = ("vertices",)
+
+    def __init__(self, vertices: Sequence[Iterable[float]] = ()):
+        self.vertices: List[Point] = [Point(float(x), float(y)) for x, y in vertices]
+
+    def __repr__(self) -> str:
+        return f"ConvexPolygon({self.vertices!r})"
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def is_empty(self) -> bool:
+        """Whether the polygon has degenerated to an empty region."""
+        return len(self.vertices) == 0
+
+    @staticmethod
+    def from_rect(rect: Rect) -> "ConvexPolygon":
+        """The rectangle as a CCW convex polygon."""
+        return ConvexPolygon(list(rect.corners()))
+
+    def area(self) -> float:
+        """Signed shoelace area (non-negative for CCW vertex order)."""
+        verts = self.vertices
+        n = len(verts)
+        if n < 3:
+            return 0.0
+        total = 0.0
+        for i in range(n):
+            x1, y1 = verts[i]
+            x2, y2 = verts[(i + 1) % n]
+            total += x1 * y2 - x2 * y1
+        return total / 2.0
+
+    def centroid(self) -> Point:
+        """Area centroid; falls back to the vertex mean for degenerate polygons."""
+        verts = self.vertices
+        if not verts:
+            raise ValueError("centroid of an empty polygon is undefined")
+        a = self.area()
+        if abs(a) < _EPS:
+            sx = sum(v.x for v in verts) / len(verts)
+            sy = sum(v.y for v in verts) / len(verts)
+            return Point(sx, sy)
+        cx = cy = 0.0
+        n = len(verts)
+        for i in range(n):
+            x1, y1 = verts[i]
+            x2, y2 = verts[(i + 1) % n]
+            cross = x1 * y2 - x2 * y1
+            cx += (x1 + x2) * cross
+            cy += (y1 + y2) * cross
+        return Point(cx / (6.0 * a), cy / (6.0 * a))
+
+    def contains(self, p: Iterable[float], tol: float = 1e-9) -> bool:
+        """Point-in-convex-polygon test with a boundary tolerance.
+
+        ``tol`` is a *distance*: points within ``tol`` of the boundary
+        count as inside (the cross products are scaled by edge length so
+        the tolerance is scale-independent).  Works for any vertex count;
+        an empty polygon contains nothing and a degenerate (point/segment)
+        polygon contains only points within ``tol`` of it.
+        """
+        verts = self.vertices
+        n = len(verts)
+        if n == 0:
+            return False
+        x, y = p
+        if n == 1:
+            return math.hypot(x - verts[0].x, y - verts[0].y) <= tol
+        for i in range(n):
+            x1, y1 = verts[i]
+            x2, y2 = verts[(i + 1) % n]
+            ex = x2 - x1
+            ey = y2 - y1
+            cross = ex * (y - y1) - ey * (x - x1)
+            edge_len = math.hypot(ex, ey)
+            if edge_len <= _EPS:
+                # Degenerate edge: fall back to vertex distance.
+                if math.hypot(x - x1, y - y1) > tol and n == 2:
+                    return False
+                continue
+            if cross < -tol * edge_len:
+                return False
+        return True
+
+    def clip(self, hp: HalfPlane) -> "ConvexPolygon":
+        """Clip against a half-plane, keeping the non-negative side.
+
+        Returns a new polygon; the original is left untouched.
+        """
+        verts = self.vertices
+        n = len(verts)
+        if n == 0:
+            return ConvexPolygon()
+        values = [hp.value(v) for v in verts]
+        out: List[Point] = []
+        for i in range(n):
+            cur, nxt = verts[i], verts[(i + 1) % n]
+            vcur, vnxt = values[i], values[(i + 1) % n]
+            if vcur >= -_EPS:
+                out.append(cur)
+            crosses = (vcur > _EPS and vnxt < -_EPS) or (vcur < -_EPS and vnxt > _EPS)
+            if crosses:
+                t = vcur / (vcur - vnxt)
+                out.append(
+                    Point(cur.x + t * (nxt.x - cur.x), cur.y + t * (nxt.y - cur.y))
+                )
+        return ConvexPolygon(_dedupe(out))
+
+    def bounding_rect(self) -> Optional[Rect]:
+        """Axis-aligned bounding rectangle, or ``None`` if empty."""
+        if not self.vertices:
+            return None
+        xs = [v.x for v in self.vertices]
+        ys = [v.y for v in self.vertices]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+
+def _dedupe(points: List[Point]) -> List[Point]:
+    """Drop consecutive (near-)duplicate vertices produced by clipping."""
+    if not points:
+        return points
+    out: List[Point] = [points[0]]
+    for p in points[1:]:
+        q = out[-1]
+        if abs(p.x - q.x) > _EPS or abs(p.y - q.y) > _EPS:
+            out.append(p)
+    first, last = out[0], out[-1]
+    if len(out) > 1 and abs(first.x - last.x) <= _EPS and abs(first.y - last.y) <= _EPS:
+        out.pop()
+    return out
+
+
+def clip_rect_by_halfplanes(
+    rect: Rect, halfplanes: Iterable[HalfPlane]
+) -> ConvexPolygon:
+    """Intersection of a rectangle with a set of half-planes."""
+    poly = ConvexPolygon.from_rect(rect)
+    for hp in halfplanes:
+        poly = poly.clip(hp)
+        if poly.is_empty():
+            break
+    return poly

@@ -1,0 +1,115 @@
+"""Axis-aligned rectangles (grid cells, data-space extents)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.geometry.point import Point
+
+
+class Rect:
+    """A closed axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    __slots__ = ("xmin", "ymin", "xmax", "ymax")
+
+    def __init__(self, xmin: float, ymin: float, xmax: float, ymax: float):
+        if xmax < xmin or ymax < ymin:
+            raise ValueError(
+                f"invalid rectangle extents: ({xmin}, {ymin}, {xmax}, {ymax})"
+            )
+        self.xmin = xmin
+        self.ymin = ymin
+        self.xmax = xmax
+        self.ymax = ymax
+
+    def __repr__(self) -> str:
+        return f"Rect({self.xmin}, {self.ymin}, {self.xmax}, {self.ymax})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return (
+            self.xmin == other.xmin
+            and self.ymin == other.ymin
+            and self.xmax == other.xmax
+            and self.ymax == other.ymax
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.xmin, self.ymin, self.xmax, self.ymax))
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def corners(self) -> Iterator[Point]:
+        """The four corners in counter-clockwise order."""
+        yield Point(self.xmin, self.ymin)
+        yield Point(self.xmax, self.ymin)
+        yield Point(self.xmax, self.ymax)
+        yield Point(self.xmin, self.ymax)
+
+    def contains(self, p: Iterable[float]) -> bool:
+        """Whether ``p`` lies inside or on the boundary."""
+        x, y = p
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the two closed rectangles share at least one point."""
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    def clamp(self, p: Iterable[float]) -> Point:
+        """The point of this rectangle closest to ``p``."""
+        x, y = p
+        cx = self.xmin if x < self.xmin else (self.xmax if x > self.xmax else x)
+        cy = self.ymin if y < self.ymin else (self.ymax if y > self.ymax else y)
+        return Point(cx, cy)
+
+    def min_dist_sq(self, p: Iterable[float]) -> float:
+        """Squared distance from ``p`` to the closest point of the rect.
+
+        Zero when ``p`` is inside.  This is the priority key of the
+        best-first grid search, so it avoids the square root.
+        """
+        x, y = p
+        dx = self.xmin - x if x < self.xmin else (x - self.xmax if x > self.xmax else 0.0)
+        dy = self.ymin - y if y < self.ymin else (y - self.ymax if y > self.ymax else 0.0)
+        return dx * dx + dy * dy
+
+    def min_dist(self, p: Iterable[float]) -> float:
+        return self.min_dist_sq(p) ** 0.5
+
+    def max_dist_sq(self, p: Iterable[float]) -> float:
+        """Squared distance from ``p`` to the farthest point of the rect."""
+        x, y = p
+        dx = max(abs(x - self.xmin), abs(x - self.xmax))
+        dy = max(abs(y - self.ymin), abs(y - self.ymax))
+        return dx * dx + dy * dy
+
+    def max_dist(self, p: Iterable[float]) -> float:
+        return self.max_dist_sq(p) ** 0.5
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+    @staticmethod
+    def unit() -> "Rect":
+        """The unit square ``[0, 1] x [0, 1]`` — the default data space."""
+        return Rect(0.0, 0.0, 1.0, 1.0)

@@ -1,0 +1,72 @@
+"""Voronoi cell of a single site via half-plane clipping.
+
+The bichromatic baseline of the paper repeatedly rebuilds the Voronoi cell
+of the query ``q_A`` with respect to the A objects; a B object is a
+bichromatic RNN of ``q_A`` exactly when it falls inside that cell.  The cell
+of one site is the intersection of the bisector half-planes toward every
+other site, clipped to the data space, which is what this module computes.
+
+For a handful of sites this direct construction is fine; the baseline query
+(:mod:`repro.queries.voronoi_repeat`) avoids touching *all* sites by using
+the same grid-pruned discovery loop as IGERN's Phase I and only clips with
+the discovered neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.geometry.bisector import bisector_halfplane
+from repro.geometry.polygon import ConvexPolygon, clip_rect_by_halfplanes
+from repro.geometry.rectangle import Rect
+
+_EDGE_TOL = 1e-9
+
+
+def voronoi_cell(
+    site: Iterable[float],
+    others: Iterable[Iterable[float]],
+    bounds: Rect,
+) -> ConvexPolygon:
+    """The Voronoi cell of ``site`` among ``others``, clipped to ``bounds``.
+
+    Sites coinciding with ``site`` are skipped (their bisector is
+    undefined; with coincident sites the cell degenerates to the site
+    itself under strict closeness, which the monitoring layer handles by
+    its verification step, not by geometry).
+    """
+    sx, sy = site
+    halfplanes = []
+    for other in others:
+        ox, oy = other
+        if ox == sx and oy == sy:
+            continue
+        halfplanes.append(bisector_halfplane((sx, sy), (ox, oy)))
+    return clip_rect_by_halfplanes(bounds, halfplanes)
+
+
+def voronoi_neighbors(
+    site: Iterable[float],
+    others: Dict[Hashable, Tuple[float, float]],
+    bounds: Rect,
+) -> List[Hashable]:
+    """Keys of the sites whose bisector touches the cell of ``site``.
+
+    These are the Voronoi neighbors — the minimal set of sites that fully
+    determine the cell, i.e. the objects a Voronoi-based monitor has to
+    watch.  A site contributes when the clipped cell has a vertex on its
+    bisector line (within a small tolerance).
+    """
+    cell = voronoi_cell(site, others.values(), bounds)
+    if cell.is_empty():
+        return []
+    sx, sy = site
+    neighbors = []
+    for key, pos in others.items():
+        if pos[0] == sx and pos[1] == sy:
+            continue
+        hp = bisector_halfplane((sx, sy), pos).normalized()
+        touches = any(abs(hp.value(v)) <= _EDGE_TOL for v in cell.vertices)
+        if touches:
+            neighbors.append(key)
+    return neighbors

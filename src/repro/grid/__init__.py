@@ -1,0 +1,32 @@
+"""Grid index substrate.
+
+The paper's algorithms maintain "a grid data structure G of N x N equal
+size cells" where "each cell keeps track of the set of objects that lie
+within the cell boundary".  This package provides:
+
+- :class:`repro.grid.index.GridIndex` — the N x N cell directory over
+  moving objects, with cell-change accounting (Figure 5a measures exactly
+  this maintenance overhead);
+- :class:`repro.grid.alive.AliveCellGrid` — the alive/dead cell tracker
+  driven by bisector half-planes (with a coverage threshold ``k`` for the
+  RkNN extension);
+- :class:`repro.grid.search.GridSearch` — instrumented best-first nearest
+  neighbor search in the three flavors the paper's cost model
+  distinguishes: unconstrained, constrained to the alive cells, and bounded.
+"""
+
+from repro.grid.cell import CellKey, cell_key_of, cell_rect_of
+from repro.grid.index import GridIndex
+from repro.grid.alive import AliveCellGrid
+from repro.grid.search import GridSearch, SearchKind, SearchStats
+
+__all__ = [
+    "CellKey",
+    "cell_key_of",
+    "cell_rect_of",
+    "GridIndex",
+    "AliveCellGrid",
+    "GridSearch",
+    "SearchKind",
+    "SearchStats",
+]

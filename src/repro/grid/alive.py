@@ -1,0 +1,311 @@
+"""Alive/dead cell tracking driven by bisector half-planes.
+
+IGERN's bounded region is maintained at grid-cell granularity: every
+bisector drawn between the query and a candidate kills all the cells that
+lie entirely on the candidate's side ("from the bisector to the furthest
+boundaries from q", in the paper's words).  A cell stays *alive* as long as
+some part of it is at least as close to the query as to every candidate.
+
+Implementation notes
+--------------------
+
+Redrawing bisectors happens every tick for every query, so the region must
+be cheap to mutate.  Rather than materializing an ``N x N`` coverage array
+(which costs a full-grid pass per bisector per tick), the tracker is
+*lazy*:
+
+- mutations (:meth:`add_halfplane`, :meth:`remove_halfplane`,
+  :meth:`rebuild`) just update the half-plane list — O(1);
+- :meth:`is_alive` evaluates a cell against the half-planes on demand and
+  memoizes the answer until the next mutation (the searches only ever
+  touch the few dozen cells around the query);
+- region *enumeration* (:meth:`alive_cells`) exploits convexity: with the
+  paper's ``k = 1`` the exact alive region is the intersection of the
+  half-planes with the data space — a convex polygon.  Every cell that can
+  contain a surviving *point* intersects that polygon, so enumerating the
+  polygon's bounding-box cells suffices.  (Cells that merely straddle a
+  bisector line far from the region are cell-level alive but contain no
+  surviving point; skipping them is sound and matches what the search can
+  reach anyway.)
+
+For the RkNN extension a cell dies once covered by at least ``k``
+half-planes; the point-level region is then no longer convex, so
+enumeration and redundancy checks fall back to a dense numpy pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.polygon import ConvexPolygon
+from repro.geometry.rectangle import Rect
+from repro.grid.cell import CellKey
+
+# Relative tolerance for "vertex on a half-plane boundary".  Not
+# correctness-critical: misclassifying either way only trades a slightly
+# larger region or a slightly larger monitored set, never a wrong answer.
+_REDUNDANCY_TOL = 1e-9
+
+
+class AliveCellGrid:
+    """Per-cell half-plane coverage over an ``n x n`` grid, evaluated lazily.
+
+    A cell is alive while fewer than ``k`` half-planes fully cover it.
+    """
+
+    def __init__(self, size: int, extent: Optional[Rect] = None, k: int = 1):
+        if size < 1:
+            raise ValueError(f"grid size must be positive, got {size}")
+        if k < 1:
+            raise ValueError(f"coverage threshold k must be >= 1, got {k}")
+        self.size = size
+        self.extent = extent if extent is not None else Rect.unit()
+        self.k = k
+        self._halfplanes: List[HalfPlane] = []
+        self._memo: Dict[CellKey, bool] = {}
+        self._polygon: Optional[ConvexPolygon] = None
+        self._xmin = self.extent.xmin
+        self._ymin = self.extent.ymin
+        self._cw = self.extent.width / size
+        self._ch = self.extent.height / size
+
+    # ------------------------------------------------------------------
+    # Region construction
+    # ------------------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._memo.clear()
+        self._polygon = None
+
+    def reset(self) -> None:
+        """Mark every cell alive and forget all half-planes."""
+        self._halfplanes.clear()
+        self._invalidate()
+
+    def add_halfplane(self, hp: HalfPlane) -> None:
+        """Clip the region: cells fully outside ``hp`` move toward death.
+
+        ``hp``'s kept side is the query side; a cell counts as covered when
+        the whole cell is strictly closer to the candidate than the query.
+        """
+        self._halfplanes.append(hp)
+        self._invalidate()
+
+    def remove_halfplane(self, hp: HalfPlane, region_unchanged: bool = False) -> None:
+        """Undo :meth:`add_halfplane` for an identical half-plane.
+
+        Used by the candidate-pruning step: dropping a monitored object
+        drops its bisector.  Raises ``ValueError`` if ``hp`` is not
+        present.
+
+        ``region_unchanged`` may be passed when the caller has already
+        established (via :meth:`kills_uniquely` returning ``False``) that
+        ``hp`` does not touch the region polygon: the cached polygon then
+        stays valid and only the per-cell memo is dropped (straddling
+        cells near ``hp``'s line can change state).
+        """
+        self._halfplanes.remove(hp)
+        if region_unchanged:
+            self._memo.clear()
+        else:
+            self._invalidate()
+
+    def rebuild(self, halfplanes: Iterable[HalfPlane]) -> None:
+        """Replace all half-planes at once.
+
+        Used by the incremental step whenever the query or a monitored
+        object moved and all bisectors must be redrawn.
+        """
+        self._halfplanes = list(halfplanes)
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # Cell queries
+    # ------------------------------------------------------------------
+
+    @property
+    def halfplanes(self) -> List[HalfPlane]:
+        """The half-planes currently shaping the region (copy)."""
+        return list(self._halfplanes)
+
+    def is_alive(self, key: CellKey) -> bool:
+        """Whether cell ``key`` can still contain an answer candidate."""
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = self._compute_alive(key)
+            self._memo[key] = cached
+        return cached
+
+    def _compute_alive(self, key: CellKey) -> bool:
+        xmin = self._xmin + key[0] * self._cw
+        ymin = self._ymin + key[1] * self._ch
+        xmax = xmin + self._cw
+        ymax = ymin + self._ch
+        needed = self.k
+        covered = 0
+        for hp in self._halfplanes:
+            # Corner of the cell maximizing the plane's linear function; the
+            # whole cell is outside iff even that corner is.
+            mx = xmax if hp.a >= 0.0 else xmin
+            my = ymax if hp.b >= 0.0 else ymin
+            if hp.a * mx + hp.b * my + hp.c < 0.0:
+                covered += 1
+                if covered >= needed:
+                    return False
+        return True
+
+    def coverage(self, key: CellKey) -> int:
+        """How many half-planes fully cover cell ``key``."""
+        xmin = self._xmin + key[0] * self._cw
+        ymin = self._ymin + key[1] * self._ch
+        xmax = xmin + self._cw
+        ymax = ymin + self._ch
+        covered = 0
+        for hp in self._halfplanes:
+            mx = xmax if hp.a >= 0.0 else xmin
+            my = ymax if hp.b >= 0.0 else ymin
+            if hp.a * mx + hp.b * my + hp.c < 0.0:
+                covered += 1
+        return covered
+
+    def point_alive(self, p: Iterable[float]) -> bool:
+        """Exact, point-level survival: fewer than ``k`` half-planes
+        strictly exclude the point."""
+        x, y = p
+        excluded = 0
+        for hp in self._halfplanes:
+            if hp.a * x + hp.b * y + hp.c < 0.0:
+                excluded += 1
+                if excluded >= self.k:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Region enumeration
+    # ------------------------------------------------------------------
+
+    def region_polygon(self) -> ConvexPolygon:
+        """The exact (point-level) alive region for ``k = 1``.
+
+        The intersection of all half-planes with the data space; cached
+        until the next mutation.  Raises ``ValueError`` for ``k > 1``,
+        where the point-level region is not convex.
+        """
+        if self.k != 1:
+            raise ValueError("the exact alive region is only convex for k=1")
+        if self._polygon is None:
+            poly = ConvexPolygon.from_rect(self.extent)
+            for hp in self._halfplanes:
+                poly = poly.clip(hp)
+                if poly.is_empty():
+                    break
+            self._polygon = poly
+        return self._polygon
+
+    def _bbox_cell_range(self) -> Optional[Tuple[int, int, int, int]]:
+        """Cell index range covering the region polygon (k=1), or ``None``
+        when the region is empty."""
+        rect = self.region_polygon().bounding_rect()
+        if rect is None:
+            return None
+        n = self.size
+        ix0 = max(0, min(n - 1, int((rect.xmin - self._xmin) / self._cw)))
+        ix1 = max(0, min(n - 1, int((rect.xmax - self._xmin) / self._cw)))
+        iy0 = max(0, min(n - 1, int((rect.ymin - self._ymin) / self._ch)))
+        iy1 = max(0, min(n - 1, int((rect.ymax - self._ymin) / self._ch)))
+        return (ix0, ix1, iy0, iy1)
+
+    def alive_cells(self) -> Iterator[CellKey]:
+        """Cells that can contain a surviving point.
+
+        For ``k = 1`` this enumerates the bounding box of the exact region
+        polygon (every such cell intersects the polygon's bbox; cells that
+        only straddle a bisector line far from the region hold no
+        surviving point and are skipped).  For ``k > 1`` a dense pass
+        enumerates every cell-level-alive cell.
+        """
+        if self.k == 1:
+            span = self._bbox_cell_range()
+            if span is None:
+                return
+            ix0, ix1, iy0, iy1 = span
+            for ix in range(ix0, ix1 + 1):
+                for iy in range(iy0, iy1 + 1):
+                    if self.is_alive((ix, iy)):
+                        yield (ix, iy)
+        else:
+            coverage = self._dense_coverage()
+            ixs, iys = np.nonzero(coverage < self.k)
+            for ix, iy in zip(ixs.tolist(), iys.tolist()):
+                yield (ix, iy)
+
+    def alive_count(self) -> int:
+        """Number of cells that can contain a surviving point."""
+        return sum(1 for _ in self.alive_cells())
+
+    def alive_cell_bound(self) -> int:
+        """Cheap upper bound on :meth:`alive_count` (no cell evaluations)."""
+        if self.k == 1:
+            span = self._bbox_cell_range()
+            if span is None:
+                return 0
+            ix0, ix1, iy0, iy1 = span
+            return (ix1 - ix0 + 1) * (iy1 - iy0 + 1)
+        return self.size * self.size
+
+    def alive_fraction(self) -> float:
+        """Alive cells as a fraction of all cells (the monitored area)."""
+        return self.alive_count() / float(self.size * self.size)
+
+    # ------------------------------------------------------------------
+    # Redundancy (candidate pruning support)
+    # ------------------------------------------------------------------
+
+    def kills_uniquely(self, hp: HalfPlane) -> bool:
+        """Whether removing ``hp`` could enlarge the monitored region.
+
+        For ``k = 1`` the (cached) region polygon answers this: ``hp`` is
+        *inactive* — and therefore safely removable — when no polygon
+        vertex lies on its boundary; an inactive constraint stays strictly
+        inside the intersection of the others, so dropping it leaves the
+        region unchanged.  Conservative for degenerate (empty) regions,
+        where every half-plane is treated as needed.
+
+        For ``k > 1`` a dense coverage pass checks whether any cell sits at
+        the death threshold only because of ``hp``.
+        """
+        if self.k == 1:
+            poly = self.region_polygon()
+            if poly.is_empty():
+                return True
+            scale = (hp.a * hp.a + hp.b * hp.b) ** 0.5
+            tol = _REDUNDANCY_TOL * max(scale, 1.0)
+            return any(abs(hp.value(v)) <= tol for v in poly.vertices)
+        coverage = self._dense_coverage()
+        outside = self._dense_outside(hp)
+        return bool(np.any(outside & (coverage == self.k)))
+
+    # ------------------------------------------------------------------
+    # Dense fallbacks (k > 1 and tests)
+    # ------------------------------------------------------------------
+
+    def _axis_bounds(self):
+        n = self.size
+        x_lo = self._xmin + np.arange(n) * self._cw
+        y_lo = self._ymin + np.arange(n) * self._ch
+        return x_lo, x_lo + self._cw, y_lo, y_lo + self._ch
+
+    def _dense_outside(self, hp: HalfPlane):
+        x_lo, x_hi, y_lo, y_hi = self._axis_bounds()
+        mx = x_hi if hp.a >= 0.0 else x_lo
+        my = y_hi if hp.b >= 0.0 else y_lo
+        return np.add.outer(hp.a * mx + hp.c, hp.b * my) < 0.0
+
+    def _dense_coverage(self):
+        coverage = np.zeros((self.size, self.size), dtype=np.int32)
+        for hp in self._halfplanes:
+            coverage += self._dense_outside(hp)
+        return coverage

@@ -1,0 +1,71 @@
+"""Cell coordinate math shared by the grid index and the alive tracker.
+
+A cell key is the integer pair ``(ix, iy)`` with ``0 <= ix, iy < n``; cell
+``(0, 0)`` sits at the minimum corner of the data-space extent.  Points on
+the extent boundary are clamped into the outermost cells so that every
+in-extent point maps to exactly one cell.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.geometry.rectangle import Rect
+
+CellKey = Tuple[int, int]
+
+
+def cell_key_of(extent: Rect, n: int, p: Iterable[float]) -> CellKey:
+    """The key of the cell containing ``p`` (clamped into the extent)."""
+    x, y = p
+    ix = int((x - extent.xmin) / extent.width * n)
+    iy = int((y - extent.ymin) / extent.height * n)
+    if ix < 0:
+        ix = 0
+    elif ix >= n:
+        ix = n - 1
+    if iy < 0:
+        iy = 0
+    elif iy >= n:
+        iy = n - 1
+    return (ix, iy)
+
+
+def cell_rect_of(extent: Rect, n: int, key: CellKey) -> Rect:
+    """The rectangle covered by cell ``key``.
+
+    The outermost cells snap to the extent boundary so the cells tile the
+    extent exactly (``xmin + n * w`` can fall an ulp short of
+    ``extent.xmax``, which would leave boundary points uncovered).
+    """
+    ix, iy = key
+    if not (0 <= ix < n and 0 <= iy < n):
+        raise IndexError(f"cell {key} out of range for a {n}x{n} grid")
+    w = extent.width / n
+    h = extent.height / n
+    xmin = extent.xmin + ix * w
+    ymin = extent.ymin + iy * h
+    xmax = extent.xmax if ix == n - 1 else xmin + w
+    ymax = extent.ymax if iy == n - 1 else ymin + h
+    return Rect(xmin, ymin, xmax, ymax)
+
+
+def cell_min_dist_sq(
+    extent: Rect, n: int, key: CellKey, p: Iterable[float]
+) -> float:
+    """Squared distance from ``p`` to cell ``key`` without building a Rect.
+
+    This is the priority key of the best-first search; it is called for
+    every heap push, hence the allocation-free formulation.
+    """
+    ix, iy = key
+    w = extent.width / n
+    h = extent.height / n
+    xmin = extent.xmin + ix * w
+    ymin = extent.ymin + iy * h
+    xmax = xmin + w
+    ymax = ymin + h
+    x, y = p
+    dx = xmin - x if x < xmin else (x - xmax if x > xmax else 0.0)
+    dy = ymin - y if y < ymin else (y - ymax if y > ymax else 0.0)
+    return dx * dx + dy * dy

@@ -1,0 +1,219 @@
+"""The N x N grid directory of moving objects.
+
+This is the data structure ``G`` of the paper: each cell tracks the set of
+objects currently inside it.  Objects carry an opaque *category* so that
+the bichromatic algorithms can search A objects and scan B objects on the
+same structure (category ``0`` is the default for monochromatic data).
+
+The index counts *cell changes* — moves that relocate an object to a
+different cell.  Figure 5a of the paper plots exactly this number as the
+grid-maintenance overhead of increasing grid resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.grid.cell import CellKey, cell_key_of, cell_rect_of
+
+Category = Hashable
+ObjectId = Hashable
+
+
+class GridIndex:
+    """Uniform grid over a rectangular data space.
+
+    Parameters
+    ----------
+    size:
+        Number of cells per axis (the grid is ``size x size``).
+    extent:
+        The indexed data space; defaults to the unit square.  Out-of-extent
+        positions are accepted and clamped into boundary cells, matching
+        how moving-object generators occasionally overshoot the map edge.
+    """
+
+    def __init__(self, size: int, extent: Optional[Rect] = None):
+        if size < 1:
+            raise ValueError(f"grid size must be positive, got {size}")
+        self.size = size
+        self.extent = extent if extent is not None else Rect.unit()
+        # Precomputed scale factors for the (very hot) position->cell map.
+        self._xmin = self.extent.xmin
+        self._ymin = self.extent.ymin
+        self._inv_w = size / self.extent.width
+        self._inv_h = size / self.extent.height
+        # cell key -> category -> set of object ids.  Cells spring into
+        # existence on first insert, so an almost-empty huge grid stays cheap.
+        self._cells: Dict[CellKey, Dict[Category, Set[ObjectId]]] = {}
+        self._positions: Dict[ObjectId, Point] = {}
+        self._categories: Dict[ObjectId, Category] = {}
+        self._cell_of: Dict[ObjectId, CellKey] = {}
+        self.cell_changes = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, oid: ObjectId, pos: Iterable[float], category: Category = 0) -> None:
+        """Add a new object.  Raises ``KeyError`` if ``oid`` already exists."""
+        if oid in self._positions:
+            raise KeyError(f"object {oid!r} already in the index")
+        x, y = pos
+        p = Point(x, y)
+        key = cell_key_of(self.extent, self.size, p)
+        self._positions[oid] = p
+        self._categories[oid] = category
+        self._cell_of[oid] = key
+        self._cells.setdefault(key, {}).setdefault(category, set()).add(oid)
+
+    def remove(self, oid: ObjectId) -> Point:
+        """Remove an object and return its last position."""
+        pos = self._positions.pop(oid)
+        category = self._categories.pop(oid)
+        key = self._cell_of.pop(oid)
+        bucket = self._cells[key][category]
+        bucket.discard(oid)
+        if not bucket:
+            del self._cells[key][category]
+            if not self._cells[key]:
+                del self._cells[key]
+        return pos
+
+    def move(self, oid: ObjectId, pos: Iterable[float]) -> bool:
+        """Update an object's position.
+
+        Returns ``True`` when the move crossed a cell boundary (a *cell
+        change*, the grid-maintenance event Figure 5a counts).
+
+        This is the single hottest call of a simulation (every object,
+        every tick), so the cell computation is inlined.
+        """
+        x, y = pos
+        p = Point(x, y)
+        n = self.size
+        ix = int((x - self._xmin) * self._inv_w)
+        iy = int((y - self._ymin) * self._inv_h)
+        if ix < 0:
+            ix = 0
+        elif ix >= n:
+            ix = n - 1
+        if iy < 0:
+            iy = 0
+        elif iy >= n:
+            iy = n - 1
+        new_key = (ix, iy)
+        old_key = self._cell_of[oid]
+        self._positions[oid] = p
+        self.updates += 1
+        if new_key == old_key:
+            return False
+        category = self._categories[oid]
+        bucket = self._cells[old_key][category]
+        bucket.discard(oid)
+        if not bucket:
+            del self._cells[old_key][category]
+            if not self._cells[old_key]:
+                del self._cells[old_key]
+        self._cells.setdefault(new_key, {}).setdefault(category, set()).add(oid)
+        self._cell_of[oid] = new_key
+        self.cell_changes += 1
+        return True
+
+    def upsert(self, oid: ObjectId, pos: Iterable[float], category: Category = 0) -> None:
+        """Insert or move, whichever applies."""
+        if oid in self._positions:
+            self.move(oid, pos)
+        else:
+            self.insert(oid, pos, category)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, oid: ObjectId) -> bool:
+        return oid in self._positions
+
+    def position(self, oid: ObjectId) -> Point:
+        """Current position of an object."""
+        return self._positions[oid]
+
+    def category(self, oid: ObjectId) -> Category:
+        """Category tag of an object."""
+        return self._categories[oid]
+
+    def cell_of(self, oid: ObjectId) -> CellKey:
+        """Key of the cell currently holding the object."""
+        return self._cell_of[oid]
+
+    def cell_key(self, pos: Iterable[float]) -> CellKey:
+        """Key of the cell covering a position."""
+        return cell_key_of(self.extent, self.size, pos)
+
+    def cell_rect(self, key: CellKey) -> Rect:
+        """Rectangle covered by a cell."""
+        return cell_rect_of(self.extent, self.size, key)
+
+    def objects_in_cell(
+        self, key: CellKey, category: Optional[Category] = None
+    ) -> Iterator[ObjectId]:
+        """Objects currently inside a cell, optionally of one category."""
+        buckets = self._cells.get(key)
+        if not buckets:
+            return
+        if category is None:
+            for bucket in buckets.values():
+                yield from bucket
+        else:
+            yield from buckets.get(category, ())
+
+    def cell_population(self, key: CellKey, category: Optional[Category] = None) -> int:
+        """Number of objects inside a cell."""
+        buckets = self._cells.get(key)
+        if not buckets:
+            return 0
+        if category is None:
+            return sum(len(bucket) for bucket in buckets.values())
+        return len(buckets.get(category, ()))
+
+    def objects(self, category: Optional[Category] = None) -> Iterator[ObjectId]:
+        """All object ids, optionally restricted to one category."""
+        if category is None:
+            yield from self._positions
+        else:
+            for oid, cat in self._categories.items():
+                if cat == category:
+                    yield oid
+
+    def count(self, category: Optional[Category] = None) -> int:
+        """Number of indexed objects, optionally of one category."""
+        if category is None:
+            return len(self._positions)
+        return sum(1 for cat in self._categories.values() if cat == category)
+
+    def occupied_cells(self) -> Iterator[CellKey]:
+        """Keys of all cells holding at least one object."""
+        yield from self._cells
+
+    def positions_snapshot(
+        self, category: Optional[Category] = None
+    ) -> Dict[ObjectId, Tuple[float, float]]:
+        """A copy of all current positions, keyed by object id."""
+        if category is None:
+            return {oid: (p.x, p.y) for oid, p in self._positions.items()}
+        return {
+            oid: (p.x, p.y)
+            for oid, p in self._positions.items()
+            if self._categories[oid] == category
+        }
+
+    def reset_counters(self) -> None:
+        """Zero the maintenance counters (cell changes and updates)."""
+        self.cell_changes = 0
+        self.updates = 0

@@ -1,0 +1,589 @@
+"""Instrumented best-first nearest neighbor search over the grid.
+
+The paper evaluates every RNN algorithm on top of one shared NN subsystem
+("to ensure consistency and fairness among different approaches, we use the
+same underlying nearest neighbor search for all approaches").  This module
+is that subsystem.  Its cost model distinguishes the three flavors used by
+Section 6 of the paper:
+
+- ``UNCONSTRAINED`` — NN over the whole space (the verification tests);
+- ``CONSTRAINED`` — NN restricted to the currently alive cells (Phase I of
+  the initial step);
+- ``BOUNDED`` — NN inside a small bounded monitoring region (the
+  incremental steps, and CRNN's per-pie searches).
+
+Every call is tallied in :class:`SearchStats` (calls, cells visited,
+objects examined) so experiments can report machine-independent operation
+counts next to wall-clock times.
+
+The search expands cells best-first from the query's cell through
+4-neighbors.  Cell predicates (alive masks, pie sectors) always describe a
+convex region containing the query in this codebase, whose grid cover is
+4-connected, so restricting the expansion to matching cells never strands
+the search.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.grid.alive import AliveCellGrid
+from repro.grid.cell import CellKey, cell_key_of
+from repro.grid.index import Category, GridIndex, ObjectId
+
+CellFilter = Callable[[CellKey], bool]
+ObjectFilter = Callable[[ObjectId, "PointLike"], bool]
+PointLike = Tuple[float, float]
+
+
+class SearchKind(enum.Enum):
+    """Which cost bucket of the Section 6 model a search belongs to."""
+
+    UNCONSTRAINED = "NN"
+    CONSTRAINED = "NN_c"
+    BOUNDED = "NN_b"
+
+
+@dataclass
+class SearchStats:
+    """Operation counters, bucketed per search kind."""
+
+    calls: Dict[SearchKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in SearchKind}
+    )
+    cells_visited: Dict[SearchKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in SearchKind}
+    )
+    objects_examined: Dict[SearchKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in SearchKind}
+    )
+
+    def reset(self) -> None:
+        for kind in SearchKind:
+            self.calls[kind] = 0
+            self.cells_visited[kind] = 0
+            self.objects_examined[kind] = 0
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+    @property
+    def total_cells(self) -> int:
+        return sum(self.cells_visited.values())
+
+    @property
+    def total_objects(self) -> int:
+        return sum(self.objects_examined.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """A flat, immutable view suitable for metric logs."""
+        out: Dict[str, int] = {}
+        for kind in SearchKind:
+            out[f"calls_{kind.value}"] = self.calls[kind]
+            out[f"cells_{kind.value}"] = self.cells_visited[kind]
+            out[f"objects_{kind.value}"] = self.objects_examined[kind]
+        return out
+
+
+_NEIGHBOR_STEPS = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+class GridSearch:
+    """Best-first NN search over a :class:`GridIndex`."""
+
+    def __init__(self, grid: GridIndex):
+        self.grid = grid
+        self.stats = SearchStats()
+        # Cached cell geometry for the heap priority computation.
+        extent = grid.extent
+        self._xmin = extent.xmin
+        self._ymin = extent.ymin
+        self._cw = extent.width / grid.size
+        self._ch = extent.height / grid.size
+
+    def _cell_d2(self, key: CellKey, x: float, y: float) -> float:
+        """Squared distance from ``(x, y)`` to cell ``key`` (inlined math)."""
+        xmin = self._xmin + key[0] * self._cw
+        ymin = self._ymin + key[1] * self._ch
+        xmax = xmin + self._cw
+        ymax = ymin + self._ch
+        dx = xmin - x if x < xmin else (x - xmax if x > xmax else 0.0)
+        dy = ymin - y if y < ymin else (y - ymax if y > ymax else 0.0)
+        return dx * dx + dy * dy
+
+    # ------------------------------------------------------------------
+    # Core search
+    # ------------------------------------------------------------------
+
+    def nearest(
+        self,
+        q: Iterable[float],
+        exclude: Iterable[ObjectId] = (),
+        category: Optional[Category] = None,
+        alive: Optional[AliveCellGrid] = None,
+        cell_filter: Optional[CellFilter] = None,
+        obj_filter: Optional[ObjectFilter] = None,
+        radius: Optional[float] = None,
+        kind: SearchKind = SearchKind.UNCONSTRAINED,
+    ) -> Optional[Tuple[ObjectId, float]]:
+        """The object nearest to ``q``, or ``None`` if no object qualifies.
+
+        Parameters
+        ----------
+        exclude:
+            Object ids never returned (typically the query object and the
+            current candidate set).
+        category:
+            Restrict to one object category (bichromatic searches).
+        alive:
+            Restrict to the alive cells of this mask (constrained and
+            bounded searches).
+        cell_filter:
+            Extra cell predicate, AND-ed with ``alive`` (pie sectors).
+        obj_filter:
+            Object-level predicate ``(oid, position) -> bool``; objects
+            failing it are examined but never returned (e.g. the angular
+            membership test of a pie, which cell granularity over-covers).
+        radius:
+            Ignore objects farther than this distance (bounded searches).
+        kind:
+            Cost bucket for the operation counters.
+        """
+        qx, qy = q
+        excluded: Set[ObjectId] = set(exclude)
+        grid = self.grid
+        n = grid.size
+        extent = grid.extent
+        stats = self.stats
+        stats.calls[kind] += 1
+
+        best_id: Optional[ObjectId] = None
+        best_d2 = math.inf if radius is None else radius * radius
+        start = cell_key_of(extent, n, (qx, qy))
+        if not _cell_matches(start, alive, cell_filter):
+            # The query's own cell is filtered out; nothing reachable under
+            # the convex-region contract, so the search is empty.
+            return None
+
+        heap: List[Tuple[float, CellKey]] = [(self._cell_d2(start, qx, qy), start)]
+        seen: Set[CellKey] = {start}
+        positions = grid._positions  # hot path: bypass the method call
+
+        while heap:
+            d2, key = heapq.heappop(heap)
+            if d2 > best_d2 or (best_id is not None and d2 >= best_d2):
+                break
+            stats.cells_visited[kind] += 1
+            for oid in grid.objects_in_cell(key, category):
+                if oid in excluded:
+                    continue
+                stats.objects_examined[kind] += 1
+                p = positions[oid]
+                dx = p.x - qx
+                dy = p.y - qy
+                od2 = dx * dx + dy * dy
+                if od2 < best_d2 and (obj_filter is None or obj_filter(oid, p)):
+                    best_d2 = od2
+                    best_id = oid
+            ix, iy = key
+            for sx, sy in _NEIGHBOR_STEPS:
+                nkey = (ix + sx, iy + sy)
+                if (
+                    0 <= nkey[0] < n
+                    and 0 <= nkey[1] < n
+                    and nkey not in seen
+                    and _cell_matches(nkey, alive, cell_filter)
+                ):
+                    seen.add(nkey)
+                    nd2 = self._cell_d2(nkey, qx, qy)
+                    if nd2 <= best_d2:
+                        heapq.heappush(heap, (nd2, nkey))
+
+        if best_id is None:
+            return None
+        return (best_id, math.sqrt(best_d2))
+
+    def k_nearest(
+        self,
+        q: Iterable[float],
+        k: int,
+        exclude: Iterable[ObjectId] = (),
+        category: Optional[Category] = None,
+        kind: SearchKind = SearchKind.UNCONSTRAINED,
+    ) -> List[Tuple[ObjectId, float]]:
+        """The ``k`` objects nearest to ``q``, closest first."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        qx, qy = q
+        excluded: Set[ObjectId] = set(exclude)
+        grid = self.grid
+        n = grid.size
+        extent = grid.extent
+        stats = self.stats
+        stats.calls[kind] += 1
+
+        # Max-heap of the k best found so far, keyed by negated distance.
+        best: List[Tuple[float, ObjectId]] = []
+        bound = math.inf
+        start = cell_key_of(extent, n, (qx, qy))
+        heap: List[Tuple[float, CellKey]] = [(self._cell_d2(start, qx, qy), start)]
+        seen: Set[CellKey] = {start}
+        positions = grid._positions
+
+        while heap:
+            d2, key = heapq.heappop(heap)
+            if d2 > bound:
+                break
+            stats.cells_visited[kind] += 1
+            for oid in grid.objects_in_cell(key, category):
+                if oid in excluded:
+                    continue
+                stats.objects_examined[kind] += 1
+                p = positions[oid]
+                dx = p.x - qx
+                dy = p.y - qy
+                od2 = dx * dx + dy * dy
+                if od2 < bound or len(best) < k:
+                    heapq.heappush(best, (-od2, oid))
+                    if len(best) > k:
+                        heapq.heappop(best)
+                    if len(best) == k:
+                        bound = -best[0][0]
+            ix, iy = key
+            for sx, sy in _NEIGHBOR_STEPS:
+                nkey = (ix + sx, iy + sy)
+                if 0 <= nkey[0] < n and 0 <= nkey[1] < n and nkey not in seen:
+                    seen.add(nkey)
+                    nd2 = self._cell_d2(nkey, qx, qy)
+                    if nd2 <= bound:
+                        heapq.heappush(heap, (nd2, nkey))
+
+        ordered = sorted(((-negd2, oid) for negd2, oid in best))
+        return [(oid, math.sqrt(d2)) for d2, oid in ordered]
+
+    def count_closer_than(
+        self,
+        center: Iterable[float],
+        threshold: Optional[float] = None,
+        exclude: Iterable[ObjectId] = (),
+        category: Optional[Category] = None,
+        stop_at: Optional[int] = None,
+        kind: SearchKind = SearchKind.UNCONSTRAINED,
+        threshold_sq: Optional[float] = None,
+    ) -> int:
+        """How many objects lie *strictly* closer than ``threshold``.
+
+        This is the verification primitive: a candidate ``o`` is a reverse
+        nearest neighbor of ``q`` iff no object (RkNN: fewer than ``k``
+        objects) is strictly closer to ``o`` than ``q`` is.  With
+        ``stop_at`` the scan short-circuits once enough witnesses exist.
+
+        Exactly one of ``threshold`` / ``threshold_sq`` must be given.
+        Callers comparing against a distance they computed as a *squared*
+        value should pass ``threshold_sq`` — squaring a rounded distance
+        can differ from the directly computed squared distance by an ulp,
+        which is enough to miscount an exactly equidistant witness.
+        """
+        cx, cy = center
+        excluded: Set[ObjectId] = set(exclude)
+        grid = self.grid
+        n = grid.size
+        extent = grid.extent
+        stats = self.stats
+        stats.calls[kind] += 1
+
+        if (threshold is None) == (threshold_sq is None):
+            raise ValueError("provide exactly one of threshold or threshold_sq")
+        t2 = threshold * threshold if threshold is not None else threshold_sq
+        if threshold is not None and threshold > 0.0 and t2 == 0.0:
+            # Squaring a tiny positive threshold underflowed; keep the
+            # predicate satisfiable for coincident points (d = 0 < threshold).
+            t2 = 5e-324
+        count = 0
+        start = cell_key_of(extent, n, (cx, cy))
+        heap: List[Tuple[float, CellKey]] = [(self._cell_d2(start, cx, cy), start)]
+        seen: Set[CellKey] = {start}
+        positions = grid._positions
+
+        while heap:
+            d2, key = heapq.heappop(heap)
+            if d2 >= t2:
+                break
+            stats.cells_visited[kind] += 1
+            for oid in grid.objects_in_cell(key, category):
+                if oid in excluded:
+                    continue
+                stats.objects_examined[kind] += 1
+                p = positions[oid]
+                dx = p.x - cx
+                dy = p.y - cy
+                if dx * dx + dy * dy < t2:
+                    count += 1
+                    if stop_at is not None and count >= stop_at:
+                        return count
+            ix, iy = key
+            for sx, sy in _NEIGHBOR_STEPS:
+                nkey = (ix + sx, iy + sy)
+                if 0 <= nkey[0] < n and 0 <= nkey[1] < n and nkey not in seen:
+                    seen.add(nkey)
+                    nd2 = self._cell_d2(nkey, cx, cy)
+                    if nd2 < t2:
+                        heapq.heappush(heap, (nd2, nkey))
+        return count
+
+    def first_closer_than(
+        self,
+        center: Iterable[float],
+        threshold_sq: float,
+        exclude: Iterable[ObjectId] = (),
+        category: Optional[Category] = None,
+        kind: SearchKind = SearchKind.UNCONSTRAINED,
+    ) -> Optional[Tuple[ObjectId, float]]:
+        """Some object strictly closer than ``sqrt(threshold_sq)``, if any.
+
+        The witness-returning sibling of :meth:`count_closer_than` with
+        ``stop_at=1``: same cost, but the caller learns *who* the witness
+        is — which the shared verification cache reuses across queries.
+        Returns ``(oid, squared_distance)`` or ``None``.
+        """
+        cx, cy = center
+        excluded: Set[ObjectId] = set(exclude)
+        grid = self.grid
+        n = grid.size
+        stats = self.stats
+        stats.calls[kind] += 1
+
+        start = cell_key_of(grid.extent, n, (cx, cy))
+        heap: List[Tuple[float, CellKey]] = [(self._cell_d2(start, cx, cy), start)]
+        seen: Set[CellKey] = {start}
+        positions = grid._positions
+
+        while heap:
+            d2, key = heapq.heappop(heap)
+            if d2 >= threshold_sq:
+                break
+            stats.cells_visited[kind] += 1
+            for oid in grid.objects_in_cell(key, category):
+                if oid in excluded:
+                    continue
+                stats.objects_examined[kind] += 1
+                p = positions[oid]
+                dx = p.x - cx
+                dy = p.y - cy
+                od2 = dx * dx + dy * dy
+                if od2 < threshold_sq:
+                    return (oid, od2)
+            ix, iy = key
+            for sx, sy in _NEIGHBOR_STEPS:
+                nkey = (ix + sx, iy + sy)
+                if 0 <= nkey[0] < n and 0 <= nkey[1] < n and nkey not in seen:
+                    seen.add(nkey)
+                    nd2 = self._cell_d2(nkey, cx, cy)
+                    if nd2 < threshold_sq:
+                        heapq.heappush(heap, (nd2, nkey))
+        return None
+
+    def iter_nearest(
+        self,
+        q: Iterable[float],
+        exclude: Iterable[ObjectId] = (),
+        category: Optional[Category] = None,
+        kind: SearchKind = SearchKind.UNCONSTRAINED,
+    ) -> Iterator[Tuple[ObjectId, float]]:
+        """Objects in increasing distance from ``q`` (incremental NN).
+
+        The classic best-first stream over a two-level heap (cells and
+        objects).  Each *yielded* neighbor is tallied as one search call of
+        ``kind``, matching the paper's cost model where retrieving the
+        next-nearest neighbor is one NN operation.
+        """
+        qx, qy = q
+        excluded: Set[ObjectId] = set(exclude)
+        grid = self.grid
+        n = grid.size
+        stats = self.stats
+        start = cell_key_of(grid.extent, n, (qx, qy))
+        # Heap entries: (d2, tiebreak, is_object, payload).  Cells expand
+        # into their objects and neighbors; objects are yielded.  The
+        # monotone tiebreaker keeps opaque object ids out of comparisons.
+        tiebreak = 0
+        heap: List[Tuple[float, int, int, object]] = [
+            (self._cell_d2(start, qx, qy), tiebreak, 0, start)
+        ]
+        seen: Set[CellKey] = {start}
+        positions = grid._positions
+
+        while heap:
+            d2, _, is_object, payload = heapq.heappop(heap)
+            if is_object:
+                stats.calls[kind] += 1
+                yield (payload, math.sqrt(d2))
+                continue
+            key: CellKey = payload  # type: ignore[assignment]
+            stats.cells_visited[kind] += 1
+            for oid in grid.objects_in_cell(key, category):
+                if oid in excluded:
+                    continue
+                stats.objects_examined[kind] += 1
+                p = positions[oid]
+                dx = p.x - qx
+                dy = p.y - qy
+                tiebreak += 1
+                heapq.heappush(heap, (dx * dx + dy * dy, tiebreak, 1, oid))
+            ix, iy = key
+            for sx, sy in _NEIGHBOR_STEPS:
+                nkey = (ix + sx, iy + sy)
+                if 0 <= nkey[0] < n and 0 <= nkey[1] < n and nkey not in seen:
+                    seen.add(nkey)
+                    tiebreak += 1
+                    heapq.heappush(
+                        heap, (self._cell_d2(nkey, qx, qy), tiebreak, 0, nkey)
+                    )
+
+    def objects_within(
+        self,
+        center: Iterable[float],
+        radius: float,
+        exclude: Iterable[ObjectId] = (),
+        category: Optional[Category] = None,
+        kind: SearchKind = SearchKind.UNCONSTRAINED,
+    ) -> List[Tuple[ObjectId, float]]:
+        """All objects within ``radius`` of ``center`` (closed ball),
+        sorted by distance.
+
+        The plain range-query counterpart of :meth:`nearest`; continuous
+        range monitoring is the sibling problem the paper cites, and the
+        examples use this for ad-hoc neighborhood inspection.
+        """
+        if radius < 0.0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        cx, cy = center
+        excluded: Set[ObjectId] = set(exclude)
+        grid = self.grid
+        n = grid.size
+        stats = self.stats
+        stats.calls[kind] += 1
+
+        r2 = radius * radius
+        out: List[Tuple[float, ObjectId]] = []
+        start = cell_key_of(grid.extent, n, (cx, cy))
+        heap: List[Tuple[float, CellKey]] = [(self._cell_d2(start, cx, cy), start)]
+        seen: Set[CellKey] = {start}
+        positions = grid._positions
+
+        while heap:
+            d2, key = heapq.heappop(heap)
+            if d2 > r2:
+                break
+            stats.cells_visited[kind] += 1
+            for oid in grid.objects_in_cell(key, category):
+                if oid in excluded:
+                    continue
+                stats.objects_examined[kind] += 1
+                p = positions[oid]
+                dx = p.x - cx
+                dy = p.y - cy
+                od2 = dx * dx + dy * dy
+                if od2 <= r2:
+                    out.append((od2, oid))
+            ix, iy = key
+            for sx, sy in _NEIGHBOR_STEPS:
+                nkey = (ix + sx, iy + sy)
+                if 0 <= nkey[0] < n and 0 <= nkey[1] < n and nkey not in seen:
+                    seen.add(nkey)
+                    nd2 = self._cell_d2(nkey, cx, cy)
+                    if nd2 <= r2:
+                        heapq.heappush(heap, (nd2, nkey))
+        out.sort(key=lambda pair: pair[0])
+        return [(oid, math.sqrt(d2)) for d2, oid in out]
+
+    # ------------------------------------------------------------------
+    # Region scans
+    # ------------------------------------------------------------------
+
+    def region_objects_by_distance(
+        self,
+        q: Iterable[float],
+        alive: AliveCellGrid,
+        category: Optional[Category] = None,
+        exclude: Iterable[ObjectId] = (),
+        kind: SearchKind = SearchKind.BOUNDED,
+    ) -> List[Tuple[float, ObjectId]]:
+        """All objects in alive cells, sorted by distance from ``q``.
+
+        One pass over the (small) monitored region, tallied as a single
+        bounded search: this is the incremental step's "bounded NN done
+        only once" from the paper's cost model — the distance order lets
+        the caller absorb objects exactly as the repeated nearest-in-alive
+        loop would, at a fraction of the cost.  Returns ``(d2, oid)``
+        pairs, closest first.
+        """
+        qx, qy = q
+        stats = self.stats
+        stats.calls[kind] += 1
+        positions = self.grid._positions
+        out: List[Tuple[float, ObjectId]] = []
+        for oid in self.objects_in_alive(alive, category, exclude):
+            stats.objects_examined[kind] += 1
+            p = positions[oid]
+            dx = p.x - qx
+            dy = p.y - qy
+            out.append((dx * dx + dy * dy, oid))
+        stats.cells_visited[kind] += alive.alive_cell_bound()
+        out.sort(key=lambda pair: pair[0])
+        return out
+
+    def objects_in_alive(
+        self,
+        alive: AliveCellGrid,
+        category: Optional[Category] = None,
+        exclude: Iterable[ObjectId] = (),
+    ) -> Iterator[ObjectId]:
+        """All objects currently located in alive cells.
+
+        Iterates whichever side is smaller: the alive cells or the occupied
+        cells, since after Phase I the alive region is typically tiny while
+        early on it is the whole grid.
+        """
+        excluded: Set[ObjectId] = set(exclude)
+        grid = self.grid
+        occupied = grid._cells
+        if alive.alive_cell_bound() <= len(occupied):
+            for key in alive.alive_cells():
+                for oid in grid.objects_in_cell(key, category):
+                    if oid not in excluded:
+                        yield oid
+        else:
+            for key in list(occupied):
+                if alive.is_alive(key):
+                    for oid in grid.objects_in_cell(key, category):
+                        if oid not in excluded:
+                            yield oid
+
+    def any_object_in_alive(
+        self,
+        alive: AliveCellGrid,
+        category: Optional[Category] = None,
+        exclude: Iterable[ObjectId] = (),
+    ) -> bool:
+        """Whether at least one (non-excluded) object sits in an alive cell."""
+        for _ in self.objects_in_alive(alive, category, exclude):
+            return True
+        return False
+
+
+def _cell_matches(
+    key: CellKey,
+    alive: Optional[AliveCellGrid],
+    cell_filter: Optional[CellFilter],
+) -> bool:
+    if alive is not None and not alive.is_alive(key):
+        return False
+    if cell_filter is not None and not cell_filter(key):
+        return False
+    return True

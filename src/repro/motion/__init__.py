@@ -1,0 +1,39 @@
+"""Moving-object substrate.
+
+The paper drives its experiments with the Network-Based Generator of Moving
+Objects (Brinkhoff, GeoInformatica 2002) over the road map of Hennepin
+County, MN.  That map is not available offline, so this package provides
+synthetic road networks with the same statistical character (objects travel
+along edges of a planar network, so per-tick displacements are small and
+spatially correlated) plus simpler generators used by tests:
+
+- :class:`repro.motion.roadnet.RoadNetwork` — planar road networks
+  (perturbed grid city, Delaunay triangulation of random sites);
+- :class:`repro.motion.generator.NetworkMovingObjectGenerator` — a
+  Brinkhoff-style generator: each object travels along the network at its
+  own speed, re-routing when it reaches its destination;
+- :class:`repro.motion.uniform.UniformJumpGenerator` and
+  :class:`repro.motion.uniform.RandomWalkGenerator` — unconstrained motion
+  models for unit tests and stress tests;
+- :class:`repro.motion.trace.Trace` — reproducible recorded workloads.
+"""
+
+from repro.motion.objects import MovingObject
+from repro.motion.roadnet import RoadNetwork
+from repro.motion.generator import NetworkMovingObjectGenerator
+from repro.motion.uniform import RandomWalkGenerator, UniformJumpGenerator
+from repro.motion.churn import ChurnRandomWalkGenerator, TickEvents
+from repro.motion.clusters import GaussianClusterGenerator
+from repro.motion.trace import Trace
+
+__all__ = [
+    "MovingObject",
+    "RoadNetwork",
+    "NetworkMovingObjectGenerator",
+    "RandomWalkGenerator",
+    "UniformJumpGenerator",
+    "ChurnRandomWalkGenerator",
+    "GaussianClusterGenerator",
+    "TickEvents",
+    "Trace",
+]

@@ -1,0 +1,157 @@
+"""Workloads with population churn (appearing and disappearing objects).
+
+The paper's experiments move a fixed population, but a deployed monitor
+also faces objects joining and leaving (players logging in and out,
+units being destroyed).  :class:`ChurnRandomWalkGenerator` produces such
+streams: per tick every surviving object takes a random-walk step, a
+``death_rate`` fraction disappears, and a ``birth_rate`` fraction (of the
+current population) of brand-new objects appears at random positions.
+
+Generators with churn expose :meth:`step_events` returning a
+:class:`TickEvents` record; the simulator applies removals first, then
+insertions, then moves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, NamedTuple, Optional, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+InitialRecord = Tuple[Hashable, Point, Hashable]
+
+
+class TickEvents(NamedTuple):
+    """Everything that happens to the population in one tick."""
+
+    moves: List[Tuple[Hashable, Point]]
+    inserts: List[InitialRecord]
+    removes: List[Hashable]
+
+
+class ChurnRandomWalkGenerator:
+    """Gaussian random walk with births and deaths.
+
+    Parameters
+    ----------
+    n_objects:
+        Initial population size.
+    birth_rate, death_rate:
+        Expected per-tick fraction of the current population that appears
+        / disappears.  Equal rates keep the population roughly stable.
+    min_population:
+        Deaths never shrink the population below this floor.
+    """
+
+    def __init__(
+        self,
+        n_objects: int,
+        seed: int = 0,
+        step_sigma: float = 0.01,
+        birth_rate: float = 0.02,
+        death_rate: float = 0.02,
+        min_population: int = 2,
+        extent: Optional[Rect] = None,
+        categories: Optional[Dict[Hashable, float]] = None,
+    ):
+        if n_objects < 1:
+            raise ValueError(f"n_objects must be positive, got {n_objects}")
+        if step_sigma <= 0.0:
+            raise ValueError(f"step_sigma must be positive, got {step_sigma}")
+        if birth_rate < 0.0 or death_rate < 0.0:
+            raise ValueError("birth/death rates must be non-negative")
+        self.extent = extent if extent is not None else Rect.unit()
+        self.step_sigma = step_sigma
+        self.birth_rate = birth_rate
+        self.death_rate = death_rate
+        self.min_population = min_population
+        self._rng = random.Random(seed)
+        weights = categories if categories else {0: 1.0}
+        self._labels = list(weights)
+        self._probs = [weights[label] for label in self._labels]
+        self._next_id = 0
+        self._live: Dict[Hashable, Tuple[Point, Hashable]] = {}
+        for _ in range(n_objects):
+            self._spawn()
+
+    # ------------------------------------------------------------------
+    # Generator protocol
+    # ------------------------------------------------------------------
+
+    def initial(self) -> List[InitialRecord]:
+        return [(oid, pos, cat) for oid, (pos, cat) in self._live.items()]
+
+    def step_events(self, dt: float = 1.0) -> TickEvents:
+        """One tick of deaths, births, and movement."""
+        rng = self._rng
+
+        removes: List[Hashable] = []
+        for oid in list(self._live):
+            if len(self._live) - len(removes) <= self.min_population:
+                break
+            if rng.random() < self.death_rate:
+                removes.append(oid)
+        for oid in removes:
+            del self._live[oid]
+
+        inserts: List[InitialRecord] = []
+        expected_births = self.birth_rate * (len(self._live) + len(removes))
+        births = int(expected_births)
+        if rng.random() < expected_births - births:
+            births += 1
+        for _ in range(births):
+            inserts.append(self._spawn())
+
+        sigma = self.step_sigma * dt
+        moves: List[Tuple[Hashable, Point]] = []
+        fresh = {oid for oid, _, _ in inserts}
+        for oid, (pos, cat) in self._live.items():
+            if oid in fresh:
+                continue  # newcomers keep their birth position this tick
+            x = _reflect(pos.x + rng.gauss(0.0, sigma), self.extent.xmin, self.extent.xmax)
+            y = _reflect(pos.y + rng.gauss(0.0, sigma), self.extent.ymin, self.extent.ymax)
+            p = Point(x, y)
+            self._live[oid] = (p, cat)
+            moves.append((oid, p))
+        return TickEvents(moves=moves, inserts=inserts, removes=removes)
+
+    def step(self, dt: float = 1.0) -> List[Tuple[Hashable, Point]]:
+        """Plain-protocol view: churn generators must be driven through
+        :meth:`step_events` (a simulator applying only the moves would
+        silently desynchronize from the population)."""
+        raise TypeError(
+            "ChurnRandomWalkGenerator produces insert/remove events; drive "
+            "it via step_events() (the Simulator does this automatically)"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def population(self) -> int:
+        return len(self._live)
+
+    def object_ids(self) -> List[Hashable]:
+        return list(self._live)
+
+    def _spawn(self) -> InitialRecord:
+        oid = self._next_id
+        self._next_id += 1
+        pos = Point(
+            self._rng.uniform(self.extent.xmin, self.extent.xmax),
+            self._rng.uniform(self.extent.ymin, self.extent.ymax),
+        )
+        cat = self._rng.choices(self._labels, weights=self._probs)[0]
+        self._live[oid] = (pos, cat)
+        return (oid, pos, cat)
+
+
+def _reflect(value: float, lo: float, hi: float) -> float:
+    if value < lo:
+        value = lo + (lo - value)
+    if value > hi:
+        value = hi - (value - hi)
+    return min(max(value, lo), hi)

@@ -1,0 +1,45 @@
+"""Moving-object records shared by the generators and the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Tuple
+
+from repro.geometry.point import Point
+
+
+@dataclass
+class MovingObject:
+    """A moving data (or query) object.
+
+    ``category`` distinguishes bichromatic object types; monochromatic
+    workloads leave it at the default ``0``.
+    """
+
+    oid: Hashable
+    pos: Point
+    category: Hashable = 0
+    speed: float = 0.0
+
+    def as_update(self) -> Tuple[Hashable, Point]:
+        return (self.oid, self.pos)
+
+
+@dataclass
+class NetworkAgent:
+    """Motion state of one object constrained to a road network.
+
+    The agent is somewhere along the directed edge ``(u, v)``: ``offset``
+    gives the distance already traveled from ``u``.  ``route`` holds the
+    remaining nodes to visit after ``v`` (empty under the random-walk
+    policy, where the next edge is chosen on arrival).
+    """
+
+    oid: Hashable
+    category: Hashable
+    speed: float
+    u: int
+    v: int
+    offset: float
+    route: List[int] = field(default_factory=list)
+    prev_node: int = -1

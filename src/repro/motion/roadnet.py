@@ -1,0 +1,272 @@
+"""Synthetic planar road networks.
+
+Stand-in for the Hennepin County road map the paper feeds to the Brinkhoff
+generator (see DESIGN.md, substitution 1).  Two builders are provided:
+
+- :meth:`RoadNetwork.grid_city` — a jittered Manhattan-style street grid
+  with occasional diagonal shortcuts; visually and statistically close to
+  a US county road map at the scale the experiments care about;
+- :meth:`RoadNetwork.delaunay` — the Delaunay triangulation of uniform
+  random sites, giving an irregular rural-style network.
+
+All networks are normalized into the unit square with a small margin, so
+they can back any :class:`repro.grid.index.GridIndex` with the default
+extent.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.geometry.point import Point
+
+Edge = Tuple[int, int]
+
+
+class RoadNetwork:
+    """An undirected planar network with Euclidean edge lengths."""
+
+    def __init__(
+        self,
+        positions: Dict[int, Tuple[float, float]],
+        edges: Iterable[Edge],
+        keep_largest_component: bool = True,
+    ):
+        if not positions:
+            raise ValueError("a road network needs at least one node")
+        graph = nx.Graph()
+        for node, (x, y) in positions.items():
+            graph.add_node(node, pos=(float(x), float(y)))
+        for u, v in edges:
+            if u == v:
+                continue
+            (ux, uy) = positions[u]
+            (vx, vy) = positions[v]
+            graph.add_edge(u, v, length=math.hypot(ux - vx, uy - vy))
+        if keep_largest_component and graph.number_of_nodes() > 0:
+            largest = max(nx.connected_components(graph), key=len)
+            graph = graph.subgraph(largest).copy()
+        if graph.number_of_edges() == 0:
+            raise ValueError("road network has no edges after cleaning")
+        self._graph = graph
+        self._pos: Dict[int, Point] = {
+            node: Point(*graph.nodes[node]["pos"]) for node in graph.nodes
+        }
+        self._nodes: List[int] = sorted(graph.nodes)
+        self._adjacency: Dict[int, List[Tuple[int, float]]] = {
+            node: [
+                (nbr, graph.edges[node, nbr]["length"])
+                for nbr in graph.neighbors(node)
+            ]
+            for node in graph.nodes
+        }
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (positions in node attr ``pos``)."""
+        return self._graph
+
+    @property
+    def nodes(self) -> Sequence[int]:
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node_pos(self, node: int) -> Point:
+        return self._pos[node]
+
+    def neighbors(self, node: int) -> List[Tuple[int, float]]:
+        """``(neighbor, edge_length)`` pairs of a node."""
+        return self._adjacency[node]
+
+    def edge_length(self, u: int, v: int) -> float:
+        return self._graph.edges[u, v]["length"]
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        for u, v, data in self._graph.edges(data=True):
+            yield (u, v, data["length"])
+
+    def random_node(self, rng: random.Random) -> int:
+        return self._nodes[rng.randrange(len(self._nodes))]
+
+    def point_on_edge(self, u: int, v: int, offset: float) -> Point:
+        """Position at distance ``offset`` from ``u`` along edge ``(u, v)``."""
+        length = self.edge_length(u, v)
+        t = 0.0 if length == 0.0 else min(max(offset / length, 0.0), 1.0)
+        pu = self._pos[u]
+        pv = self._pos[v]
+        return Point(pu.x + t * (pv.x - pu.x), pu.y + t * (pv.y - pu.y))
+
+    def shortest_path(self, source: int, target: int) -> List[int]:
+        """Length-weighted shortest path as a node list (incl. endpoints)."""
+        return nx.shortest_path(self._graph, source, target, weight="length")
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def grid_city(
+        rows: int = 16,
+        cols: int = 16,
+        jitter: float = 0.25,
+        diagonal_prob: float = 0.08,
+        seed: int = 0,
+        margin: float = 0.02,
+    ) -> "RoadNetwork":
+        """A jittered street grid with occasional diagonal shortcuts.
+
+        ``jitter`` is the node displacement as a fraction of the block
+        size; ``diagonal_prob`` the chance that a block gets a diagonal
+        street.
+        """
+        if rows < 2 or cols < 2:
+            raise ValueError("grid city needs at least a 2x2 node lattice")
+        rng = random.Random(seed)
+        span = 1.0 - 2.0 * margin
+        dx = span / (cols - 1)
+        dy = span / (rows - 1)
+        positions: Dict[int, Tuple[float, float]] = {}
+        for r in range(rows):
+            for c in range(cols):
+                node = r * cols + c
+                jx = rng.uniform(-jitter, jitter) * dx
+                jy = rng.uniform(-jitter, jitter) * dy
+                x = margin + c * dx + jx
+                y = margin + r * dy + jy
+                positions[node] = (min(max(x, 0.0), 1.0), min(max(y, 0.0), 1.0))
+        edges: List[Edge] = []
+        for r in range(rows):
+            for c in range(cols):
+                node = r * cols + c
+                if c + 1 < cols:
+                    edges.append((node, node + 1))
+                if r + 1 < rows:
+                    edges.append((node, node + cols))
+                if c + 1 < cols and r + 1 < rows and rng.random() < diagonal_prob:
+                    if rng.random() < 0.5:
+                        edges.append((node, node + cols + 1))
+                    else:
+                        edges.append((node + 1, node + cols))
+        return RoadNetwork(positions, edges)
+
+    @staticmethod
+    def radial_city(
+        rings: int = 6,
+        spokes: int = 12,
+        seed: int = 0,
+        jitter: float = 0.1,
+        margin: float = 0.02,
+    ) -> "RoadNetwork":
+        """A ring-and-spoke road network (European-style radial city).
+
+        ``rings`` concentric ring roads crossed by ``spokes`` radial
+        avenues meeting at a central node.
+        """
+        if rings < 1 or spokes < 3:
+            raise ValueError("radial city needs >= 1 ring and >= 3 spokes")
+        rng = random.Random(seed)
+        center = (0.5, 0.5)
+        max_r = 0.5 - margin
+        positions: Dict[int, Tuple[float, float]] = {0: center}
+        edges: List[Edge] = []
+
+        def node_id(ring: int, spoke: int) -> int:
+            return 1 + ring * spokes + spoke
+
+        for ring in range(rings):
+            radius = max_r * (ring + 1) / rings
+            for spoke in range(spokes):
+                theta = 2.0 * math.pi * spoke / spokes
+                theta += rng.uniform(-jitter, jitter) * (2.0 * math.pi / spokes)
+                r = radius * (1.0 + rng.uniform(-jitter, jitter) / rings)
+                x = center[0] + r * math.cos(theta)
+                y = center[1] + r * math.sin(theta)
+                positions[node_id(ring, spoke)] = (
+                    min(max(x, 0.0), 1.0),
+                    min(max(y, 0.0), 1.0),
+                )
+                # Ring road segment to the next spoke.
+                edges.append((node_id(ring, spoke), node_id(ring, (spoke + 1) % spokes)))
+                # Radial segment inward (to the center for the first ring).
+                inner = 0 if ring == 0 else node_id(ring - 1, spoke)
+                edges.append((node_id(ring, spoke), inner))
+        return RoadNetwork(positions, edges)
+
+    @staticmethod
+    def delaunay(
+        n_nodes: int = 256, seed: int = 0, margin: float = 0.02
+    ) -> "RoadNetwork":
+        """Delaunay triangulation of uniform random sites."""
+        if n_nodes < 4:
+            raise ValueError("Delaunay network needs at least 4 nodes")
+        from scipy.spatial import Delaunay  # local import: scipy is heavy
+
+        rng = np.random.default_rng(seed)
+        pts = margin + rng.random((n_nodes, 2)) * (1.0 - 2.0 * margin)
+        tri = Delaunay(pts)
+        edges = set()
+        for simplex in tri.simplices:
+            a, b, c = (int(v) for v in simplex)
+            edges.add((min(a, b), max(a, b)))
+            edges.add((min(b, c), max(b, c)))
+            edges.add((min(a, c), max(a, c)))
+        positions = {i: (float(x), float(y)) for i, (x, y) in enumerate(pts)}
+        return RoadNetwork(positions, edges)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the network as CSV (``node,id,x,y`` / ``edge,u,v`` rows).
+
+        The format doubles as a loader for real road maps: export any map
+        as node/edge rows and feed it to :meth:`load`.
+        """
+        import csv
+        from pathlib import Path
+
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["record", "a", "b", "c"])
+            for node in self._nodes:
+                p = self._pos[node]
+                writer.writerow(["node", node, repr(p.x), repr(p.y)])
+            for u, v, _ in self.edges():
+                writer.writerow(["edge", u, v, ""])
+
+    @staticmethod
+    def load(path) -> "RoadNetwork":
+        """Read a network written by :meth:`save` (or hand-authored in the
+        same node/edge CSV format)."""
+        import csv
+        from pathlib import Path
+
+        path = Path(path)
+        positions: Dict[int, Tuple[float, float]] = {}
+        edges: List[Edge] = []
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header != ["record", "a", "b", "c"]:
+                raise ValueError(f"{path} is not a road network file")
+            for row in reader:
+                if row[0] == "node":
+                    positions[int(row[1])] = (float(row[2]), float(row[3]))
+                elif row[0] == "edge":
+                    edges.append((int(row[1]), int(row[2])))
+                else:
+                    raise ValueError(f"unknown record type {row[0]!r} in {path}")
+        return RoadNetwork(positions, edges)

@@ -1,0 +1,128 @@
+"""Unconstrained motion models for tests and stress experiments.
+
+These generators implement the same protocol as the network-based one
+(``initial()`` / ``step(dt)``) so the engine can drive either.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+Update = Tuple[Hashable, Point]
+
+
+class _BaseGenerator:
+    """Shared bookkeeping for the unconstrained generators."""
+
+    def __init__(
+        self,
+        n_objects: int,
+        seed: int = 0,
+        extent: Optional[Rect] = None,
+        categories: Optional[Dict[Hashable, float]] = None,
+    ):
+        if n_objects < 1:
+            raise ValueError(f"n_objects must be positive, got {n_objects}")
+        self.extent = extent if extent is not None else Rect.unit()
+        self._rng = random.Random(seed)
+        self._positions: Dict[Hashable, Point] = {}
+        self._categories: Dict[Hashable, Hashable] = {}
+        weights = categories if categories else {0: 1.0}
+        labels = list(weights)
+        probs = [weights[label] for label in labels]
+        for i in range(n_objects):
+            self._positions[i] = self._random_point()
+            self._categories[i] = self._rng.choices(labels, weights=probs)[0]
+
+    def _random_point(self) -> Point:
+        e = self.extent
+        return Point(
+            self._rng.uniform(e.xmin, e.xmax), self._rng.uniform(e.ymin, e.ymax)
+        )
+
+    def initial(self) -> List[Tuple[Hashable, Point, Hashable]]:
+        return [
+            (oid, pos, self._categories[oid]) for oid, pos in self._positions.items()
+        ]
+
+    def position(self, oid: Hashable) -> Point:
+        return self._positions[oid]
+
+    def category(self, oid: Hashable) -> Hashable:
+        return self._categories[oid]
+
+    def object_ids(self) -> Sequence[Hashable]:
+        return list(self._positions)
+
+
+class UniformJumpGenerator(_BaseGenerator):
+    """Each tick, each object teleports with probability ``jump_prob``.
+
+    A worst-case update stream: jumps are spatially uncorrelated, so every
+    move likely crosses grid cells and can upset any monitored region.
+    """
+
+    def __init__(
+        self,
+        n_objects: int,
+        seed: int = 0,
+        jump_prob: float = 0.2,
+        extent: Optional[Rect] = None,
+        categories: Optional[Dict[Hashable, float]] = None,
+    ):
+        if not 0.0 <= jump_prob <= 1.0:
+            raise ValueError(f"jump_prob must be in [0, 1], got {jump_prob}")
+        super().__init__(n_objects, seed, extent, categories)
+        self.jump_prob = jump_prob
+
+    def step(self, dt: float = 1.0) -> List[Update]:
+        updates: List[Update] = []
+        for oid in self._positions:
+            if self._rng.random() < self.jump_prob:
+                p = self._random_point()
+                self._positions[oid] = p
+                updates.append((oid, p))
+        return updates
+
+
+class RandomWalkGenerator(_BaseGenerator):
+    """Gaussian random walk reflected at the extent boundary."""
+
+    def __init__(
+        self,
+        n_objects: int,
+        seed: int = 0,
+        step_sigma: float = 0.005,
+        extent: Optional[Rect] = None,
+        categories: Optional[Dict[Hashable, float]] = None,
+    ):
+        if step_sigma <= 0.0:
+            raise ValueError(f"step_sigma must be positive, got {step_sigma}")
+        super().__init__(n_objects, seed, extent, categories)
+        self.step_sigma = step_sigma
+
+    def step(self, dt: float = 1.0) -> List[Update]:
+        sigma = self.step_sigma * dt
+        e = self.extent
+        updates: List[Update] = []
+        for oid, pos in self._positions.items():
+            x = _reflect(pos.x + self._rng.gauss(0.0, sigma), e.xmin, e.xmax)
+            y = _reflect(pos.y + self._rng.gauss(0.0, sigma), e.ymin, e.ymax)
+            p = Point(x, y)
+            self._positions[oid] = p
+            updates.append((oid, p))
+        return updates
+
+
+def _reflect(value: float, lo: float, hi: float) -> float:
+    """Reflect ``value`` into ``[lo, hi]`` (single bounce is enough for
+    the small steps these generators take)."""
+    if value < lo:
+        value = lo + (lo - value)
+    if value > hi:
+        value = hi - (value - hi)
+    return min(max(value, lo), hi)

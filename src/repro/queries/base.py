@@ -1,0 +1,91 @@
+"""The uniform continuous-query interface driven by the engine.
+
+Every algorithm — IGERN and all baselines — exposes the same three-method
+surface: ``initial()`` once at query registration time, ``tick()`` every
+``T`` time units afterwards, and introspection properties used by the
+metric collector.  That mirrors the paper's experimental setup, where all
+approaches answer the same query over the same update stream and only the
+evaluation machinery differs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, Hashable, Optional, Union
+
+from repro.geometry.point import Point
+from repro.grid.index import GridIndex, ObjectId
+from repro.grid.search import GridSearch
+
+
+class QueryPosition:
+    """Where the query is *right now*.
+
+    Continuous queries are themselves issued by moving objects: the mixed
+    reality player monitoring her RNNs, the medical unit in the battlefield.
+    ``QueryPosition`` resolves the current query location either from a
+    moving object in the grid (``query_id``) or from a fixed point
+    (``fixed``).
+    """
+
+    def __init__(
+        self,
+        grid: GridIndex,
+        query_id: Optional[ObjectId] = None,
+        fixed: Optional[Union[Point, tuple]] = None,
+    ):
+        if (query_id is None) == (fixed is None):
+            raise ValueError("provide exactly one of query_id or fixed")
+        self._grid = grid
+        self.query_id = query_id
+        if fixed is not None:
+            x, y = fixed
+            self._fixed: Optional[Point] = Point(x, y)
+        else:
+            self._fixed = None
+
+    def current(self) -> Point:
+        """The query's position at this instant."""
+        if self._fixed is not None:
+            return self._fixed
+        return self._grid.position(self.query_id)
+
+
+class ContinuousQuery(abc.ABC):
+    """Base class for all continuous RNN query executors."""
+
+    #: Short algorithm label used in reports ("IGERN", "CRNN", ...).
+    name: str = "?"
+
+    def __init__(self, grid: GridIndex, position: QueryPosition):
+        self.grid = grid
+        self.position = position
+        self.search = GridSearch(grid)
+        self._answer: FrozenSet[Hashable] = frozenset()
+
+    @abc.abstractmethod
+    def initial(self) -> FrozenSet[Hashable]:
+        """Compute the first answer (executed once, at query issue time)."""
+
+    @abc.abstractmethod
+    def tick(self) -> FrozenSet[Hashable]:
+        """Re-evaluate after one time interval of movement."""
+
+    @property
+    def answer(self) -> FrozenSet[Hashable]:
+        """The most recent answer."""
+        return self._answer
+
+    @property
+    def monitored_count(self) -> int:
+        """How many moving objects the executor currently monitors.
+
+        Snapshot algorithms monitor nothing between executions; stateful
+        monitors override this.
+        """
+        return 0
+
+    @property
+    def monitored_region_cells(self) -> int:
+        """Size (in cells) of the monitored region, 0 for snapshot methods."""
+        return 0

@@ -1,0 +1,147 @@
+"""Brute-force reverse nearest neighbor oracles.
+
+Quadratic-time reference implementations used by the correctness tests
+(Theorems 1-4: IGERN is accurate and complete, so on any input its answer
+must equal the brute-force answer) and available as executors for tiny
+interactive demos.
+
+Tie semantics follow the paper's definitions exactly: an object is
+disqualified only by *strictly* closer witnesses (``dist(o, o') <
+dist(o, q)``), so an object equidistant between the query and another
+object still counts as an RNN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.geometry.point import dist_sq
+from repro.grid.index import Category, GridIndex, ObjectId
+from repro.queries.base import ContinuousQuery, QueryPosition
+
+Position = Tuple[float, float]
+
+
+def brute_mono_rnn(
+    positions: Mapping[ObjectId, Position],
+    qpos: Iterable[float],
+    query_id: Optional[ObjectId] = None,
+    k: int = 1,
+) -> Set[ObjectId]:
+    """Monochromatic R(k)NNs of ``qpos`` by exhaustive comparison.
+
+    ``o`` is an answer iff fewer than ``k`` other data objects are strictly
+    closer to ``o`` than the query is.  ``query_id`` (if given) is neither
+    a candidate nor a witness.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    qx, qy = qpos
+    answer: Set[ObjectId] = set()
+    for oid, pos in positions.items():
+        if oid == query_id:
+            continue
+        dq = dist_sq(pos, (qx, qy))
+        witnesses = 0
+        for other_id, other_pos in positions.items():
+            if other_id == oid or other_id == query_id:
+                continue
+            if dist_sq(pos, other_pos) < dq:
+                witnesses += 1
+                if witnesses >= k:
+                    break
+        if witnesses < k:
+            answer.add(oid)
+    return answer
+
+
+def brute_bi_rnn(
+    positions_a: Mapping[ObjectId, Position],
+    positions_b: Mapping[ObjectId, Position],
+    qpos: Iterable[float],
+    query_id: Optional[ObjectId] = None,
+    k: int = 1,
+) -> Set[ObjectId]:
+    """Bichromatic R(k)NNs of a type-A query by exhaustive comparison.
+
+    A B object is an answer iff fewer than ``k`` A objects (other than the
+    query itself) are strictly closer to it than the query's position.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    qx, qy = qpos
+    answer: Set[ObjectId] = set()
+    for ob, bpos in positions_b.items():
+        dq = dist_sq(bpos, (qx, qy))
+        witnesses = 0
+        for oa, apos in positions_a.items():
+            if oa == query_id:
+                continue
+            if dist_sq(bpos, apos) < dq:
+                witnesses += 1
+                if witnesses >= k:
+                    break
+        if witnesses < k:
+            answer.add(ob)
+    return answer
+
+
+class BruteForceMonoQuery(ContinuousQuery):
+    """Executor wrapper around :func:`brute_mono_rnn` (testing/demos)."""
+
+    name = "Brute"
+
+    def __init__(self, grid: GridIndex, position: QueryPosition, k: int = 1):
+        super().__init__(grid, position)
+        self.k = k
+
+    def initial(self) -> FrozenSet[Hashable]:
+        return self.tick()
+
+    def tick(self) -> FrozenSet[Hashable]:
+        snapshot = self.grid.positions_snapshot()
+        self._answer = frozenset(
+            brute_mono_rnn(
+                snapshot,
+                self.position.current(),
+                query_id=self.position.query_id,
+                k=self.k,
+            )
+        )
+        return self._answer
+
+
+class BruteForceBiQuery(ContinuousQuery):
+    """Executor wrapper around :func:`brute_bi_rnn` (testing/demos)."""
+
+    name = "Brute-bi"
+
+    def __init__(
+        self,
+        grid: GridIndex,
+        position: QueryPosition,
+        cat_a: Category = "A",
+        cat_b: Category = "B",
+        k: int = 1,
+    ):
+        super().__init__(grid, position)
+        self.cat_a = cat_a
+        self.cat_b = cat_b
+        self.k = k
+
+    def initial(self) -> FrozenSet[Hashable]:
+        return self.tick()
+
+    def tick(self) -> FrozenSet[Hashable]:
+        snap_a = self.grid.positions_snapshot(self.cat_a)
+        snap_b = self.grid.positions_snapshot(self.cat_b)
+        self._answer = frozenset(
+            brute_bi_rnn(
+                snap_a,
+                snap_b,
+                self.position.current(),
+                query_id=self.position.query_id,
+                k=self.k,
+            )
+        )
+        return self._answer

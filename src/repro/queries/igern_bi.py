@@ -1,0 +1,72 @@
+"""Executor adapter for bichromatic IGERN."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Optional
+
+from repro.core.bi import BiIGERN
+from repro.core.state import BiState, StepReport
+from repro.grid.index import Category, GridIndex
+from repro.queries.base import ContinuousQuery, QueryPosition
+
+
+class IGERNBiQuery(ContinuousQuery):
+    """Continuous bichromatic RNN query evaluated with IGERN.
+
+    The query is of type ``cat_a``; the answer consists of ``cat_b``
+    objects whose nearest A object is the query.
+    """
+
+    name = "IGERN-bi"
+
+    def __init__(
+        self,
+        grid: GridIndex,
+        position: QueryPosition,
+        cat_a: Category = "A",
+        cat_b: Category = "B",
+        k: int = 1,
+        prune: "str | bool" = "guarded",
+    ):
+        super().__init__(grid, position)
+        self._algo = BiIGERN(
+            grid,
+            cat_a=cat_a,
+            cat_b=cat_b,
+            query_id=position.query_id,
+            k=k,
+            prune=prune,
+            search=self.search,
+        )
+        self._state: Optional[BiState] = None
+        self.last_report: Optional[StepReport] = None
+
+    def initial(self) -> FrozenSet[Hashable]:
+        self._state, report = self._algo.initial(self.position.current())
+        self.last_report = report
+        self._answer = report.answer
+        return report.answer
+
+    def tick(self) -> FrozenSet[Hashable]:
+        if self._state is None:
+            return self.initial()
+        report = self._algo.incremental(self._state, self.position.current())
+        self.last_report = report
+        self._answer = report.answer
+        return report.answer
+
+    @property
+    def monitored_count(self) -> int:
+        return len(self._state.nn_a) if self._state is not None else 0
+
+    @property
+    def monitored_region_cells(self) -> int:
+        return self._state.alive.alive_count() if self._state is not None else 0
+
+    def monitored_area(self) -> float:
+        """Exact area of the monitored region as a fraction of the space
+        (only defined for k = 1, where the region is convex)."""
+        if self._state is None:
+            return 1.0
+        polygon = self._state.alive.region_polygon()
+        return polygon.area() / self.grid.extent.area

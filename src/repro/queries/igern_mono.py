@@ -1,0 +1,67 @@
+"""Executor adapter for monochromatic IGERN."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Optional
+
+from repro.core.mono import MonoIGERN
+from repro.core.state import MonoState, StepReport
+from repro.grid.index import GridIndex
+from repro.queries.base import ContinuousQuery, QueryPosition
+
+
+class IGERNMonoQuery(ContinuousQuery):
+    """Continuous monochromatic R(k)NN query evaluated with IGERN."""
+
+    name = "IGERN"
+
+    def __init__(
+        self,
+        grid: GridIndex,
+        position: QueryPosition,
+        k: int = 1,
+        prune: "str | bool" = "guarded",
+        shared_cache=None,
+    ):
+        super().__init__(grid, position)
+        self._algo = MonoIGERN(
+            grid,
+            query_id=position.query_id,
+            k=k,
+            prune=prune,
+            search=self.search,
+            shared_cache=shared_cache,
+        )
+        self._state: Optional[MonoState] = None
+        self.last_report: Optional[StepReport] = None
+
+    def initial(self) -> FrozenSet[Hashable]:
+        self._state, report = self._algo.initial(self.position.current())
+        self.last_report = report
+        self._answer = report.answer
+        return report.answer
+
+    def tick(self) -> FrozenSet[Hashable]:
+        if self._state is None:
+            return self.initial()
+        report = self._algo.incremental(self._state, self.position.current())
+        self.last_report = report
+        self._answer = report.answer
+        return report.answer
+
+    @property
+    def monitored_count(self) -> int:
+        return len(self._state.candidates) if self._state is not None else 0
+
+    @property
+    def monitored_region_cells(self) -> int:
+        return self._state.alive.alive_count() if self._state is not None else 0
+
+    def monitored_area(self) -> float:
+        """Exact area of the monitored region as a fraction of the space
+        (the convex intersection of the candidate bisectors; only defined
+        for k = 1)."""
+        if self._state is None:
+            return 1.0
+        polygon = self._state.alive.region_polygon()
+        return polygon.area() / self.grid.extent.area

@@ -1,0 +1,99 @@
+"""One-shot (snapshot) reverse nearest neighbor queries.
+
+Convenience entry points for users who just have a set of points and a
+query — no moving objects, no engine.  Internally these build a grid over
+the data's bounding box and run IGERN's initial step (which for a single
+evaluation is exactly the TPL-style filter-refine / Voronoi-cell
+computation the paper builds on).
+
+    >>> from repro.snapshot import mono_rnn
+    >>> sorted(mono_rnn({1: (0.2, 0.2), 2: (0.8, 0.8)}, (0.5, 0.5)))
+    [1, 2]
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Optional, Set, Tuple
+
+from repro.core.bi import BiIGERN
+from repro.core.mono import MonoIGERN
+from repro.geometry.rectangle import Rect
+from repro.grid.index import GridIndex, ObjectId
+
+Position = Tuple[float, float]
+
+
+def _auto_extent(point_sets: Iterable[Iterable[Position]], q: Position) -> Rect:
+    """Bounding box of all points and the query, padded slightly."""
+    xs = [q[0]]
+    ys = [q[1]]
+    for points in point_sets:
+        for x, y in points:
+            xs.append(x)
+            ys.append(y)
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    pad = max(xmax - xmin, ymax - ymin, 1e-9) * 0.01
+    return Rect(xmin - pad, ymin - pad, xmax + pad, ymax + pad)
+
+
+def _auto_grid_size(n_points: int) -> int:
+    """About one object per cell, clamped to a sensible range."""
+    return max(4, min(256, int(math.sqrt(max(n_points, 1))) * 2))
+
+
+def mono_rnn(
+    positions: Mapping[ObjectId, Position],
+    q: Position,
+    k: int = 1,
+    grid_size: Optional[int] = None,
+) -> Set[ObjectId]:
+    """Snapshot monochromatic R(k)NNs of point ``q`` among ``positions``.
+
+    An object is returned when fewer than ``k`` other objects are strictly
+    closer to it than ``q``.
+    """
+    if not positions:
+        return set()
+    extent = _auto_extent([positions.values()], q)
+    grid = GridIndex(grid_size or _auto_grid_size(len(positions)), extent=extent)
+    for oid, pos in positions.items():
+        grid.insert(oid, pos)
+    algo = MonoIGERN(grid, k=k)
+    _, report = algo.initial(q)
+    return set(report.answer)
+
+
+def bi_rnn(
+    positions_a: Mapping[ObjectId, Position],
+    positions_b: Mapping[ObjectId, Position],
+    q: Position,
+    k: int = 1,
+    grid_size: Optional[int] = None,
+) -> Set[ObjectId]:
+    """Snapshot bichromatic R(k)NNs: the B objects for which the type-A
+    query point ``q`` ranks among their ``k`` nearest A objects."""
+    if not positions_b:
+        return set()
+    extent = _auto_extent([positions_a.values(), positions_b.values()], q)
+    n = len(positions_a) + len(positions_b)
+    grid = GridIndex(grid_size or _auto_grid_size(n), extent=extent)
+    for oid, pos in positions_a.items():
+        grid.insert(("A", oid), pos, "A")
+    for oid, pos in positions_b.items():
+        grid.insert(("B", oid), pos, "B")
+    algo = BiIGERN(grid, k=k)
+    _, report = algo.initial(q)
+    return {oid for tag, oid in report.answer}
+
+
+def influence_set(
+    positions: Mapping[ObjectId, Position],
+    facility: Position,
+    k: int = 1,
+) -> Set[ObjectId]:
+    """Korn & Muthukrishnan's influence set of a facility: the objects
+    for which the facility ranks among their ``k`` nearest.  Alias of
+    :func:`mono_rnn` under its data-mining name."""
+    return mono_rnn(positions, facility, k=k)

@@ -1,0 +1,147 @@
+"""Unit and property tests for the Section 6 cost model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cost_model import (
+    CostModelParams,
+    accumulated_series,
+    crnn_cost,
+    igern_beats_crnn,
+    igern_beats_tpl,
+    igern_beats_voronoi,
+    igern_bi_cost,
+    igern_mono_cost,
+    per_tick_series,
+    tpl_cost,
+    voronoi_cost,
+)
+
+pos = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+ticks = st.integers(min_value=2, max_value=200)
+r_vals = st.floats(min_value=1.0, max_value=6.0, allow_nan=False)
+
+
+class TestParams:
+    def test_invalid_ticks(self):
+        with pytest.raises(ValueError):
+            CostModelParams(ticks=0)
+
+    def test_scalar_broadcast(self):
+        p = CostModelParams(ticks=5, nn=(2.0,))
+        assert p.nn == [2.0] * 5
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            CostModelParams(ticks=5, nn=[1.0, 2.0])
+
+    def test_per_tick_series_kept(self):
+        p = CostModelParams(ticks=3, r=[1.0, 2.0, 3.0])
+        assert p.r == [1.0, 2.0, 3.0]
+
+
+class TestFormulas:
+    def test_single_tick_mono_equals_tpl(self):
+        """The paper: the IGERN/TPL ratio is one at T = 1."""
+        p = CostModelParams(ticks=1, r=(3.0,))
+        assert math.isclose(igern_mono_cost(p), tpl_cost(p))
+
+    def test_single_tick_bi_equals_voronoi(self):
+        p = CostModelParams(ticks=1)
+        assert math.isclose(igern_bi_cost(p), voronoi_cost(p))
+
+    def test_crnn_charges_six_everything(self):
+        p = CostModelParams(ticks=1, nn=(1.0,), nn_c=(1.0,))
+        assert math.isclose(crnn_cost(p), 12.0)
+
+    def test_known_values(self):
+        p = CostModelParams(
+            ticks=2, nn=(1.0,), nn_c=(2.0,), nn_b=(0.5,), r=(3.0,), a=(4.0,), b=(2.0,)
+        )
+        # t0: 3*(2+1)=9; t1: 0.5 + 3*1 = 3.5
+        assert math.isclose(igern_mono_cost(p), 12.5)
+        # t0: 6*3=18; t1: 6*(0.5+1)=9
+        assert math.isclose(crnn_cost(p), 27.0)
+        # both ticks: 3*(2+1)=9 -> 18
+        assert math.isclose(tpl_cost(p), 18.0)
+        # t0: 4*2 + 2*1 = 10; t1: 0.5 + 2*1 = 2.5
+        assert math.isclose(igern_bi_cost(p), 12.5)
+        # both ticks: 4*2+2*1 = 10 -> 20
+        assert math.isclose(voronoi_cost(p), 20.0)
+
+
+class TestSeries:
+    def test_per_tick_sums_to_totals(self):
+        p = CostModelParams(ticks=30)
+        series = per_tick_series(p)
+        assert math.isclose(sum(series["igern_mono"]), igern_mono_cost(p))
+        assert math.isclose(sum(series["crnn"]), crnn_cost(p))
+        assert math.isclose(sum(series["tpl"]), tpl_cost(p))
+        assert math.isclose(sum(series["igern_bi"]), igern_bi_cost(p))
+        assert math.isclose(sum(series["voronoi"]), voronoi_cost(p))
+
+    def test_accumulated_monotone_and_final(self):
+        p = CostModelParams(ticks=20)
+        acc = accumulated_series(p)
+        for name, series in acc.items():
+            assert all(a <= b + 1e-12 for a, b in zip(series, series[1:]))
+        assert math.isclose(acc["igern_mono"][-1], igern_mono_cost(p))
+
+    def test_model_reproduces_widening_gap(self):
+        """Figure 7b's shape falls straight out of the closed form."""
+        p = CostModelParams(ticks=50, nn_b=(0.25,), r=(3.5,))
+        acc = accumulated_series(p)
+        gaps = [c - i for i, c in zip(acc["igern_mono"], acc["crnn"])]
+        assert all(a <= b + 1e-12 for a, b in zip(gaps, gaps[1:]))
+
+    def test_model_reproduces_fig9a_crossover(self):
+        """At t=0 the bi costs coincide (IGERN initial == Voronoi build);
+        for t>0 IGERN's per-tick cost drops below Voronoi's."""
+        p = CostModelParams(ticks=10, nn_b=(0.5,), a=(6.0,), b=(2.0,))
+        series = per_tick_series(p)
+        assert math.isclose(series["igern_bi"][0], series["voronoi"][0])
+        for t in range(1, 10):
+            assert series["igern_bi"][t] < series["voronoi"][t]
+
+
+class TestDominanceClaims:
+    """The paper's Section 6 dominance statements, checked mechanically."""
+
+    @given(ticks, pos, pos, r_vals)
+    @settings(max_examples=100, deadline=None)
+    def test_igern_beats_crnn_when_r_at_most_six(self, t, nn, nn_c, r):
+        # CRNN's bounded search runs six times vs once, provided the
+        # bounded search is not more expensive than the six of CRNN's.
+        p = CostModelParams(
+            ticks=t, nn=(nn,), nn_c=(nn_c,), nn_b=(min(nn, nn_c) * 0.5,), r=(r,)
+        )
+        assert igern_beats_crnn(p)
+
+    @given(ticks, pos, pos, r_vals)
+    @settings(max_examples=100, deadline=None)
+    def test_igern_beats_tpl_when_bounded_cheaper(self, t, nn, nn_c, r):
+        # The paper: NN_b is much cheaper than r_t * NN_c, hence dominance.
+        p = CostModelParams(
+            ticks=t, nn=(nn,), nn_c=(nn_c,), nn_b=(nn_c * 0.9,), r=(max(r, 1.0),)
+        )
+        assert igern_beats_tpl(p)
+
+    @given(ticks, pos, pos, pos, st.floats(min_value=1.0, max_value=20.0))
+    @settings(max_examples=100, deadline=None)
+    def test_igern_beats_voronoi_when_bounded_cheaper(self, t, nn, nn_c, b, a):
+        p = CostModelParams(
+            ticks=t, nn=(nn,), nn_c=(nn_c,), nn_b=(nn_c * a * 0.99,), a=(a,), b=(b,)
+        )
+        assert igern_beats_voronoi(p)
+
+    def test_ratio_grows_with_horizon(self):
+        """The accumulated gap (Figures 7b/9b) widens over time."""
+        base = dict(nn=(1.0,), nn_c=(1.0,), nn_b=(0.25,), r=(3.5,))
+        short = CostModelParams(ticks=5, **base)
+        long = CostModelParams(ticks=100, **base)
+        assert (crnn_cost(long) - igern_mono_cost(long)) > (
+            crnn_cost(short) - igern_mono_cost(short)
+        )

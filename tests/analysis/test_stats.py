@@ -1,0 +1,83 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import mean, percentile, running_sum, stdev, summarize
+
+floats = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestMeanStdev:
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_stdev_constant_is_zero(self):
+        assert stdev([4.0, 4.0, 4.0]) == 0.0
+
+    def test_stdev_short(self):
+        assert stdev([1.0]) == 0.0
+
+    def test_stdev_known(self):
+        assert math.isclose(stdev([2.0, 4.0]), 1.0)
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_invalid_pct(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_median(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    @given(floats)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_pct(self, values):
+        assert percentile(values, 25) <= percentile(values, 75)
+
+
+class TestRunningSum:
+    def test_values(self):
+        assert running_sum([1.0, 2.0, 3.0]) == [1.0, 3.0, 6.0]
+
+    def test_empty(self):
+        assert running_sum([]) == []
+
+    @given(floats)
+    @settings(max_examples=50, deadline=None)
+    def test_last_is_total(self, values):
+        assert math.isclose(running_sum(values)[-1], sum(values), rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s["mean"] == 0.0 and s["max"] == 0.0
+
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == 2.5
+        assert s["median"] == 2.5
+        assert s["min"] <= s["p95"] <= s["max"]

@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.grid.index import GridIndex
+
+
+@pytest.fixture
+def rng():
+    """A seeded RNG; tests stay deterministic."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_grid(rng):
+    """A 16x16 grid over the unit square with 120 monochromatic objects."""
+    grid = GridIndex(16)
+    for i in range(120):
+        grid.insert(i, (rng.random(), rng.random()))
+    return grid
+
+
+@pytest.fixture
+def bi_grid(rng):
+    """A 16x16 grid with 60 A objects and 60 B objects."""
+    grid = GridIndex(16)
+    for i in range(120):
+        category = "A" if i % 2 == 0 else "B"
+        grid.insert(i, (rng.random(), rng.random()), category)
+    return grid
+
+
+def populate(grid: GridIndex, points, category=0, start_id=0):
+    """Insert a list of (x, y) points; returns the assigned ids."""
+    ids = []
+    for offset, (x, y) in enumerate(points):
+        oid = start_id + offset
+        grid.insert(oid, (x, y), category)
+        ids.append(oid)
+    return ids

@@ -1,0 +1,121 @@
+"""Tests for the shared verification cache."""
+
+import random
+
+import pytest
+
+from repro.core.mono import MonoIGERN
+from repro.core.shared import SharedVerificationCache
+from repro.geometry.point import dist_sq
+from repro.grid.index import GridIndex
+from repro.queries.brute import brute_mono_rnn
+
+
+def brute_has_witness(grid, oid, dq2, query_id):
+    pos = grid.position(oid)
+    for other in grid.objects():
+        if other == oid or other == query_id:
+            continue
+        if dist_sq(grid.position(other), pos) < dq2:
+            return True
+    return False
+
+
+class TestPredicate:
+    def test_matches_brute_force_across_queries(self):
+        rng = random.Random(3)
+        grid = GridIndex(8)
+        for i in range(60):
+            grid.insert(i, (rng.random(), rng.random()))
+        cache = SharedVerificationCache(grid)
+        for _ in range(400):
+            oid = rng.randrange(60)
+            qid = rng.randrange(60)
+            if qid == oid:
+                qid = None
+            dq2 = rng.random() * 0.25
+            assert cache.has_witness(oid, dq2, qid) == brute_has_witness(
+                grid, oid, dq2, qid
+            )
+
+    def test_yes_record_not_reused_for_its_own_query(self):
+        grid = GridIndex(8)
+        grid.insert("o", (0.5, 0.5))
+        grid.insert("w", (0.52, 0.5))  # the only nearby object
+        grid.insert("far", (0.95, 0.95))
+        cache = SharedVerificationCache(grid)
+        # Query A finds 'w' as witness.
+        assert cache.has_witness("o", 0.01, "far")
+        # For a query issued BY 'w', that witness must not count.
+        assert not cache.has_witness("o", 0.01, "w")
+
+    def test_no_record_completed_with_excluded_object(self):
+        grid = GridIndex(8)
+        grid.insert("o", (0.5, 0.5))
+        grid.insert("q1", (0.52, 0.5))  # near, excluded by the first probe
+        grid.insert("far", (0.95, 0.95))
+        cache = SharedVerificationCache(grid)
+        # Probe for q1 excludes q1: no witness below 0.01.
+        assert not cache.has_witness("o", 0.01, "q1")
+        # For another query, q1 itself is a witness — the cache must
+        # complete the NO record with q1's actual distance.
+        assert cache.has_witness("o", 0.01, "far")
+
+    def test_invalidation_on_movement(self):
+        grid = GridIndex(8)
+        grid.insert("o", (0.5, 0.5))
+        grid.insert("w", (0.9, 0.9))
+        cache = SharedVerificationCache(grid)
+        assert not cache.has_witness("o", 0.01, None)
+        grid.move("w", (0.52, 0.5))  # walks right next to 'o'
+        assert cache.has_witness("o", 0.01, None)
+
+    def test_hits_accumulate(self):
+        rng = random.Random(5)
+        grid = GridIndex(8)
+        for i in range(40):
+            grid.insert(i, (rng.random(), rng.random()))
+        cache = SharedVerificationCache(grid)
+        for _ in range(3):
+            cache.has_witness(0, 0.5, None)  # same question three times
+        assert cache.hits >= 2
+        assert cache.hit_rate > 0.5
+
+
+class TestIntegrationWithQueries:
+    def test_many_queries_share_and_stay_exact(self):
+        rng = random.Random(8)
+        grid = GridIndex(12)
+        for i in range(120):
+            grid.insert(i, (rng.random(), rng.random()))
+        cache = SharedVerificationCache(grid)
+        algos = {
+            qid: MonoIGERN(grid, query_id=qid, shared_cache=cache)
+            for qid in range(6)
+        }
+        states = {qid: algo.initial(grid.position(qid))[0] for qid, algo in algos.items()}
+        for _ in range(10):
+            for oid in range(120):
+                p = grid.position(oid)
+                grid.move(
+                    oid,
+                    (
+                        min(max(p.x + rng.gauss(0, 0.03), 0.0), 1.0),
+                        min(max(p.y + rng.gauss(0, 0.03), 0.0), 1.0),
+                    ),
+                )
+            for qid, algo in algos.items():
+                algo.incremental(states[qid], grid.position(qid))
+                expected = brute_mono_rnn(
+                    grid.positions_snapshot(), grid.position(qid), query_id=qid
+                )
+                assert set(states[qid].answer) == expected
+
+    def test_k_greater_one_ignores_cache(self):
+        grid = GridIndex(8)
+        grid.insert(0, (0.2, 0.2))
+        grid.insert(1, (0.8, 0.8))
+        cache = SharedVerificationCache(grid)
+        algo = MonoIGERN(grid, k=2, shared_cache=cache)
+        algo.initial((0.5, 0.5))
+        assert cache.hits + cache.misses == 0

@@ -1,0 +1,60 @@
+"""Tests for the JSONL metrics exporter."""
+
+import json
+
+import pytest
+
+from repro.engine.export import export_jsonl, load_jsonl
+from repro.engine.simulation import Simulator
+from repro.motion.uniform import RandomWalkGenerator
+from repro.queries import IGERNMonoQuery, QueryPosition
+
+
+@pytest.fixture(scope="module")
+def result():
+    sim = Simulator(RandomWalkGenerator(100, seed=31, step_sigma=0.03), grid_size=16)
+    sim.add_query(
+        "q", IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.5, 0.5)))
+    )
+    return sim.run(6)
+
+
+class TestExport:
+    def test_roundtrip_structure(self, result, tmp_path):
+        path = export_jsonl(result, tmp_path / "run.jsonl")
+        loaded = load_jsonl(path)
+        assert len(loaded["summary"]) == 1
+        assert len(loaded["ticks"]) == 7  # initial + 6 incremental
+
+    def test_tick_records_content(self, result, tmp_path):
+        path = export_jsonl(result, tmp_path / "run.jsonl")
+        loaded = load_jsonl(path)
+        first = loaded["ticks"][0]
+        assert first["query"] == "q"
+        assert first["tick"] == 0
+        assert first["answer_size"] == len(first["answer"])
+        assert "calls_NN" in first["ops"]
+
+    def test_summary_aggregates_match(self, result, tmp_path):
+        path = export_jsonl(result, tmp_path / "run.jsonl")
+        loaded = load_jsonl(path)
+        summary = loaded["summary"][0]["queries"]["q"]
+        assert summary["executions"] == 7
+        assert abs(summary["total_time"] - result["q"].total_time) < 1e-12
+
+    def test_file_is_valid_jsonl(self, result, tmp_path):
+        path = export_jsonl(result, tmp_path / "run.jsonl")
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_load_rejects_unknown_records(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError):
+            load_jsonl(path)
+
+    def test_blank_lines_skipped(self, result, tmp_path):
+        path = export_jsonl(result, tmp_path / "run.jsonl")
+        path.write_text(path.read_text() + "\n\n")
+        loaded = load_jsonl(path)
+        assert len(loaded["summary"]) == 1

@@ -1,0 +1,128 @@
+"""Tests for the continuous query manager (runtime lifecycle + deltas)."""
+
+import pytest
+
+from repro.engine.manager import AnswerChange, ContinuousQueryManager
+from repro.engine.simulation import Simulator
+from repro.motion.uniform import RandomWalkGenerator
+from repro.queries import BruteForceMonoQuery, IGERNMonoQuery, QueryPosition
+
+
+def make_sim(n=150, seed=1, sigma=0.04):
+    return Simulator(RandomWalkGenerator(n, seed=seed, step_sigma=sigma), grid_size=16)
+
+
+def igern_at(sim, point):
+    return IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=point))
+
+
+class TestLifecycle:
+    def test_register_and_first_change(self):
+        sim = make_sim()
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        changes = manager.run(1)
+        assert changes, "the first answer arrives as a change from the empty set"
+        assert changes[0].query == "q"
+        assert changes[0].removed == frozenset()
+        assert manager.current_answer("q") == changes[0].answer
+
+    def test_unregister_stops_events(self):
+        sim = make_sim()
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        manager.run(2)
+        manager.unregister("q")
+        assert manager.run(3) == []
+        assert manager.current_answer("q") == frozenset()
+
+    def test_register_mid_run(self):
+        sim = make_sim()
+        manager = ContinuousQueryManager(sim)
+        manager.register("a", igern_at(sim, (0.3, 0.3)))
+        manager.run(3)
+        manager.register("b", igern_at(sim, (0.7, 0.7)))
+        changes = manager.run(1)
+        assert any(c.query == "b" for c in changes)
+
+
+class TestPauseResume:
+    def test_paused_query_emits_nothing(self):
+        sim = make_sim()
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        manager.run(1)
+        manager.pause("q")
+        assert all(c.query != "q" for c in manager.run(5))
+
+    def test_resume_is_correct_from_stale_state(self):
+        """The incremental step redraws all bisectors, so a query paused
+        for many ticks resumes with an exact answer."""
+        sim = make_sim(n=200, seed=9)
+        manager = ContinuousQueryManager(sim)
+        manager.register("igern", igern_at(sim, (0.5, 0.5)))
+        manager.register(
+            "brute",
+            BruteForceMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.5, 0.5))),
+        )
+        manager.run(2)
+        manager.pause("igern")
+        manager.run(10)  # the world moves on without the query
+        manager.resume("igern")
+        manager.run(1)
+        assert manager.current_answer("igern") == manager.current_answer("brute")
+
+    def test_pause_unknown_raises(self):
+        manager = ContinuousQueryManager(make_sim())
+        with pytest.raises(KeyError):
+            manager.pause("ghost")
+
+
+class TestSubscriptions:
+    def test_per_query_and_global(self):
+        sim = make_sim()
+        manager = ContinuousQueryManager(sim)
+        per_query = []
+        global_log = []
+        manager.register("a", igern_at(sim, (0.2, 0.8)), on_change=per_query.append)
+        manager.register("b", igern_at(sim, (0.8, 0.2)))
+        manager.subscribe(global_log.append)
+        manager.run(5)
+        assert all(isinstance(c, AnswerChange) for c in global_log)
+        assert all(c.query == "a" for c in per_query)
+        assert {c.query for c in global_log} >= {"a"}
+        # Global sees at least everything the per-query subscriber saw.
+        assert len(global_log) >= len(per_query)
+
+    def test_deltas_reconstruct_answers(self):
+        sim = make_sim(seed=4)
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        running = set()
+        for change in manager.run(12):
+            running -= set(change.removed)
+            running |= set(change.added)
+            assert frozenset(running) == change.answer
+
+    def test_no_change_no_event(self):
+        # A frozen world produces exactly one event (the first answer).
+        class FrozenGenerator:
+            def __init__(self, base):
+                self._base = base
+
+            def initial(self):
+                return self._base.initial()
+
+            def step(self, dt=1.0):
+                return []
+
+        sim = Simulator(FrozenGenerator(RandomWalkGenerator(50, seed=5)), grid_size=8)
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        changes = manager.run(6)
+        assert len(changes) == 1
+
+    def test_negative_ticks(self):
+        manager = ContinuousQueryManager(make_sim())
+        with pytest.raises(ValueError):
+            manager.run(-1)

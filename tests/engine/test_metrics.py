@@ -1,0 +1,75 @@
+"""Unit tests for the metric records and aggregations."""
+
+import math
+
+from repro.engine.metrics import QueryLog, SimulationResult, TickMetrics, diff_ops
+
+
+def _tick(t, wall, answer=(), monitored=0, ops=None):
+    return TickMetrics(
+        tick=t,
+        wall_time=wall,
+        answer=frozenset(answer),
+        monitored=monitored,
+        region_cells=0,
+        ops=dict(ops or {}),
+    )
+
+
+class TestTickMetrics:
+    def test_answer_size(self):
+        assert _tick(0, 0.1, answer={1, 2}).answer_size == 2
+
+
+class TestQueryLog:
+    def test_empty_aggregates(self):
+        log = QueryLog(name="x")
+        assert log.avg_time == 0.0
+        assert log.avg_incremental_time == 0.0
+        assert log.avg_monitored == 0.0
+        assert log.total_time == 0.0
+
+    def test_series_and_aggregates(self):
+        log = QueryLog(name="x")
+        log.append(_tick(0, 0.4, monitored=4))
+        log.append(_tick(1, 0.1, monitored=2))
+        log.append(_tick(2, 0.3, monitored=6))
+        assert log.times() == [0.4, 0.1, 0.3]
+        assert log.accumulated_times() == [0.4, 0.5, 0.8]
+        assert math.isclose(log.total_time, 0.8)
+        assert math.isclose(log.avg_time, 0.8 / 3)
+        assert math.isclose(log.avg_incremental_time, 0.2)
+        assert math.isclose(log.avg_monitored, 4.0)
+        assert log.monitored_series() == [4, 2, 6]
+
+    def test_ops_series_and_totals(self):
+        log = QueryLog(name="x")
+        log.append(_tick(0, 0.0, ops={"calls_NN": 3}))
+        log.append(_tick(1, 0.0, ops={"calls_NN": 2}))
+        assert log.ops_series("calls_NN") == [3, 2]
+        assert log.total_ops("calls_NN") == 5
+        assert log.total_ops("missing") == 0
+
+    def test_accumulated_monotone(self):
+        log = QueryLog(name="x")
+        for t in range(10):
+            log.append(_tick(t, 0.01 * (t + 1)))
+        acc = log.accumulated_times()
+        assert all(a <= b for a, b in zip(acc, acc[1:]))
+
+
+class TestSimulationResult:
+    def test_indexing(self):
+        result = SimulationResult(logs={"a": QueryLog(name="a")})
+        assert result["a"].name == "a"
+        assert result.names() == ["a"]
+
+
+class TestDiffOps:
+    def test_diff(self):
+        before = {"calls_NN": 5, "cells_NN": 10}
+        after = {"calls_NN": 8, "cells_NN": 10}
+        assert diff_ops(before, after) == {"calls_NN": 3, "cells_NN": 0}
+
+    def test_new_keys_counted_fully(self):
+        assert diff_ops({}, {"x": 4}) == {"x": 4}

@@ -1,0 +1,117 @@
+"""Unit tests for the tick-driven simulator."""
+
+import pytest
+
+from repro.engine.simulation import Simulator
+from repro.grid.index import GridIndex
+from repro.motion.trace import Trace
+from repro.motion.uniform import RandomWalkGenerator
+from repro.queries import BruteForceMonoQuery, IGERNMonoQuery, QueryPosition
+
+
+class TestSetup:
+    def test_objects_loaded_into_grid(self):
+        sim = Simulator(RandomWalkGenerator(40, seed=1), grid_size=16)
+        assert len(sim.grid) == 40
+
+    def test_duplicate_query_name_rejected(self):
+        sim = Simulator(RandomWalkGenerator(10, seed=1), grid_size=8)
+        q = IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.5, 0.5)))
+        sim.add_query("a", q)
+        with pytest.raises(KeyError):
+            sim.add_query("a", q)
+
+    def test_foreign_grid_rejected(self):
+        sim = Simulator(RandomWalkGenerator(10, seed=1), grid_size=8)
+        other = GridIndex(8)
+        other.insert(1, (0.5, 0.5))
+        q = IGERNMonoQuery(other, QueryPosition(other, query_id=1))
+        with pytest.raises(ValueError):
+            sim.add_query("foreign", q)
+
+    def test_negative_ticks_rejected(self):
+        sim = Simulator(RandomWalkGenerator(10, seed=1), grid_size=8)
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+
+class TestRun:
+    def test_tick_zero_is_initial_step(self):
+        sim = Simulator(RandomWalkGenerator(40, seed=2), grid_size=16)
+        sim.add_query(
+            "q", IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.5, 0.5)))
+        )
+        result = sim.run(5)
+        log = result["q"]
+        assert len(log.ticks) == 6
+        assert log.ticks[0].tick == 0
+
+    def test_grid_positions_advance(self):
+        gen = RandomWalkGenerator(20, seed=3, step_sigma=0.05)
+        sim = Simulator(gen, grid_size=16)
+        before = sim.grid.positions_snapshot()
+        sim.run(3)
+        after = sim.grid.positions_snapshot()
+        assert before != after
+
+    def test_cell_changes_recorded(self):
+        gen = RandomWalkGenerator(100, seed=4, step_sigma=0.1)
+        sim = Simulator(gen, grid_size=32)
+        result = sim.run(5)
+        assert result.cell_changes > 0
+        assert result.updates == 500  # every object moves every tick
+
+    def test_deterministic_given_trace(self):
+        trace = Trace.record(RandomWalkGenerator(30, seed=5), 8)
+
+        def run_once():
+            sim = Simulator(trace.replay(), grid_size=16)
+            sim.add_query(
+                "q",
+                IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.4, 0.4))),
+            )
+            return [t.answer for t in sim.run(8)["q"].ticks]
+
+        assert run_once() == run_once()
+
+    def test_on_tick_callback(self):
+        sim = Simulator(RandomWalkGenerator(10, seed=6), grid_size=8)
+        seen = []
+        sim.run(4, on_tick=lambda t, s: seen.append(t))
+        assert seen == [1, 2, 3, 4]
+
+    def test_injected_clock(self):
+        ticks = iter(range(1000))
+        sim = Simulator(
+            RandomWalkGenerator(10, seed=7), grid_size=8, clock=lambda: float(next(ticks))
+        )
+        sim.add_query(
+            "q", IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.5, 0.5)))
+        )
+        result = sim.run(2)
+        # Each measured step consumed exactly two clock readings 1.0 apart.
+        assert all(t.wall_time == 1.0 for t in result["q"].ticks)
+
+    def test_two_runs_continue_time(self):
+        sim = Simulator(RandomWalkGenerator(20, seed=8), grid_size=8)
+        sim.add_query(
+            "q", IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.5, 0.5)))
+        )
+        first = sim.run(3)
+        second = sim.run(2)
+        assert first["q"].ticks[-1].tick == 3
+        # The second run re-executes at the current time (tick 3) and then
+        # advances; the query continues incrementally (no re-init).
+        assert [t.tick for t in second["q"].ticks] == [3, 4, 5]
+
+    def test_queries_see_same_stream(self):
+        sim = Simulator(RandomWalkGenerator(80, seed=9, step_sigma=0.04), grid_size=16)
+        pos = QueryPosition(sim.grid, fixed=(0.5, 0.5))
+        sim.add_query("igern", IGERNMonoQuery(sim.grid, pos))
+        sim.add_query(
+            "brute",
+            BruteForceMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.5, 0.5))),
+        )
+        result = sim.run(6)
+        for t in range(7):
+            assert result["igern"].ticks[t].answer == result["brute"].ticks[t].answer

@@ -1,0 +1,67 @@
+"""Unit tests for the workload builders."""
+
+import pytest
+
+from repro.engine.workload import (
+    WorkloadSpec,
+    build_generator,
+    build_simulator,
+    central_object,
+)
+
+
+class TestWorkloadSpec:
+    def test_mono_has_no_categories(self):
+        assert WorkloadSpec(bichromatic=False).categories() is None
+
+    def test_bichromatic_categories(self):
+        cats = WorkloadSpec(bichromatic=True, a_fraction=0.25).categories()
+        assert cats == {"A": 0.25, "B": 0.75}
+
+
+class TestBuildGenerator:
+    def test_unknown_network_raises(self):
+        with pytest.raises(ValueError):
+            build_generator(WorkloadSpec(network="teleporter"))
+
+    @pytest.mark.parametrize(
+        "kind", ["grid_city", "delaunay", "radial", "walk", "jump", "clusters"]
+    )
+    def test_all_kinds_build(self, kind):
+        gen = build_generator(WorkloadSpec(n_objects=50, network=kind, seed=1))
+        assert len(gen.initial()) == 50
+        assert len(gen.step()) <= 50
+
+    def test_bichromatic_assignment(self):
+        gen = build_generator(
+            WorkloadSpec(n_objects=200, seed=2, bichromatic=True)
+        )
+        cats = {c for _, _, c in gen.initial()}
+        assert cats == {"A", "B"}
+
+
+class TestBuildSimulator:
+    def test_simulator_populated(self):
+        sim = build_simulator(WorkloadSpec(n_objects=120, grid_size=16, seed=3))
+        assert len(sim.grid) == 120
+        assert sim.grid.size == 16
+
+    def test_central_object_is_central(self):
+        sim = build_simulator(WorkloadSpec(n_objects=200, grid_size=16, seed=4))
+        qid = central_object(sim)
+        center = sim.grid.extent.center
+        d_q = sim.grid.position(qid).distance_to(center)
+        for oid in sim.grid.objects():
+            assert d_q <= sim.grid.position(oid).distance_to(center) + 1e-12
+
+    def test_central_object_by_category(self):
+        sim = build_simulator(
+            WorkloadSpec(n_objects=200, grid_size=16, seed=5, bichromatic=True)
+        )
+        qid = central_object(sim, "A")
+        assert sim.grid.category(qid) == "A"
+
+    def test_central_object_missing_category(self):
+        sim = build_simulator(WorkloadSpec(n_objects=10, grid_size=8, seed=6))
+        with pytest.raises(ValueError):
+            central_object(sim, "Z")

@@ -1,0 +1,36 @@
+"""Tests for the grid-size calibration utility."""
+
+import pytest
+
+from repro.engine.workload import WorkloadSpec
+from repro.experiments.calibration import suggest_grid_size
+
+
+class TestSuggestGridSize:
+    def test_validation(self):
+        spec = WorkloadSpec(n_objects=100, seed=1)
+        with pytest.raises(ValueError):
+            suggest_grid_size(spec, candidates=[])
+        with pytest.raises(ValueError):
+            suggest_grid_size(spec, n_ticks=0)
+
+    def test_returns_candidate_with_details(self):
+        spec = WorkloadSpec(n_objects=500, seed=2)
+        best, details = suggest_grid_size(spec, candidates=(8, 32, 64), n_ticks=5)
+        assert best in (8, 32, 64)
+        assert set(details) == {8, 32, 64}
+        for info in details.values():
+            assert info["total"] == pytest.approx(
+                info["query_cost"] + info["maintenance_cost"]
+            )
+
+    def test_picks_the_cheapest_probe(self):
+        spec = WorkloadSpec(n_objects=500, seed=3)
+        best, details = suggest_grid_size(spec, candidates=(4, 48), n_ticks=5)
+        assert details[best]["total"] == min(d["total"] for d in details.values())
+
+    def test_avoids_degenerate_tiny_grid(self):
+        """With thousands of objects, a 2x2 grid is always a bad idea."""
+        spec = WorkloadSpec(n_objects=3000, seed=4)
+        best, _ = suggest_grid_size(spec, candidates=(2, 64), n_ticks=5)
+        assert best == 64

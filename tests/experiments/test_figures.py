@@ -1,0 +1,164 @@
+"""Smoke tests for every registered experiment at a tiny scale.
+
+These verify that each figure regenerates with the right structure (the
+paper's series names, matching lengths) and that the *directional* claims
+hold where they are robust even at tiny scale.  The full-size shape checks
+live in the benchmark suite.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+SCALE = 0.08  # a few hundred objects, a handful of ticks
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figures.fig5(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figures.fig6(scale=SCALE)
+
+
+class TestFig5(object):
+    def test_structure(self, fig5):
+        assert set(fig5) == {"fig5a", "fig5b"}
+        a = fig5["fig5a"]
+        assert a.x == [8.0, 16.0, 32.0, 64.0, 128.0, 256.0]
+        assert len(a.series) == 1
+
+    def test_cell_changes_increase_with_grid_size(self, fig5):
+        y = fig5["fig5a"].series[0].y
+        assert y[-1] > y[0]
+        assert all(b >= a for a, b in zip(y, y[1:]))
+
+
+class TestFig6:
+    def test_structure(self, fig6):
+        assert {s.name for s in fig6["fig6a"].series} == {"IGERN", "CRNN"}
+        assert {s.name for s in fig6["fig6b"].series} == {
+            "IGERN",
+            "IGERN-literal",
+            "CRNN",
+        }
+
+    def test_crnn_monitors_exactly_six(self, fig6):
+        crnn = fig6["fig6b"].series_by_name("CRNN")
+        assert all(5.0 <= v <= 6.0 for v in crnn.y)
+
+    def test_igern_beats_crnn_in_total(self, fig6):
+        igern = sum(fig6["fig6a"].series_by_name("IGERN").y)
+        crnn = sum(fig6["fig6a"].series_by_name("CRNN").y)
+        assert igern < crnn
+
+
+class TestFig7:
+    def test_accumulated_monotone_and_igern_below(self):
+        res = figures.fig7(scale=SCALE)
+        acc_i = res["fig7b"].series_by_name("IGERN").y
+        acc_c = res["fig7b"].series_by_name("CRNN").y
+        assert all(a <= b + 1e-12 for a, b in zip(acc_i, acc_i[1:]))
+        assert acc_i[-1] < acc_c[-1]
+
+
+class TestFig8:
+    def test_structure(self):
+        res = figures.fig8(scale=SCALE)
+        assert {s.name for s in res["fig8a"].series} == {"IGERN", "Voronoi"}
+        assert {s.name for s in res["fig8b"].series} == {
+            "IGERN (mono)",
+            "IGERN (bi)",
+        }
+
+
+class TestFig9:
+    def test_accumulated_igern_wins(self):
+        res = figures.fig9(scale=SCALE)
+        acc_i = res["fig9b"].series_by_name("IGERN").y
+        acc_v = res["fig9b"].series_by_name("Voronoi").y
+        assert acc_i[-1] < acc_v[-1]
+
+
+class TestCostModelCheck:
+    def test_runs_and_predicts_dominance(self):
+        res = figures.cost_model_check(scale=SCALE)
+        analytical = res.series_by_name("analytical").y
+        igern_mono, crnn, tpl, igern_bi, voronoi = analytical
+        assert igern_mono <= crnn
+        assert igern_mono <= tpl
+        assert igern_bi <= voronoi
+
+
+class TestAblations:
+    def test_prune_modes(self):
+        res = figures.ablation_prune_modes(scale=SCALE)
+        monitored = res.series_by_name("avg monitored").y
+        guarded, literal, off = monitored
+        assert literal <= guarded <= off
+
+    def test_pie_count(self):
+        res = figures.ablation_pie_count(scale=SCALE)
+        monitored = res.series_by_name("avg monitored").y
+        # More pies -> more monitored candidates.
+        assert monitored[0] <= monitored[-1]
+
+
+class TestExtensions:
+    def test_update_rate_structure(self):
+        res = figures.update_rate(scale=SCALE)
+        assert {s.name for s in res.series} == {"IGERN", "CRNN", "TPL"}
+        assert res.x[-1] == 1.0
+
+    def test_query_count_scales_roughly_linearly(self):
+        res = figures.query_count(scale=SCALE)
+        igern = res.series_by_name("IGERN").y
+        # 20 queries cost more than 1 query but far less than 40x.
+        assert igern[-1] > igern[0]
+        assert igern[-1] < 60 * igern[0]
+
+
+class TestKSweep:
+    def test_answers_grow_with_k(self):
+        res = figures.k_sweep(scale=SCALE)
+        mono = res.series_by_name("mono answers").y
+        bi = res.series_by_name("bi answers").y
+        assert mono[-1] >= mono[0]
+        assert bi[-1] >= bi[0]
+
+
+class TestDataSkew:
+    def test_igern_wins_on_every_distribution(self):
+        res = figures.data_skew(scale=SCALE)
+        igern = res.series_by_name("IGERN").y
+        crnn = res.series_by_name("CRNN").y
+        assert sum(igern) < sum(crnn)
+
+
+class TestMonitoredArea:
+    def test_igern_region_smaller_than_crnn(self):
+        res = figures.monitored_area(scale=SCALE)
+        igern = res.series_by_name("IGERN").y
+        crnn = res.series_by_name("CRNN").y
+        assert all(i < c for i, c in zip(igern, crnn))
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(figures.ALL_EXPERIMENTS) == {
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "cost-model",
+            "ablation-prune",
+            "ablation-pies",
+            "update-rate",
+            "query-count",
+            "monitored-area",
+            "data-skew",
+            "k-sweep",
+        }

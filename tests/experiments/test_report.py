@@ -1,0 +1,56 @@
+"""Unit tests for the report rendering."""
+
+import csv
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import experiment_table, format_table, write_csv
+
+
+def sample_result():
+    result = ExperimentResult(
+        exp_id="fig0",
+        title="demo",
+        x_label="objects",
+        y_label="time",
+        x=[100.0, 200.0],
+        notes="tiny",
+    )
+    result.add_series("IGERN", [0.001, 0.002])
+    result.add_series("CRNN", [0.004, 0.008])
+    return result
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # All rows share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123], [1234.5], [2.5]])
+        assert "0.000123" in text
+        assert "1234" in text  # large floats drop decimals
+        assert "2.500" in text
+
+
+class TestExperimentTable:
+    def test_contains_everything(self):
+        text = experiment_table(sample_result())
+        assert "fig0" in text
+        assert "IGERN" in text and "CRNN" in text
+        assert "note: tiny" in text
+        assert "100" in text
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(sample_result(), path)
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["objects", "IGERN", "CRNN"]
+        assert rows[1] == ["100.0", "0.001", "0.004"]
+        assert len(rows) == 3

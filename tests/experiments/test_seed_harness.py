@@ -1,0 +1,50 @@
+"""Tests for the seed-averaging harness."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.harness import ExperimentResult, repeat_with_seeds
+
+
+class TestRepeatWithSeeds:
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            repeat_with_seeds(lambda scale=None, seed=0: None, [])
+
+    def test_rejects_multi_figure_experiments(self):
+        with pytest.raises(TypeError):
+            repeat_with_seeds(figures.fig5, [1, 2], scale=0.05)
+
+    def test_rejects_inconsistent_structure(self):
+        def flaky(scale=None, seed=0):
+            result = ExperimentResult(
+                exp_id="x", title="t", x_label="x", y_label="y", x=[float(seed)]
+            )
+            result.add_series("s", [1.0])
+            return result
+
+        with pytest.raises(ValueError):
+            repeat_with_seeds(flaky, [1, 2])
+
+    def test_means_and_stds(self):
+        def fixed(scale=None, seed=0):
+            result = ExperimentResult(
+                exp_id="x", title="t", x_label="x", y_label="y", x=[1.0, 2.0]
+            )
+            result.add_series("s", [float(seed), 2.0 * seed])
+            return result
+
+        out = repeat_with_seeds(fixed, [2, 4])
+        assert out.series_by_name("s").y == [3.0, 6.0]
+        assert out.series_by_name("s (std)").y == [1.0, 2.0]
+        assert out.exp_id == "x-seeds"
+
+    def test_real_experiment_small(self):
+        out = repeat_with_seeds(
+            lambda scale=None, seed=7: figures.ablation_pie_count(
+                scale=scale, seed=seed
+            ),
+            [1, 2],
+            scale=0.05,
+        )
+        assert out.series_by_name("avg monitored").y[0] <= 6.0

@@ -1,0 +1,46 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.summary import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(experiments=["fig99"])
+
+    def test_single_experiment_report(self):
+        text = generate_report(scale=0.05, experiments=["ablation-pies"])
+        assert text.startswith("# IGERN experiment report")
+        assert "## ablation-pies" in text
+        assert "| pies |" in text
+
+    def test_multi_figure_experiment_flattens(self):
+        text = generate_report(scale=0.05, experiments=["fig5"])
+        assert "## fig5a" in text and "## fig5b" in text
+
+    def test_headline_present_for_fig6(self):
+        text = generate_report(scale=0.05, experiments=["fig6"])
+        assert "Headline comparisons" in text
+        assert "cheaper than CRNN" in text
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(tmp_path / "report.md", scale=0.05, experiments=["fig5"])
+        assert path.exists()
+        assert "fig5a" in path.read_text()
+
+
+class TestCliIntegration:
+    def test_markdown_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        rc = main(
+            ["experiment", "ablation-pies", "--scale", "0.05", "--markdown", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+        assert "ablation-pies" in out.read_text()

@@ -1,0 +1,63 @@
+"""Unit tests for repro.geometry.bisector — the core pruning primitive."""
+
+import math
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.geometry.bisector import bisector_halfplane, equidistant_line
+from repro.geometry.point import dist
+
+coord = st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False)
+
+
+class TestBisector:
+    def test_coincident_points_raise(self):
+        with pytest.raises(ValueError):
+            bisector_halfplane((1.0, 2.0), (1.0, 2.0))
+
+    def test_query_side_is_kept(self):
+        hp = bisector_halfplane((0.0, 0.0), (2.0, 0.0))
+        assert hp.strictly_contains((0.0, 0.0))  # the query itself
+        assert not hp.contains((2.0, 0.0))  # the object is strictly outside
+
+    def test_midpoint_on_boundary(self):
+        hp = bisector_halfplane((0.0, 0.0), (2.0, 4.0))
+        assert abs(hp.value((1.0, 2.0))) < 1e-12
+
+    def test_kept_side_means_closer_to_query(self):
+        q, o = (0.2, 0.3), (0.8, 0.9)
+        hp = bisector_halfplane(q, o)
+        for p in [(0.0, 0.0), (1.0, 1.0), (0.45, 0.6), (0.9, 0.1)]:
+            if dist(p, q) < dist(p, o) - 1e-9:
+                assert hp.strictly_contains(p)
+            elif dist(p, q) > dist(p, o) + 1e-9:
+                assert not hp.contains(p)
+
+    def test_equidistant_line_points(self):
+        q, o = (0.0, 0.0), (1.0, 0.0)
+        for p in equidistant_line(q, o):
+            assert math.isclose(dist(p, q), dist(p, o), rel_tol=1e-9)
+
+
+class TestBisectorProperties:
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_sign_encodes_relative_distance(self, qx, qy, ox, oy, px, py):
+        assume((qx, qy) != (ox, oy))
+        hp = bisector_halfplane((qx, qy), (ox, oy))
+        dq = dist((px, py), (qx, qy))
+        do = dist((px, py), (ox, oy))
+        value = hp.value((px, py))
+        if dq < do - 1e-9:
+            assert value > 0
+        elif do < dq - 1e-9:
+            assert value < 0
+
+    @given(coord, coord, coord, coord)
+    def test_swapping_endpoints_flips_halfplane(self, qx, qy, ox, oy):
+        assume((qx, qy) != (ox, oy))
+        forward = bisector_halfplane((qx, qy), (ox, oy))
+        backward = bisector_halfplane((ox, oy), (qx, qy))
+        p = (0.123, -0.456)
+        assert math.isclose(forward.value(p), -backward.value(p), rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,115 @@
+"""Unit tests for repro.geometry.halfplane."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.halfplane import HalfPlane, RectSide
+
+coeff = st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False)
+coord = st.floats(min_value=-5, max_value=5, allow_nan=False, allow_infinity=False)
+
+
+class TestHalfPlaneBasics:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            HalfPlane(0.0, 0.0, 1.0)
+
+    def test_value_sign(self):
+        hp = HalfPlane(1.0, 0.0, 0.0)  # x >= 0
+        assert hp.value((2.0, 5.0)) > 0
+        assert hp.value((-2.0, 5.0)) < 0
+        assert hp.value((0.0, 5.0)) == 0
+
+    def test_contains_is_closed(self):
+        hp = HalfPlane(0.0, 1.0, -1.0)  # y >= 1
+        assert hp.contains((0.0, 1.0))
+        assert hp.contains((0.0, 2.0))
+        assert not hp.contains((0.0, 0.5))
+
+    def test_strictly_contains_excludes_boundary(self):
+        hp = HalfPlane(0.0, 1.0, -1.0)
+        assert not hp.strictly_contains((0.0, 1.0))
+        assert hp.strictly_contains((0.0, 1.1))
+
+    def test_signed_distance(self):
+        hp = HalfPlane(2.0, 0.0, 0.0)  # x >= 0, non-unit normal
+        assert math.isclose(hp.signed_distance((3.0, 0.0)), 3.0)
+        assert math.isclose(hp.signed_distance((-3.0, 0.0)), -3.0)
+
+    def test_normalized_preserves_boundary(self):
+        hp = HalfPlane(3.0, 4.0, 5.0)
+        norm = hp.normalized()
+        assert math.isclose(math.hypot(norm.a, norm.b), 1.0)
+        p = (0.3, 0.7)
+        assert (hp.value(p) > 0) == (norm.value(p) > 0)
+
+    def test_flipped_complements(self):
+        hp = HalfPlane(1.0, -2.0, 0.5)
+        flipped = hp.flipped()
+        p = (1.0, 1.0)
+        assert hp.value(p) == -flipped.value(p)
+
+    def test_equality_and_hash(self):
+        assert HalfPlane(1, 2, 3) == HalfPlane(1, 2, 3)
+        assert HalfPlane(1, 2, 3) != HalfPlane(1, 2, 4)
+        assert hash(HalfPlane(1, 2, 3)) == hash(HalfPlane(1, 2, 3))
+
+    def test_boundary_points_on_line(self):
+        hp = HalfPlane(2.0, 3.0, -1.0)
+        for p in hp.boundary_points():
+            assert abs(hp.value(p)) < 1e-9
+
+    def test_boundary_points_vertical_line(self):
+        hp = HalfPlane(1.0, 0.0, -0.5)  # x >= 0.5
+        for p in hp.boundary_points():
+            assert abs(p[0] - 0.5) < 1e-12
+
+
+class TestRectClassification:
+    def test_rect_inside(self):
+        hp = HalfPlane(1.0, 0.0, 0.0)  # x >= 0
+        assert hp.classify_rect(0.1, 0.0, 1.0, 1.0) is RectSide.INSIDE
+
+    def test_rect_outside(self):
+        hp = HalfPlane(1.0, 0.0, 0.0)
+        assert hp.classify_rect(-1.0, 0.0, -0.1, 1.0) is RectSide.OUTSIDE
+
+    def test_rect_straddle(self):
+        hp = HalfPlane(1.0, 0.0, 0.0)
+        assert hp.classify_rect(-0.5, 0.0, 0.5, 1.0) is RectSide.STRADDLE
+
+    def test_rect_touching_boundary_is_inside(self):
+        # The half-plane is closed, so touching the boundary counts inside.
+        hp = HalfPlane(1.0, 0.0, 0.0)
+        assert hp.classify_rect(0.0, 0.0, 1.0, 1.0) is RectSide.INSIDE
+
+    def test_rect_outside_predicate_matches_classify(self):
+        hp = HalfPlane(-1.0, 2.0, 0.3)
+        rects = [
+            (0.0, 0.0, 0.5, 0.5),
+            (-3.0, -3.0, -2.0, -2.5),
+            (2.0, -1.0, 3.0, 0.0),
+        ]
+        for rect in rects:
+            expected = hp.classify_rect(*rect) is RectSide.OUTSIDE
+            assert hp.rect_outside(*rect) == expected
+
+    @given(coeff, coeff, coeff, coord, coord, coord, coord)
+    def test_classification_agrees_with_corner_values(self, a, b, c, x, y, w, h):
+        if a == 0.0 and b == 0.0:
+            return
+        hp = HalfPlane(a, b, c)
+        xmin, ymin = x, y
+        xmax, ymax = x + abs(w), y + abs(h)
+        corners = [(xmin, ymin), (xmax, ymin), (xmax, ymax), (xmin, ymax)]
+        values = [hp.value(p) for p in corners]
+        side = hp.classify_rect(xmin, ymin, xmax, ymax)
+        if side is RectSide.INSIDE:
+            assert all(v >= 0 for v in values)
+        elif side is RectSide.OUTSIDE:
+            assert all(v < 0 for v in values)
+        else:
+            assert any(v >= 0 for v in values) and any(v < 0 for v in values)

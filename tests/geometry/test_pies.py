@@ -1,0 +1,104 @@
+"""Unit tests for repro.geometry.pies (sector partition used by CRNN)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.pies import PiePartition
+from repro.geometry.rectangle import Rect
+
+angle = st.floats(min_value=0.0, max_value=2 * math.pi - 1e-9, allow_nan=False)
+radius = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)
+
+
+class TestPiePartition:
+    def test_needs_at_least_three_pies(self):
+        with pytest.raises(ValueError):
+            PiePartition((0.5, 0.5), n_pies=2)
+
+    def test_pie_of_cardinal_directions(self):
+        pies = PiePartition((0.0, 0.0), n_pies=6)
+        assert pies.pie_of((1.0, 0.1)) == 0  # just above +x axis
+        assert pies.pie_of((0.0, 1.0)) == 1  # 90 degrees
+        assert pies.pie_of((-1.0, 0.1)) == 2  # just below 180
+        assert pies.pie_of((-1.0, -0.1)) == 3
+        assert pies.pie_of((0.0, -1.0)) == 4  # 270 degrees
+        assert pies.pie_of((1.0, -0.1)) == 5
+
+    def test_pie_bounds(self):
+        pies = PiePartition((0.0, 0.0), n_pies=6)
+        start, end = pies.pie_bounds(1)
+        assert math.isclose(start, math.pi / 3)
+        assert math.isclose(end, 2 * math.pi / 3)
+
+    def test_pie_bounds_out_of_range(self):
+        pies = PiePartition((0.0, 0.0), n_pies=6)
+        with pytest.raises(IndexError):
+            pies.pie_bounds(6)
+
+    def test_offset_rotation(self):
+        pies = PiePartition((0.0, 0.0), n_pies=4, offset=math.pi / 4)
+        assert pies.pie_of((1.0, 1.0)) == 0  # 45 degrees is sector 0 start
+
+    @given(angle, radius)
+    def test_every_point_in_exactly_one_pie(self, theta, r):
+        pies = PiePartition((0.0, 0.0), n_pies=6)
+        p = (r * math.cos(theta), r * math.sin(theta))
+        idx = pies.pie_of(p)
+        start, end = pies.pie_bounds(idx)
+        a = pies.angle_of(p)
+        # Normalize against wrap-around at 2*pi.
+        in_range = start - 1e-9 <= a < end + 1e-9 or (
+            a + 2 * math.pi >= start - 1e-9 and a + 2 * math.pi < end + 1e-9
+        )
+        assert in_range
+
+
+class TestRectPieIntersection:
+    def test_center_inside_rect_hits_all_pies(self):
+        pies = PiePartition((0.5, 0.5), n_pies=6)
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert pies.pies_of_rect(rect) == list(range(6))
+
+    def test_rect_east_of_center(self):
+        pies = PiePartition((0.0, 0.0), n_pies=4)
+        rect = Rect(1.0, -0.1, 2.0, 0.1)  # hugging the +x axis
+        hits = pies.pies_of_rect(rect)
+        assert 0 in hits and 3 in hits
+        assert 1 not in hits or 2 not in hits
+
+    def test_angular_interval_raises_when_center_inside(self):
+        pies = PiePartition((0.5, 0.5), n_pies=6)
+        with pytest.raises(ValueError):
+            pies.rect_angular_interval(Rect(0.0, 0.0, 1.0, 1.0))
+
+    def test_rect_intersects_pie_agrees_with_sampling(self):
+        """Exactness check: compare against dense point sampling."""
+        pies = PiePartition((0.35, 0.45), n_pies=6)
+        rects = [
+            Rect(0.6, 0.6, 0.8, 0.9),
+            Rect(0.0, 0.0, 0.2, 0.2),
+            Rect(0.4, 0.5, 0.55, 0.65),
+            Rect(0.3, 0.0, 0.9, 0.2),
+        ]
+        steps = 30
+        for rect in rects:
+            sampled = set()
+            for i in range(steps + 1):
+                for j in range(steps + 1):
+                    x = rect.xmin + rect.width * i / steps
+                    y = rect.ymin + rect.height * j / steps
+                    if (x, y) != (pies.center.x, pies.center.y):
+                        sampled.add(pies.pie_of((x, y)))
+            for pie in range(6):
+                geometric = pies.rect_intersects_pie(rect, pie)
+                if pie in sampled:
+                    assert geometric, f"pie {pie} sampled but not reported for {rect}"
+                # The geometric test may over-approximate only at sector
+                # boundaries; a reported pie must be adjacent to a sampled
+                # one at worst.
+                if geometric and pie not in sampled:
+                    neighbors = {(pie - 1) % 6, (pie + 1) % 6}
+                    assert neighbors & sampled

@@ -1,0 +1,117 @@
+"""Unit tests for repro.geometry.polygon (convex clipping)."""
+
+import math
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.polygon import ConvexPolygon, clip_rect_by_halfplanes
+from repro.geometry.rectangle import Rect
+
+coord = st.floats(min_value=-3, max_value=3, allow_nan=False, allow_infinity=False)
+
+
+def unit_square() -> ConvexPolygon:
+    return ConvexPolygon.from_rect(Rect.unit())
+
+
+class TestPolygonBasics:
+    def test_from_rect(self):
+        poly = unit_square()
+        assert len(poly) == 4
+        assert math.isclose(poly.area(), 1.0)
+
+    def test_empty_polygon(self):
+        poly = ConvexPolygon()
+        assert poly.is_empty()
+        assert poly.area() == 0.0
+        assert not poly.contains((0.0, 0.0))
+
+    def test_centroid_of_square(self):
+        c = unit_square().centroid()
+        assert math.isclose(c.x, 0.5) and math.isclose(c.y, 0.5)
+
+    def test_centroid_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon().centroid()
+
+    def test_contains(self):
+        poly = unit_square()
+        assert poly.contains((0.5, 0.5))
+        assert poly.contains((0.0, 0.0))  # boundary
+        assert not poly.contains((1.5, 0.5))
+
+    def test_bounding_rect(self):
+        poly = ConvexPolygon([(0, 0), (2, 0), (1, 3)])
+        rect = poly.bounding_rect()
+        assert rect == Rect(0, 0, 2, 3)
+
+    def test_bounding_rect_empty(self):
+        assert ConvexPolygon().bounding_rect() is None
+
+
+class TestClipping:
+    def test_clip_no_effect_when_polygon_inside(self):
+        poly = unit_square().clip(HalfPlane(1.0, 0.0, 1.0))  # x >= -1
+        assert math.isclose(poly.area(), 1.0)
+
+    def test_clip_halves_square(self):
+        poly = unit_square().clip(HalfPlane(-1.0, 0.0, 0.5))  # x <= 0.5
+        assert math.isclose(poly.area(), 0.5, rel_tol=1e-9)
+
+    def test_clip_to_empty(self):
+        poly = unit_square().clip(HalfPlane(1.0, 0.0, -2.0))  # x >= 2
+        assert poly.is_empty()
+
+    def test_clip_corner(self):
+        # Keep x + y <= 0.5: a triangle of area 1/8.
+        poly = unit_square().clip(HalfPlane(-1.0, -1.0, 0.5))
+        assert math.isclose(poly.area(), 0.125, rel_tol=1e-9)
+
+    def test_clip_preserves_convexity_vertices_inside(self):
+        hp = HalfPlane(1.0, 2.0, -1.0)
+        poly = unit_square().clip(hp)
+        for v in poly.vertices:
+            assert hp.value(v) >= -1e-9
+
+    def test_clip_rect_by_halfplanes_sequence(self):
+        poly = clip_rect_by_halfplanes(
+            Rect.unit(),
+            [
+                HalfPlane(-1.0, 0.0, 0.75),  # x <= 0.75
+                HalfPlane(1.0, 0.0, -0.25),  # x >= 0.25
+                HalfPlane(0.0, -1.0, 0.75),  # y <= 0.75
+                HalfPlane(0.0, 1.0, -0.25),  # y >= 0.25
+            ],
+        )
+        assert math.isclose(poly.area(), 0.25, rel_tol=1e-9)
+
+    def test_clip_empty_short_circuits(self):
+        poly = clip_rect_by_halfplanes(
+            Rect.unit(),
+            [HalfPlane(1.0, 0.0, -2.0), HalfPlane(0.0, 1.0, 0.0)],
+        )
+        assert poly.is_empty()
+
+
+class TestClippingProperties:
+    @given(coord, coord, coord)
+    def test_area_never_grows(self, a, b, c):
+        assume(a != 0.0 or b != 0.0)
+        before = unit_square()
+        after = before.clip(HalfPlane(a, b, c))
+        assert after.area() <= before.area() + 1e-9
+
+    @given(coord, coord, coord, st.floats(min_value=0.01, max_value=0.99),
+           st.floats(min_value=0.01, max_value=0.99))
+    def test_clip_membership_consistent(self, a, b, c, px, py):
+        assume(a != 0.0 or b != 0.0)
+        hp = HalfPlane(a, b, c)
+        clipped = unit_square().clip(hp)
+        inside_before = True  # (px, py) is interior to the unit square
+        if hp.value((px, py)) > 1e-9 and inside_before:
+            assert clipped.contains((px, py), tol=1e-6)
+        if hp.value((px, py)) < -1e-9:
+            assert not clipped.contains((px, py), tol=1e-9)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.geometry.rectangle."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, dist
+from repro.geometry.rectangle import Rect
+
+coord = st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False)
+size = st.floats(min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+class TestRectBasics:
+    def test_invalid_extents_raise(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 1.0, 1.0, 0.0)
+
+    def test_dimensions(self):
+        r = Rect(0.0, 0.0, 2.0, 3.0)
+        assert r.width == 2.0
+        assert r.height == 3.0
+        assert r.area == 6.0
+        assert r.center == Point(1.0, 1.5)
+
+    def test_degenerate_rect_allowed(self):
+        r = Rect(1.0, 1.0, 1.0, 1.0)
+        assert r.area == 0.0
+        assert r.contains((1.0, 1.0))
+
+    def test_corners_ccw(self):
+        corners = list(Rect(0, 0, 1, 2).corners())
+        assert corners == [Point(0, 0), Point(1, 0), Point(1, 2), Point(0, 2)]
+
+    def test_contains_boundary(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains((0, 0))
+        assert r.contains((1, 1))
+        assert r.contains((0.5, 1.0))
+        assert not r.contains((1.0001, 0.5))
+
+    def test_intersects(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.intersects(Rect(0.5, 0.5, 2, 2))
+        assert a.intersects(Rect(1.0, 1.0, 2, 2))  # corner touch
+        assert not a.intersects(Rect(1.1, 1.1, 2, 2))
+
+    def test_clamp(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.clamp((2.0, 0.5)) == Point(1.0, 0.5)
+        assert r.clamp((-1.0, -1.0)) == Point(0.0, 0.0)
+        assert r.clamp((0.3, 0.7)) == Point(0.3, 0.7)
+
+    def test_unit(self):
+        assert Rect.unit() == Rect(0.0, 0.0, 1.0, 1.0)
+
+    def test_as_tuple(self):
+        assert Rect(1, 2, 3, 4).as_tuple() == (1, 2, 3, 4)
+
+
+class TestRectDistances:
+    def test_min_dist_inside_is_zero(self):
+        assert Rect(0, 0, 1, 1).min_dist((0.5, 0.5)) == 0.0
+
+    def test_min_dist_outside(self):
+        r = Rect(0, 0, 1, 1)
+        assert math.isclose(r.min_dist((2.0, 0.5)), 1.0)
+        assert math.isclose(r.min_dist((2.0, 2.0)), math.sqrt(2.0))
+
+    def test_max_dist(self):
+        r = Rect(0, 0, 1, 1)
+        assert math.isclose(r.max_dist((0.0, 0.0)), math.sqrt(2.0))
+
+    @given(coord, coord, size, size, coord, coord)
+    def test_min_dist_equals_clamp_distance(self, x, y, w, h, px, py):
+        r = Rect(x, y, x + w, y + h)
+        expected = dist((px, py), r.clamp((px, py)))
+        assert math.isclose(r.min_dist((px, py)), expected, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(coord, coord, size, size, coord, coord)
+    def test_min_le_max(self, x, y, w, h, px, py):
+        r = Rect(x, y, x + w, y + h)
+        assert r.min_dist_sq((px, py)) <= r.max_dist_sq((px, py)) + 1e-12
+
+    @given(coord, coord, size, size, coord, coord)
+    def test_max_dist_bounds_all_corners(self, x, y, w, h, px, py):
+        r = Rect(x, y, x + w, y + h)
+        md = r.max_dist((px, py))
+        for corner in r.corners():
+            assert dist((px, py), corner) <= md + 1e-9

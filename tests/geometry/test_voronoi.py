@@ -1,0 +1,90 @@
+"""Unit tests for repro.geometry.voronoi."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.point import dist
+from repro.geometry.rectangle import Rect
+from repro.geometry.voronoi import voronoi_cell, voronoi_neighbors
+
+
+class TestVoronoiCell:
+    def test_no_others_returns_bounds(self):
+        cell = voronoi_cell((0.5, 0.5), [], Rect.unit())
+        assert math.isclose(cell.area(), 1.0)
+
+    def test_one_other_halves_space(self):
+        cell = voronoi_cell((0.25, 0.5), [(0.75, 0.5)], Rect.unit())
+        assert math.isclose(cell.area(), 0.5, rel_tol=1e-9)
+        assert cell.contains((0.1, 0.5))
+        assert not cell.contains((0.9, 0.5))
+
+    def test_coincident_site_skipped(self):
+        cell = voronoi_cell((0.5, 0.5), [(0.5, 0.5)], Rect.unit())
+        assert math.isclose(cell.area(), 1.0)
+
+    def test_cell_contains_site(self):
+        rng = random.Random(3)
+        others = [(rng.random(), rng.random()) for _ in range(20)]
+        site = (0.5, 0.5)
+        cell = voronoi_cell(site, others, Rect.unit())
+        assert cell.contains(site)
+
+    def test_membership_equals_nearest_site(self):
+        """A point is in the cell iff the site is its (weakly) nearest."""
+        rng = random.Random(5)
+        others = [(rng.random(), rng.random()) for _ in range(15)]
+        site = (0.4, 0.6)
+        cell = voronoi_cell(site, others, Rect.unit())
+        for _ in range(300):
+            p = (rng.random(), rng.random())
+            d_site = dist(p, site)
+            d_best = min(dist(p, o) for o in others)
+            if d_site < d_best - 1e-9:
+                assert cell.contains(p)
+            elif d_site > d_best + 1e-9:
+                assert not cell.contains(p)
+
+    def test_cells_partition_space(self):
+        """Every point belongs to the cell of its nearest site."""
+        rng = random.Random(11)
+        sites = [(rng.random(), rng.random()) for _ in range(8)]
+        cells = [
+            voronoi_cell(s, [t for t in sites if t != s], Rect.unit())
+            for s in sites
+        ]
+        for _ in range(200):
+            p = (rng.random(), rng.random())
+            nearest = min(range(len(sites)), key=lambda i: dist(p, sites[i]))
+            assert cells[nearest].contains(p)
+
+
+class TestVoronoiNeighbors:
+    def test_neighbors_define_same_cell(self):
+        rng = random.Random(7)
+        others = {i: (rng.random(), rng.random()) for i in range(25)}
+        site = (0.5, 0.5)
+        neighbors = voronoi_neighbors(site, others, Rect.unit())
+        assert neighbors
+        reduced = voronoi_cell(
+            site, [others[i] for i in neighbors], Rect.unit()
+        )
+        full = voronoi_cell(site, others.values(), Rect.unit())
+        assert math.isclose(reduced.area(), full.area(), rel_tol=1e-6)
+
+    def test_far_site_is_not_a_neighbor(self):
+        others = {
+            "near-left": (0.3, 0.5),
+            "near-right": (0.7, 0.5),
+            "near-up": (0.5, 0.7),
+            "near-down": (0.5, 0.3),
+            "far": (0.95, 0.95),
+        }
+        neighbors = voronoi_neighbors((0.5, 0.5), others, Rect.unit())
+        assert "far" not in neighbors
+        assert set(neighbors) == {"near-left", "near-right", "near-up", "near-down"}
+
+    def test_empty_when_no_others(self):
+        assert voronoi_neighbors((0.5, 0.5), {}, Rect.unit()) == []

@@ -1,0 +1,73 @@
+"""Unit tests for repro.grid.cell coordinate math."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rectangle import Rect
+from repro.grid.cell import cell_key_of, cell_min_dist_sq, cell_rect_of
+
+unit_coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+grid_n = st.integers(min_value=1, max_value=64)
+
+
+class TestCellKeyOf:
+    def test_origin_maps_to_first_cell(self):
+        assert cell_key_of(Rect.unit(), 4, (0.0, 0.0)) == (0, 0)
+
+    def test_max_corner_clamped_to_last_cell(self):
+        assert cell_key_of(Rect.unit(), 4, (1.0, 1.0)) == (3, 3)
+
+    def test_interior_point(self):
+        assert cell_key_of(Rect.unit(), 4, (0.30, 0.80)) == (1, 3)
+
+    def test_out_of_extent_clamped(self):
+        assert cell_key_of(Rect.unit(), 4, (-0.5, 2.0)) == (0, 3)
+
+    def test_non_unit_extent(self):
+        extent = Rect(10.0, 20.0, 30.0, 40.0)
+        assert cell_key_of(extent, 2, (10.0, 20.0)) == (0, 0)
+        assert cell_key_of(extent, 2, (25.0, 35.0)) == (1, 1)
+
+    @given(grid_n, unit_coord, unit_coord)
+    def test_point_lies_in_its_cell(self, n, x, y):
+        key = cell_key_of(Rect.unit(), n, (x, y))
+        rect = cell_rect_of(Rect.unit(), n, key)
+        assert rect.contains((x, y))
+
+
+class TestCellRectOf:
+    def test_covers_extent_exactly(self):
+        extent = Rect.unit()
+        n = 3
+        total = sum(cell_rect_of(extent, n, (i, j)).area for i in range(n) for j in range(n))
+        assert math.isclose(total, 1.0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            cell_rect_of(Rect.unit(), 4, (4, 0))
+        with pytest.raises(IndexError):
+            cell_rect_of(Rect.unit(), 4, (0, -1))
+
+    def test_cell_rects_tile_without_overlap(self):
+        extent = Rect.unit()
+        a = cell_rect_of(extent, 4, (0, 0))
+        b = cell_rect_of(extent, 4, (1, 0))
+        assert math.isclose(a.xmax, b.xmin)
+
+
+class TestCellMinDist:
+    @given(grid_n, unit_coord, unit_coord, st.integers(0, 63), st.integers(0, 63))
+    def test_matches_rect_min_dist(self, n, x, y, ix, iy):
+        ix %= n
+        iy %= n
+        rect = cell_rect_of(Rect.unit(), n, (ix, iy))
+        expected = rect.min_dist_sq((x, y))
+        got = cell_min_dist_sq(Rect.unit(), n, (ix, iy), (x, y))
+        assert math.isclose(got, expected, rel_tol=1e-12, abs_tol=1e-12)
+
+    def test_zero_inside_own_cell(self):
+        key = cell_key_of(Rect.unit(), 8, (0.33, 0.77))
+        assert cell_min_dist_sq(Rect.unit(), 8, key, (0.33, 0.77)) == 0.0

@@ -1,0 +1,162 @@
+"""Unit tests for repro.grid.index.GridIndex."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.grid.index import GridIndex
+
+
+class TestInsertRemove:
+    def test_insert_and_lookup(self):
+        grid = GridIndex(8)
+        grid.insert("a", (0.1, 0.2))
+        assert "a" in grid
+        assert grid.position("a") == Point(0.1, 0.2)
+        assert grid.category("a") == 0
+        assert len(grid) == 1
+
+    def test_duplicate_insert_raises(self):
+        grid = GridIndex(8)
+        grid.insert(1, (0.5, 0.5))
+        with pytest.raises(KeyError):
+            grid.insert(1, (0.6, 0.6))
+
+    def test_remove_returns_position(self):
+        grid = GridIndex(8)
+        grid.insert(1, (0.5, 0.5))
+        pos = grid.remove(1)
+        assert pos == Point(0.5, 0.5)
+        assert 1 not in grid
+        assert len(grid) == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            GridIndex(8).remove("ghost")
+
+    def test_remove_cleans_empty_cells(self):
+        grid = GridIndex(8)
+        grid.insert(1, (0.5, 0.5))
+        grid.remove(1)
+        assert list(grid.occupied_cells()) == []
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            GridIndex(0)
+
+    def test_upsert_inserts_then_moves(self):
+        grid = GridIndex(8)
+        grid.upsert(1, (0.1, 0.1))
+        grid.upsert(1, (0.9, 0.9))
+        assert grid.position(1) == Point(0.9, 0.9)
+        assert len(grid) == 1
+
+
+class TestMove:
+    def test_move_within_cell_not_counted(self):
+        grid = GridIndex(4)
+        grid.insert(1, (0.1, 0.1))
+        changed = grid.move(1, (0.15, 0.12))
+        assert not changed
+        assert grid.cell_changes == 0
+        assert grid.updates == 1
+
+    def test_move_across_cells_counted(self):
+        grid = GridIndex(4)
+        grid.insert(1, (0.1, 0.1))
+        changed = grid.move(1, (0.9, 0.9))
+        assert changed
+        assert grid.cell_changes == 1
+        assert grid.cell_of(1) == (3, 3)
+
+    def test_move_updates_cell_membership(self):
+        grid = GridIndex(4)
+        grid.insert(1, (0.1, 0.1))
+        old_key = grid.cell_of(1)
+        grid.move(1, (0.9, 0.9))
+        assert 1 not in set(grid.objects_in_cell(old_key))
+        assert 1 in set(grid.objects_in_cell((3, 3)))
+
+    def test_move_out_of_extent_clamps(self):
+        grid = GridIndex(4)
+        grid.insert(1, (0.5, 0.5))
+        grid.move(1, (1.7, -0.3))
+        assert grid.cell_of(1) == (3, 0)
+
+    def test_finer_grid_sees_more_cell_changes(self):
+        """The Figure 5a effect: resolution multiplies maintenance."""
+        import random
+
+        rng = random.Random(0)
+        points = [(rng.random(), rng.random()) for _ in range(200)]
+        steps = [
+            (min(max(x + rng.gauss(0, 0.02), 0), 1), min(max(y + rng.gauss(0, 0.02), 0), 1))
+            for x, y in points
+        ]
+        changes = {}
+        for n in (4, 64):
+            grid = GridIndex(n)
+            for i, p in enumerate(points):
+                grid.insert(i, p)
+            for i, p in enumerate(steps):
+                grid.move(i, p)
+            changes[n] = grid.cell_changes
+        assert changes[64] > changes[4]
+
+    def test_reset_counters(self):
+        grid = GridIndex(4)
+        grid.insert(1, (0.1, 0.1))
+        grid.move(1, (0.9, 0.9))
+        grid.reset_counters()
+        assert grid.cell_changes == 0
+        assert grid.updates == 0
+
+
+class TestCategories:
+    def test_category_filtering(self):
+        grid = GridIndex(8)
+        grid.insert(1, (0.1, 0.1), "A")
+        grid.insert(2, (0.1, 0.12), "B")
+        grid.insert(3, (0.9, 0.9), "A")
+        assert sorted(grid.objects("A")) == [1, 3]
+        assert sorted(grid.objects("B")) == [2]
+        assert grid.count("A") == 2
+        assert grid.count() == 3
+
+    def test_objects_in_cell_by_category(self):
+        grid = GridIndex(8)
+        grid.insert(1, (0.1, 0.1), "A")
+        grid.insert(2, (0.11, 0.11), "B")
+        key = grid.cell_of(1)
+        assert set(grid.objects_in_cell(key)) == {1, 2}
+        assert set(grid.objects_in_cell(key, "A")) == {1}
+        assert grid.cell_population(key) == 2
+        assert grid.cell_population(key, "B") == 1
+
+    def test_move_preserves_category(self):
+        grid = GridIndex(8)
+        grid.insert(1, (0.1, 0.1), "A")
+        grid.move(1, (0.9, 0.9))
+        assert grid.category(1) == "A"
+        assert 1 in set(grid.objects_in_cell(grid.cell_of(1), "A"))
+
+    def test_positions_snapshot(self):
+        grid = GridIndex(8)
+        grid.insert(1, (0.1, 0.2), "A")
+        grid.insert(2, (0.3, 0.4), "B")
+        assert grid.positions_snapshot() == {1: (0.1, 0.2), 2: (0.3, 0.4)}
+        assert grid.positions_snapshot("A") == {1: (0.1, 0.2)}
+
+
+class TestCustomExtent:
+    def test_non_unit_extent(self):
+        grid = GridIndex(10, extent=Rect(0.0, 0.0, 100.0, 100.0))
+        grid.insert(1, (55.0, 5.0))
+        assert grid.cell_of(1) == (5, 0)
+        rect = grid.cell_rect((5, 0))
+        assert rect.contains((55.0, 5.0))
+
+    def test_cell_key_matches_insert(self):
+        grid = GridIndex(7, extent=Rect(-1.0, -1.0, 1.0, 1.0))
+        grid.insert(1, (0.0, 0.0))
+        assert grid.cell_key((0.0, 0.0)) == grid.cell_of(1)

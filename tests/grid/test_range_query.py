@@ -1,0 +1,70 @@
+"""Tests for the range-query API (objects_within)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import dist
+from repro.grid.index import GridIndex
+from repro.grid.search import GridSearch
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+points = st.lists(st.tuples(unit, unit), min_size=0, max_size=50)
+
+
+class TestObjectsWithin:
+    def test_negative_radius_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            GridSearch(small_grid).objects_within((0.5, 0.5), -0.1)
+
+    def test_sorted_by_distance(self, small_grid):
+        search = GridSearch(small_grid)
+        result = search.objects_within((0.5, 0.5), 0.3)
+        distances = [d for _, d in result]
+        assert distances == sorted(distances)
+
+    def test_closed_ball_semantics(self):
+        grid = GridIndex(8)
+        grid.insert("on", (0.7, 0.5))  # exactly at radius 0.2
+        grid.insert("out", (0.71, 0.5))
+        search = GridSearch(grid)
+        found = {oid for oid, _ in search.objects_within((0.5, 0.5), 0.2)}
+        assert found == {"on"}
+
+    def test_zero_radius_finds_coincident(self):
+        grid = GridIndex(8)
+        grid.insert("here", (0.5, 0.5))
+        grid.insert("there", (0.6, 0.5))
+        search = GridSearch(grid)
+        found = {oid for oid, _ in search.objects_within((0.5, 0.5), 0.0)}
+        assert found == {"here"}
+
+    def test_exclusion_and_category(self, bi_grid):
+        search = GridSearch(bi_grid)
+        all_a = search.objects_within((0.5, 0.5), 0.4, category="A")
+        assert all(bi_grid.category(oid) == "A" for oid, _ in all_a)
+        if all_a:
+            skip = all_a[0][0]
+            without = search.objects_within(
+                (0.5, 0.5), 0.4, category="A", exclude={skip}
+            )
+            assert skip not in {oid for oid, _ in without}
+
+    @given(points, unit, unit, unit)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, pts, qx, qy, radius):
+        grid = GridIndex(9)
+        for i, p in enumerate(pts):
+            grid.insert(i, p)
+        search = GridSearch(grid)
+        got = {oid for oid, _ in search.objects_within((qx, qy), radius)}
+        expected = {
+            i for i, p in enumerate(pts) if dist(p, (qx, qy)) <= radius
+        }
+        # Boundary ulps: allow discrepancy only for points exactly at the
+        # radius within float noise.
+        sym_diff = got ^ expected
+        for i in sym_diff:
+            assert math.isclose(dist(pts[i], (qx, qy)), radius, rel_tol=1e-9, abs_tol=1e-12)

@@ -1,0 +1,110 @@
+"""Unit tests for the churn generator and churn-driven simulation."""
+
+import pytest
+
+from repro.engine.simulation import Simulator
+from repro.motion.churn import ChurnRandomWalkGenerator
+from repro.queries import (
+    BruteForceBiQuery,
+    BruteForceMonoQuery,
+    IGERNBiQuery,
+    IGERNMonoQuery,
+    QueryPosition,
+)
+
+
+class TestChurnGenerator:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ChurnRandomWalkGenerator(0)
+        with pytest.raises(ValueError):
+            ChurnRandomWalkGenerator(10, step_sigma=0.0)
+        with pytest.raises(ValueError):
+            ChurnRandomWalkGenerator(10, birth_rate=-0.1)
+
+    def test_plain_step_rejected(self):
+        gen = ChurnRandomWalkGenerator(10, seed=1)
+        with pytest.raises(TypeError):
+            gen.step()
+
+    def test_events_are_consistent(self):
+        gen = ChurnRandomWalkGenerator(50, seed=2, birth_rate=0.1, death_rate=0.1)
+        live = {oid for oid, _, _ in gen.initial()}
+        for _ in range(30):
+            ev = gen.step_events()
+            for oid in ev.removes:
+                assert oid in live
+                live.discard(oid)
+            for oid, _, _ in ev.inserts:
+                assert oid not in live  # fresh ids, never recycled
+                live.add(oid)
+            for oid, _ in ev.moves:
+                assert oid in live
+            assert live == set(gen.object_ids())
+
+    def test_population_floor(self):
+        gen = ChurnRandomWalkGenerator(
+            5, seed=3, birth_rate=0.0, death_rate=1.0, min_population=3
+        )
+        for _ in range(10):
+            gen.step_events()
+        assert gen.population == 3
+
+    def test_balanced_rates_keep_population_stable(self):
+        gen = ChurnRandomWalkGenerator(100, seed=4, birth_rate=0.05, death_rate=0.05)
+        for _ in range(50):
+            gen.step_events()
+        assert 50 < gen.population < 200
+
+    def test_categories(self):
+        gen = ChurnRandomWalkGenerator(
+            80, seed=5, categories={"A": 1.0, "B": 1.0}
+        )
+        cats = {c for _, _, c in gen.initial()}
+        assert cats == {"A", "B"}
+
+
+class TestChurnSimulation:
+    def test_grid_tracks_population(self):
+        gen = ChurnRandomWalkGenerator(60, seed=6, birth_rate=0.1, death_rate=0.1)
+        sim = Simulator(gen, grid_size=16)
+        sim.run(20)
+        assert len(sim.grid) == gen.population
+
+    def test_mono_igern_correct_under_churn(self):
+        """Failure injection: candidates and answers may vanish any tick."""
+        gen = ChurnRandomWalkGenerator(
+            120, seed=7, birth_rate=0.15, death_rate=0.15, step_sigma=0.03
+        )
+        sim = Simulator(gen, grid_size=16)
+        pos = QueryPosition(sim.grid, fixed=(0.5, 0.5))
+        sim.add_query("igern", IGERNMonoQuery(sim.grid, pos))
+        sim.add_query(
+            "brute", BruteForceMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.5, 0.5)))
+        )
+        result = sim.run(25)
+        for t in range(26):
+            assert (
+                result["igern"].ticks[t].answer == result["brute"].ticks[t].answer
+            ), f"diverged at tick {t}"
+
+    def test_bi_igern_correct_under_churn(self):
+        gen = ChurnRandomWalkGenerator(
+            120,
+            seed=8,
+            birth_rate=0.15,
+            death_rate=0.15,
+            step_sigma=0.03,
+            categories={"A": 1.0, "B": 2.0},
+        )
+        sim = Simulator(gen, grid_size=16)
+        pos = QueryPosition(sim.grid, fixed=(0.5, 0.5))
+        sim.add_query("igern", IGERNBiQuery(sim.grid, pos))
+        sim.add_query(
+            "brute", BruteForceBiQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.5, 0.5)))
+        )
+        result = sim.run(25)
+        for t in range(26):
+            assert (
+                result["igern"].ticks[t].answer == result["brute"].ticks[t].answer
+            ), f"diverged at tick {t}"

@@ -1,0 +1,96 @@
+"""Tests for the clustered (skewed) workload generator."""
+
+import math
+
+import pytest
+
+from repro.engine.simulation import Simulator
+from repro.motion.clusters import GaussianClusterGenerator
+from repro.queries import BruteForceMonoQuery, IGERNMonoQuery, QueryPosition
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GaussianClusterGenerator(0)
+        with pytest.raises(ValueError):
+            GaussianClusterGenerator(10, n_clusters=0)
+        with pytest.raises(ValueError):
+            GaussianClusterGenerator(10, member_sigma=-1.0)
+
+    def test_initial_positions_in_extent(self):
+        gen = GaussianClusterGenerator(200, seed=1)
+        for _, pos, _ in gen.initial():
+            assert 0.0 <= pos.x <= 1.0 and 0.0 <= pos.y <= 1.0
+
+    def test_objects_cluster_around_centers(self):
+        gen = GaussianClusterGenerator(400, n_clusters=3, seed=2, cluster_sigma=0.03)
+        centers = gen.cluster_centers()
+        near = 0
+        for oid in gen.object_ids():
+            pos = gen.position(oid)
+            d = min(math.hypot(pos.x - c.x, pos.y - c.y) for c in centers)
+            if d < 0.12:  # 4 sigma
+                near += 1
+        assert near > 380  # almost everyone sits in a hotspot
+
+    def test_skew_vs_uniform(self):
+        """Cluster workloads concentrate far more objects per cell than a
+        uniform placement would."""
+        from repro.grid.index import GridIndex
+
+        gen = GaussianClusterGenerator(500, n_clusters=2, seed=3, cluster_sigma=0.04)
+        grid = GridIndex(16)
+        for oid, pos, cat in gen.initial():
+            grid.insert(oid, pos, cat)
+        max_cell = max(
+            grid.cell_population(key) for key in grid.occupied_cells()
+        )
+        assert max_cell > 500 / 256 * 5  # >5x the uniform expectation
+
+    def test_categories(self):
+        gen = GaussianClusterGenerator(100, seed=4, categories={"A": 1, "B": 1})
+        cats = {c for _, _, c in gen.initial()}
+        assert cats == {"A", "B"}
+
+
+class TestStepping:
+    def test_everyone_moves(self):
+        gen = GaussianClusterGenerator(100, seed=5)
+        assert len(gen.step()) == 100
+
+    def test_positions_stay_in_extent(self):
+        gen = GaussianClusterGenerator(150, seed=6, drift_sigma=0.05)
+        for _ in range(30):
+            for _, pos in gen.step():
+                assert 0.0 <= pos.x <= 1.0 and 0.0 <= pos.y <= 1.0
+
+    def test_centers_drift(self):
+        gen = GaussianClusterGenerator(50, seed=7, drift_sigma=0.02)
+        before = gen.cluster_centers()
+        for _ in range(20):
+            gen.step()
+        after = gen.cluster_centers()
+        assert any(
+            math.hypot(a.x - b.x, a.y - b.y) > 0.01 for a, b in zip(before, after)
+        )
+
+    def test_deterministic(self):
+        a = GaussianClusterGenerator(40, seed=8)
+        b = GaussianClusterGenerator(40, seed=8)
+        assert a.step() == b.step()
+
+
+class TestAlgorithmsUnderSkew:
+    def test_igern_exact_on_clustered_data(self):
+        gen = GaussianClusterGenerator(400, n_clusters=3, seed=9, cluster_sigma=0.04)
+        sim = Simulator(gen, grid_size=24)
+        pos = QueryPosition(sim.grid, fixed=(0.5, 0.5))
+        sim.add_query("igern", IGERNMonoQuery(sim.grid, pos))
+        sim.add_query(
+            "brute",
+            BruteForceMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.5, 0.5))),
+        )
+        result = sim.run(12)
+        for t in range(13):
+            assert result["igern"].ticks[t].answer == result["brute"].ticks[t].answer

@@ -1,0 +1,110 @@
+"""Unit tests for repro.motion.roadnet.RoadNetwork."""
+
+import math
+import random
+
+import pytest
+
+from repro.motion.roadnet import RoadNetwork
+
+
+class TestConstruction:
+    def test_manual_network(self):
+        net = RoadNetwork(
+            {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (1.0, 1.0)},
+            [(0, 1), (1, 2)],
+        )
+        assert len(net) == 3
+        assert math.isclose(net.edge_length(0, 1), 1.0)
+        assert math.isclose(net.edge_length(1, 2), 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RoadNetwork({}, [])
+
+    def test_no_edges_raises(self):
+        with pytest.raises(ValueError):
+            RoadNetwork({0: (0.0, 0.0)}, [])
+
+    def test_self_loops_dropped(self):
+        net = RoadNetwork({0: (0, 0), 1: (1, 0)}, [(0, 0), (0, 1)])
+        assert [(u, v) for u, v, _ in net.edges()] in ([(0, 1)], [(1, 0)])
+
+    def test_keeps_largest_component(self):
+        net = RoadNetwork(
+            {0: (0, 0), 1: (1, 0), 2: (5, 5), 3: (6, 5), 4: (6, 6)},
+            [(0, 1), (2, 3), (3, 4)],
+        )
+        assert set(net.nodes) == {2, 3, 4}
+
+
+class TestGeometry:
+    def test_point_on_edge_interpolates(self):
+        net = RoadNetwork({0: (0.0, 0.0), 1: (1.0, 0.0)}, [(0, 1)])
+        p = net.point_on_edge(0, 1, 0.25)
+        assert math.isclose(p.x, 0.25) and p.y == 0.0
+
+    def test_point_on_edge_clamps_offset(self):
+        net = RoadNetwork({0: (0.0, 0.0), 1: (1.0, 0.0)}, [(0, 1)])
+        assert net.point_on_edge(0, 1, 5.0).x == 1.0
+        assert net.point_on_edge(0, 1, -1.0).x == 0.0
+
+    def test_neighbors(self):
+        net = RoadNetwork(
+            {0: (0, 0), 1: (1, 0), 2: (0, 1)}, [(0, 1), (0, 2)]
+        )
+        nbrs = dict(net.neighbors(0))
+        assert set(nbrs) == {1, 2}
+
+    def test_shortest_path(self):
+        net = RoadNetwork(
+            {0: (0, 0), 1: (1, 0), 2: (2, 0), 3: (1, 5)},
+            [(0, 1), (1, 2), (0, 3), (3, 2)],
+        )
+        assert net.shortest_path(0, 2) == [0, 1, 2]
+
+    def test_random_node_is_valid(self):
+        net = RoadNetwork.grid_city(rows=4, cols=4, seed=1)
+        rng = random.Random(0)
+        for _ in range(20):
+            assert net.random_node(rng) in set(net.nodes)
+
+
+class TestBuilders:
+    def test_grid_city_in_unit_square(self):
+        net = RoadNetwork.grid_city(rows=8, cols=8, seed=3)
+        assert len(net) == 64
+        for node in net.nodes:
+            p = net.node_pos(node)
+            assert 0.0 <= p.x <= 1.0 and 0.0 <= p.y <= 1.0
+
+    def test_grid_city_connected(self):
+        import networkx as nx
+
+        net = RoadNetwork.grid_city(rows=6, cols=6, seed=5)
+        assert nx.is_connected(net.graph)
+
+    def test_grid_city_too_small_raises(self):
+        with pytest.raises(ValueError):
+            RoadNetwork.grid_city(rows=1, cols=5)
+
+    def test_grid_city_deterministic(self):
+        a = RoadNetwork.grid_city(seed=7)
+        b = RoadNetwork.grid_city(seed=7)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_delaunay_in_unit_square(self):
+        net = RoadNetwork.delaunay(n_nodes=50, seed=2)
+        for node in net.nodes:
+            p = net.node_pos(node)
+            assert 0.0 <= p.x <= 1.0 and 0.0 <= p.y <= 1.0
+
+    def test_delaunay_connected(self):
+        import networkx as nx
+
+        net = RoadNetwork.delaunay(n_nodes=40, seed=6)
+        assert nx.is_connected(net.graph)
+
+    def test_delaunay_too_small_raises(self):
+        with pytest.raises(ValueError):
+            RoadNetwork.delaunay(n_nodes=3)

@@ -1,0 +1,74 @@
+"""Tests for the radial-city builder and road network persistence."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.motion.generator import NetworkMovingObjectGenerator
+from repro.motion.roadnet import RoadNetwork
+
+
+class TestRadialCity:
+    def test_structure(self):
+        net = RoadNetwork.radial_city(rings=4, spokes=8, seed=1)
+        assert len(net) == 1 + 4 * 8
+        assert nx.is_connected(net.graph)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RoadNetwork.radial_city(rings=0)
+        with pytest.raises(ValueError):
+            RoadNetwork.radial_city(spokes=2)
+
+    def test_in_unit_square(self):
+        net = RoadNetwork.radial_city(rings=6, spokes=12, seed=2)
+        for node in net.nodes:
+            p = net.node_pos(node)
+            assert 0.0 <= p.x <= 1.0 and 0.0 <= p.y <= 1.0
+
+    def test_center_is_hub(self):
+        net = RoadNetwork.radial_city(rings=3, spokes=6, seed=3, jitter=0.0)
+        # The central node connects to every first-ring spoke.
+        assert len(net.neighbors(0)) == 6
+
+    def test_drives_generator(self):
+        net = RoadNetwork.radial_city(rings=4, spokes=10, seed=4)
+        gen = NetworkMovingObjectGenerator(net, 40, seed=5)
+        for _ in range(20):
+            for _, pos in gen.step():
+                assert 0.0 <= pos.x <= 1.0 and 0.0 <= pos.y <= 1.0
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        net = RoadNetwork.grid_city(rows=5, cols=5, seed=6)
+        path = tmp_path / "net.csv"
+        net.save(path)
+        loaded = RoadNetwork.load(path)
+        assert set(loaded.nodes) == set(net.nodes)
+        for node in net.nodes:
+            assert loaded.node_pos(node) == net.node_pos(node)
+        original = sorted((min(u, v), max(u, v)) for u, v, _ in net.edges())
+        restored = sorted((min(u, v), max(u, v)) for u, v, _ in loaded.edges())
+        assert original == restored
+
+    def test_edge_lengths_preserved(self, tmp_path):
+        net = RoadNetwork.delaunay(n_nodes=30, seed=7)
+        path = tmp_path / "net.csv"
+        net.save(path)
+        loaded = RoadNetwork.load(path)
+        for u, v, length in net.edges():
+            assert math.isclose(loaded.edge_length(u, v), length)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bogus.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            RoadNetwork.load(path)
+
+    def test_load_rejects_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("record,a,b,c\nnode,0,0.1,0.2\nnode,1,0.5,0.5\nedge,0,1,\nwormhole,0,1,\n")
+        with pytest.raises(ValueError):
+            RoadNetwork.load(path)

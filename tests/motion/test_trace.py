@@ -1,0 +1,81 @@
+"""Unit tests for repro.motion.trace.Trace."""
+
+import pytest
+
+from repro.motion.trace import Trace
+from repro.motion.uniform import RandomWalkGenerator
+
+
+class TestRecord:
+    def test_record_shape(self):
+        gen = RandomWalkGenerator(25, seed=1)
+        trace = Trace.record(gen, 10)
+        assert trace.n_objects == 25
+        assert len(trace) == 10
+
+    def test_negative_ticks_raise(self):
+        gen = RandomWalkGenerator(5, seed=1)
+        with pytest.raises(ValueError):
+            Trace.record(gen, -1)
+
+    def test_record_zero_ticks(self):
+        gen = RandomWalkGenerator(5, seed=1)
+        trace = Trace.record(gen, 0)
+        assert len(trace) == 0
+        assert trace.n_objects == 5
+
+
+class TestReplay:
+    def test_replay_matches_recording(self):
+        gen = RandomWalkGenerator(15, seed=2)
+        trace = Trace.record(gen, 8)
+        replay = trace.replay()
+        assert replay.initial() == trace.initial
+        for t in range(8):
+            assert replay.step() == trace.ticks[t]
+
+    def test_replay_exhaustion_raises(self):
+        trace = Trace.record(RandomWalkGenerator(3, seed=3), 2)
+        replay = trace.replay()
+        replay.initial()
+        replay.step()
+        replay.step()
+        with pytest.raises(StopIteration):
+            replay.step()
+
+    def test_two_replays_are_independent(self):
+        trace = Trace.record(RandomWalkGenerator(3, seed=4), 3)
+        r1, r2 = trace.replay(), trace.replay()
+        assert r1.step() == r2.step()
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        gen = RandomWalkGenerator(12, seed=5, categories={"A": 1, "B": 1})
+        trace = Trace.record(gen, 6)
+        path = tmp_path / "trace.csv"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.n_objects == trace.n_objects
+        assert len(loaded) == len(trace)
+        assert loaded.initial == trace.initial
+        assert loaded.ticks == trace.ticks
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bogus.csv"
+        path.write_text("not,a,trace\n1,2,3\n")
+        with pytest.raises(ValueError):
+            Trace.load(path)
+
+    def test_string_ids_roundtrip(self, tmp_path):
+        from repro.geometry.point import Point
+
+        trace = Trace(
+            [("car-1", Point(0.5, 0.5), "A")],
+            [[("car-1", Point(0.6, 0.5))]],
+        )
+        path = tmp_path / "trace.csv"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.initial[0][0] == "car-1"
+        assert loaded.initial[0][2] == "A"

@@ -1,0 +1,66 @@
+"""Unit tests for the unconstrained motion generators."""
+
+import pytest
+
+from repro.geometry.rectangle import Rect
+from repro.motion.uniform import RandomWalkGenerator, UniformJumpGenerator
+
+
+class TestUniformJump:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            UniformJumpGenerator(0)
+        with pytest.raises(ValueError):
+            UniformJumpGenerator(10, jump_prob=1.5)
+
+    def test_initial_inside_extent(self):
+        gen = UniformJumpGenerator(100, seed=1)
+        for _, pos, _ in gen.initial():
+            assert 0.0 <= pos.x <= 1.0 and 0.0 <= pos.y <= 1.0
+
+    def test_jump_probability_controls_volume(self):
+        lazy = UniformJumpGenerator(500, seed=2, jump_prob=0.1)
+        eager = UniformJumpGenerator(500, seed=2, jump_prob=0.9)
+        assert len(lazy.step()) < len(eager.step())
+
+    def test_zero_prob_never_moves(self):
+        gen = UniformJumpGenerator(50, seed=3, jump_prob=0.0)
+        assert gen.step() == []
+
+    def test_custom_extent(self):
+        extent = Rect(10.0, 10.0, 20.0, 20.0)
+        gen = UniformJumpGenerator(50, seed=4, jump_prob=1.0, extent=extent)
+        for _, pos in gen.step():
+            assert extent.contains(pos)
+
+    def test_categories(self):
+        gen = UniformJumpGenerator(100, seed=5, categories={"A": 1, "B": 3})
+        cats = [c for _, _, c in gen.initial()]
+        assert cats.count("B") > cats.count("A")
+
+
+class TestRandomWalk:
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            RandomWalkGenerator(10, step_sigma=0.0)
+
+    def test_all_objects_move_each_tick(self):
+        gen = RandomWalkGenerator(80, seed=6)
+        assert len(gen.step()) == 80
+
+    def test_positions_reflected_into_extent(self):
+        gen = RandomWalkGenerator(100, seed=7, step_sigma=0.2)
+        for _ in range(20):
+            for _, pos in gen.step():
+                assert 0.0 <= pos.x <= 1.0 and 0.0 <= pos.y <= 1.0
+
+    def test_small_sigma_small_steps(self):
+        gen = RandomWalkGenerator(50, seed=8, step_sigma=0.001)
+        before = {oid: pos for oid, pos, _ in gen.initial()}
+        for oid, pos in gen.step():
+            assert before[oid].distance_to(pos) < 0.01
+
+    def test_deterministic(self):
+        a = RandomWalkGenerator(20, seed=9)
+        b = RandomWalkGenerator(20, seed=9)
+        assert a.step() == b.step()

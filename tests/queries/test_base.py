@@ -1,0 +1,37 @@
+"""Unit tests for the executor base plumbing."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.grid.index import GridIndex
+from repro.queries.base import QueryPosition
+
+
+class TestQueryPosition:
+    def test_requires_exactly_one_source(self):
+        grid = GridIndex(8)
+        with pytest.raises(ValueError):
+            QueryPosition(grid)
+        grid.insert(1, (0.5, 0.5))
+        with pytest.raises(ValueError):
+            QueryPosition(grid, query_id=1, fixed=(0.5, 0.5))
+
+    def test_fixed_position(self):
+        grid = GridIndex(8)
+        pos = QueryPosition(grid, fixed=(0.3, 0.7))
+        assert pos.current() == Point(0.3, 0.7)
+        assert pos.query_id is None
+
+    def test_tracks_moving_object(self):
+        grid = GridIndex(8)
+        grid.insert(1, (0.1, 0.1))
+        pos = QueryPosition(grid, query_id=1)
+        assert pos.current() == Point(0.1, 0.1)
+        grid.move(1, (0.9, 0.9))
+        assert pos.current() == Point(0.9, 0.9)
+
+    def test_missing_object_raises_on_access(self):
+        grid = GridIndex(8)
+        pos = QueryPosition(grid, query_id="ghost")
+        with pytest.raises(KeyError):
+            pos.current()

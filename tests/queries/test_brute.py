@@ -1,0 +1,63 @@
+"""Unit tests for the brute-force oracles themselves."""
+
+import pytest
+
+from repro.queries.brute import brute_bi_rnn, brute_mono_rnn
+
+
+class TestBruteMono:
+    def test_empty(self):
+        assert brute_mono_rnn({}, (0.5, 0.5)) == set()
+
+    def test_single_object(self):
+        assert brute_mono_rnn({1: (0.1, 0.1)}, (0.5, 0.5)) == {1}
+
+    def test_pair_blocks_each_other(self):
+        positions = {1: (0.9, 0.9), 2: (0.91, 0.9)}
+        assert brute_mono_rnn(positions, (0.1, 0.1)) == set()
+
+    def test_query_id_excluded(self):
+        positions = {"q": (0.5, 0.5), 1: (0.6, 0.5)}
+        assert brute_mono_rnn(positions, (0.5, 0.5), query_id="q") == {1}
+
+    def test_strict_tie_semantics(self):
+        # Object 2 is exactly equidistant between the query and object 1:
+        # no object is STRICTLY closer, so 2 is still an RNN.
+        positions = {1: (1.0, 0.0), 2: (0.5, 0.0)}
+        answer = brute_mono_rnn(positions, (0.0, 0.0))
+        assert 2 in answer
+
+    def test_k_semantics(self):
+        positions = {1: (0.5, 0.1), 2: (0.5, 0.12), 3: (0.5, 0.14)}
+        q = (0.5, 0.5)
+        # Each object has 2 others far closer than q.
+        assert brute_mono_rnn(positions, q, k=1) == set()
+        assert brute_mono_rnn(positions, q, k=2) == set()
+        assert brute_mono_rnn(positions, q, k=3) == {1, 2, 3}
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            brute_mono_rnn({}, (0, 0), k=0)
+
+
+class TestBruteBi:
+    def test_empty_b(self):
+        assert brute_bi_rnn({1: (0.1, 0.1)}, {}, (0.5, 0.5)) == set()
+
+    def test_no_a_competitors(self):
+        assert brute_bi_rnn({}, {1: (0.9, 0.9)}, (0.5, 0.5)) == {1}
+
+    def test_split_by_competitor(self):
+        a = {"rival": (1.0, 0.0)}
+        b = {"near": (0.3, 0.0), "far": (0.8, 0.0)}
+        assert brute_bi_rnn(a, b, (0.0, 0.0)) == {"near"}
+
+    def test_query_id_not_a_competitor(self):
+        a = {"q": (0.0, 0.0), "rival": (1.0, 0.0)}
+        b = {"x": (0.3, 0.0)}
+        assert brute_bi_rnn(a, b, (0.0, 0.0), query_id="q") == {"x"}
+
+    def test_equidistant_a_does_not_steal(self):
+        a = {"rival": (1.0, 0.0)}
+        b = {"mid": (0.5, 0.0)}
+        assert brute_bi_rnn(a, b, (0.0, 0.0)) == {"mid"}

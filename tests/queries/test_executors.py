@@ -1,0 +1,127 @@
+"""Cross-algorithm executor tests: every executor must agree with the
+brute-force oracle on a shared moving workload (the operational form of
+the paper's correctness theorems for the baselines as well)."""
+
+import pytest
+
+from repro.engine.workload import WorkloadSpec, build_simulator, central_object
+from repro.queries import (
+    BruteForceBiQuery,
+    BruteForceMonoQuery,
+    CRNNQuery,
+    IGERNBiQuery,
+    IGERNMonoQuery,
+    QueryPosition,
+    TPLQuery,
+    VoronoiRepeatQuery,
+)
+
+TICKS = 12
+
+
+@pytest.fixture(scope="module")
+def mono_run():
+    spec = WorkloadSpec(n_objects=600, grid_size=32, seed=21)
+    sim = build_simulator(spec)
+    qid = central_object(sim)
+
+    def pos():
+        return QueryPosition(sim.grid, query_id=qid)
+
+    sim.add_query("igern", IGERNMonoQuery(sim.grid, pos()))
+    sim.add_query("crnn", CRNNQuery(sim.grid, pos()))
+    sim.add_query("tpl", TPLQuery(sim.grid, pos()))
+    sim.add_query("brute", BruteForceMonoQuery(sim.grid, pos()))
+    return sim.run(TICKS)
+
+
+@pytest.fixture(scope="module")
+def bi_run():
+    spec = WorkloadSpec(n_objects=600, grid_size=32, seed=22, bichromatic=True)
+    sim = build_simulator(spec)
+    qid = central_object(sim, "A")
+
+    def pos():
+        return QueryPosition(sim.grid, query_id=qid)
+
+    sim.add_query("igern", IGERNBiQuery(sim.grid, pos()))
+    sim.add_query("voronoi", VoronoiRepeatQuery(sim.grid, pos()))
+    sim.add_query("brute", BruteForceBiQuery(sim.grid, pos()))
+    return sim.run(TICKS)
+
+
+class TestMonoExecutorsAgree:
+    @pytest.mark.parametrize("name", ["igern", "crnn", "tpl"])
+    def test_matches_brute_every_tick(self, mono_run, name):
+        for t in range(TICKS + 1):
+            got = mono_run[name].ticks[t].answer
+            expected = mono_run["brute"].ticks[t].answer
+            assert got == expected, f"{name} diverged at tick {t}"
+
+    def test_igern_monitors_fewer_than_crnn_regions(self, mono_run):
+        # CRNN always owns six regions; IGERN a single one.
+        assert all(m.monitored <= 6 for m in mono_run["crnn"].ticks)
+
+    def test_tpl_is_stateless(self, mono_run):
+        assert all(m.monitored == 0 for m in mono_run["tpl"].ticks)
+
+
+class TestBiExecutorsAgree:
+    @pytest.mark.parametrize("name", ["igern", "voronoi"])
+    def test_matches_brute_every_tick(self, bi_run, name):
+        for t in range(TICKS + 1):
+            got = bi_run[name].ticks[t].answer
+            expected = bi_run["brute"].ticks[t].answer
+            assert got == expected, f"{name} diverged at tick {t}"
+
+    def test_voronoi_is_stateless(self, bi_run):
+        assert all(m.monitored == 0 for m in bi_run["voronoi"].ticks)
+
+    def test_igern_reports_monitored_objects(self, bi_run):
+        assert any(m.monitored > 0 for m in bi_run["igern"].ticks)
+
+
+class TestCRNNSpecifics:
+    def test_pie_count_validation(self):
+        spec = WorkloadSpec(n_objects=50, grid_size=8, seed=1)
+        sim = build_simulator(spec)
+        qid = central_object(sim)
+        with pytest.raises(ValueError):
+            CRNNQuery(sim.grid, QueryPosition(sim.grid, query_id=qid), n_pies=4)
+
+    def test_more_pies_still_correct(self):
+        spec = WorkloadSpec(n_objects=400, grid_size=16, seed=33)
+        sim = build_simulator(spec)
+        qid = central_object(sim)
+        sim.add_query(
+            "crnn8",
+            CRNNQuery(sim.grid, QueryPosition(sim.grid, query_id=qid), n_pies=8),
+        )
+        sim.add_query(
+            "brute", BruteForceMonoQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+        )
+        res = sim.run(8)
+        for t in range(9):
+            assert res["crnn8"].ticks[t].answer == res["brute"].ticks[t].answer
+
+    def test_static_query_uses_bounded_searches(self):
+        """With a fixed query point, later ticks use the bounded path."""
+        from repro.grid.search import SearchKind
+
+        spec = WorkloadSpec(n_objects=400, grid_size=16, seed=3)
+        sim = build_simulator(spec)
+        query = CRNNQuery(sim.grid, QueryPosition(sim.grid, fixed=(0.5, 0.5)))
+        sim.add_query("crnn", query)
+        sim.run(5)
+        assert query.search.stats.calls[SearchKind.BOUNDED] > 0
+
+
+class TestVoronoiSpecifics:
+    def test_reports_retrieved_neighbors(self):
+        spec = WorkloadSpec(n_objects=400, grid_size=16, seed=5, bichromatic=True)
+        sim = build_simulator(spec)
+        qid = central_object(sim, "A")
+        query = VoronoiRepeatQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+        sim.add_query("voronoi", query)
+        sim.run(3)
+        assert query.last_neighbors > 0

@@ -1,0 +1,63 @@
+"""Tests for the six-pie snapshot baseline."""
+
+import pytest
+
+from repro.engine.workload import WorkloadSpec, build_simulator, central_object
+from repro.grid.search import SearchKind
+from repro.queries import BruteForceMonoQuery, QueryPosition, SixPieSnapshotQuery
+
+
+class TestSixPieSnapshot:
+    def test_pie_count_validation(self):
+        sim = build_simulator(WorkloadSpec(n_objects=50, grid_size=8, seed=1))
+        qid = central_object(sim)
+        with pytest.raises(ValueError):
+            SixPieSnapshotQuery(
+                sim.grid, QueryPosition(sim.grid, query_id=qid), n_pies=5
+            )
+
+    def test_matches_brute_force_continuously(self):
+        sim = build_simulator(WorkloadSpec(n_objects=500, grid_size=16, seed=61))
+        qid = central_object(sim)
+        sim.add_query(
+            "sixpie", SixPieSnapshotQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+        )
+        sim.add_query(
+            "brute", BruteForceMonoQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+        )
+        result = sim.run(12)
+        for t in range(13):
+            assert (
+                result["sixpie"].ticks[t].answer == result["brute"].ticks[t].answer
+            ), f"diverged at tick {t}"
+
+    def test_is_stateless(self):
+        sim = build_simulator(WorkloadSpec(n_objects=300, grid_size=16, seed=62))
+        qid = central_object(sim)
+        query = SixPieSnapshotQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+        sim.add_query("sixpie", query)
+        sim.run(3)
+        assert query.monitored_count == 0
+
+    def test_uses_constrained_searches_every_tick(self):
+        """Snapshot cost structure: n_pies constrained searches per tick,
+        never a bounded one (no state to bound by)."""
+        sim = build_simulator(WorkloadSpec(n_objects=300, grid_size=16, seed=63))
+        qid = central_object(sim)
+        query = SixPieSnapshotQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+        sim.add_query("sixpie", query)
+        n_ticks = 4
+        sim.run(n_ticks)
+        stats = query.search.stats
+        assert stats.calls[SearchKind.CONSTRAINED] == 6 * (n_ticks + 1)
+        assert stats.calls[SearchKind.BOUNDED] == 0
+
+    def test_at_most_six_answers(self):
+        sim = build_simulator(WorkloadSpec(n_objects=400, grid_size=16, seed=64))
+        qid = central_object(sim)
+        sim.add_query(
+            "sixpie", SixPieSnapshotQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+        )
+        result = sim.run(8)
+        for t in result["sixpie"].ticks:
+            assert t.answer_size <= 6

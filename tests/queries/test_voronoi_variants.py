@@ -1,0 +1,55 @@
+"""Tests for the two Voronoi-baseline construction methods."""
+
+import pytest
+
+from repro.engine.workload import WorkloadSpec, build_simulator, central_object
+from repro.queries import BruteForceBiQuery, QueryPosition, VoronoiRepeatQuery
+
+
+class TestVariants:
+    def test_unknown_method_rejected(self):
+        sim = build_simulator(WorkloadSpec(n_objects=50, grid_size=8, seed=1, bichromatic=True))
+        qid = central_object(sim, "A")
+        with pytest.raises(ValueError):
+            VoronoiRepeatQuery(
+                sim.grid, QueryPosition(sim.grid, query_id=qid), method="magic"
+            )
+
+    @pytest.mark.parametrize("method", ["classic", "pruned"])
+    def test_both_methods_correct(self, method):
+        sim = build_simulator(
+            WorkloadSpec(n_objects=500, grid_size=16, seed=44, bichromatic=True)
+        )
+        qid = central_object(sim, "A")
+        sim.add_query(
+            "voronoi",
+            VoronoiRepeatQuery(
+                sim.grid, QueryPosition(sim.grid, query_id=qid), method=method
+            ),
+        )
+        sim.add_query(
+            "brute", BruteForceBiQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+        )
+        result = sim.run(10)
+        for t in range(11):
+            assert (
+                result["voronoi"].ticks[t].answer == result["brute"].ticks[t].answer
+            ), f"{method} diverged at tick {t}"
+
+    def test_both_report_neighbors(self):
+        sim = build_simulator(
+            WorkloadSpec(n_objects=500, grid_size=16, seed=45, bichromatic=True)
+        )
+        qid = central_object(sim, "A")
+        classic = VoronoiRepeatQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+        pruned = VoronoiRepeatQuery(
+            sim.grid, QueryPosition(sim.grid, query_id=qid), method="pruned"
+        )
+        sim.add_query("classic", classic)
+        sim.add_query("pruned", pruned)
+        sim.run(3)
+        assert classic.last_neighbors > 0
+        assert pruned.last_neighbors > 0
+        # The classical 2R construction retrieves at least as many
+        # neighbors as the grid-pruned one.
+        assert classic.last_neighbors >= pruned.last_neighbors

@@ -1,0 +1,75 @@
+"""Tests for the ``igern`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_mono_demo_with_check(self, capsys):
+        rc = main(["demo", "-n", "200", "--ticks", "3", "--grid", "16", "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "monochromatic" in out
+        assert "all ticks match brute force" in out
+
+    def test_bi_demo_with_check(self, capsys):
+        rc = main(
+            ["demo", "--bi", "-n", "200", "--ticks", "3", "--grid", "16", "--check"]
+        )
+        assert rc == 0
+        assert "bichromatic" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_unknown_experiment(self, capsys):
+        rc = main(["experiment", "fig99"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_single_experiment_with_csv(self, tmp_path, capsys):
+        rc = main(
+            ["experiment", "fig5", "--scale", "0.05", "--csv", str(tmp_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig5a" in out and "fig5b" in out
+        assert (tmp_path / "fig5a.csv").exists()
+        assert (tmp_path / "fig5b.csv").exists()
+
+    def test_scalar_experiment(self, capsys):
+        rc = main(["experiment", "ablation-pies", "--scale", "0.05"])
+        assert rc == 0
+        assert "ablation-pies" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_record_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        rc = main(["trace", str(path), "-n", "30", "--ticks", "5"])
+        assert rc == 0
+        assert path.exists()
+        assert "recorded 30 objects x 5 ticks" in capsys.readouterr().out
+
+        from repro.motion.trace import Trace
+
+        loaded = Trace.load(path)
+        assert loaded.n_objects == 30
+        assert len(loaded) == 5
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        rc = main(["list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "cost-model" in out
+
+
+class TestWatch:
+    def test_renders_region_frames(self, capsys):
+        rc = main(["watch", "-n", "100", "--ticks", "2", "--grid", "12"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("--- t=") == 3  # initial + 2 ticks
+        assert "Q" in out

@@ -1,0 +1,130 @@
+"""End-to-end correctness on non-unit, non-square data spaces.
+
+Everything in the library is supposed to work on an arbitrary rectangular
+extent (the unit square is just the workload generators' default); these
+tests run the full algorithms on a 100 x 50 world and on a negative-
+coordinate world, against the brute-force oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bi import BiIGERN
+from repro.core.mono import MonoIGERN
+from repro.geometry.rectangle import Rect
+from repro.grid.index import GridIndex
+from repro.queries.brute import brute_bi_rnn, brute_mono_rnn
+
+EXTENTS = [
+    Rect(0.0, 0.0, 100.0, 50.0),
+    Rect(-10.0, -10.0, 10.0, 10.0),
+    Rect(1000.0, 2000.0, 1001.0, 2002.0),
+]
+
+
+def populate(extent, n, rng, bichromatic=False):
+    grid = GridIndex(16, extent=extent)
+    for i in range(n):
+        pos = (
+            rng.uniform(extent.xmin, extent.xmax),
+            rng.uniform(extent.ymin, extent.ymax),
+        )
+        category = ("A" if i % 2 else "B") if bichromatic else 0
+        grid.insert(i, pos, category)
+    return grid
+
+
+def drift(grid, extent, rng):
+    sx = extent.width * 0.02
+    sy = extent.height * 0.02
+    for oid in list(grid.objects()):
+        p = grid.position(oid)
+        grid.move(
+            oid,
+            (
+                min(max(p.x + rng.gauss(0, sx), extent.xmin), extent.xmax),
+                min(max(p.y + rng.gauss(0, sy), extent.ymin), extent.ymax),
+            ),
+        )
+
+
+class TestMonoOnCustomExtents:
+    @pytest.mark.parametrize("extent", EXTENTS)
+    def test_continuous_correctness(self, extent):
+        rng = random.Random(17)
+        grid = populate(extent, 120, rng)
+        algo = MonoIGERN(grid, query_id=0)
+        state, report = algo.initial(grid.position(0))
+        expected = brute_mono_rnn(grid.positions_snapshot(), grid.position(0), query_id=0)
+        assert set(report.answer) == expected
+        for _ in range(12):
+            drift(grid, extent, rng)
+            qpos = grid.position(0)
+            algo.incremental(state, qpos)
+            expected = brute_mono_rnn(grid.positions_snapshot(), qpos, query_id=0)
+            assert set(state.answer) == expected
+
+
+class TestBiOnCustomExtents:
+    @pytest.mark.parametrize("extent", EXTENTS)
+    def test_continuous_correctness(self, extent):
+        rng = random.Random(23)
+        grid = populate(extent, 120, rng, bichromatic=True)
+        qid = next(iter(sorted(o for o in grid.objects("A"))))
+        algo = BiIGERN(grid, query_id=qid)
+        state, report = algo.initial(grid.position(qid))
+        expected = brute_bi_rnn(
+            grid.positions_snapshot("A"),
+            grid.positions_snapshot("B"),
+            grid.position(qid),
+            query_id=qid,
+        )
+        assert set(report.answer) == expected
+        for _ in range(12):
+            drift(grid, extent, rng)
+            qpos = grid.position(qid)
+            algo.incremental(state, qpos)
+            expected = brute_bi_rnn(
+                grid.positions_snapshot("A"),
+                grid.positions_snapshot("B"),
+                qpos,
+                query_id=qid,
+            )
+            assert set(state.answer) == expected
+
+
+class TestCRNNOnCustomExtent:
+    def test_crnn_on_wide_world(self):
+        from repro.queries import BruteForceMonoQuery, CRNNQuery, QueryPosition
+        from repro.engine.simulation import Simulator
+
+        extent = Rect(0.0, 0.0, 100.0, 50.0)
+
+        class WideWalk:
+            def __init__(self):
+                self._rng = random.Random(3)
+                self._pos = {
+                    i: (self._rng.uniform(0, 100), self._rng.uniform(0, 50))
+                    for i in range(150)
+                }
+
+            def initial(self):
+                return [(oid, p, 0) for oid, p in self._pos.items()]
+
+            def step(self, dt=1.0):
+                out = []
+                for oid, (x, y) in self._pos.items():
+                    nx = min(max(x + self._rng.gauss(0, 1.0), 0.0), 100.0)
+                    ny = min(max(y + self._rng.gauss(0, 0.5), 0.0), 50.0)
+                    self._pos[oid] = (nx, ny)
+                    out.append((oid, (nx, ny)))
+                return out
+
+        sim = Simulator(WideWalk(), grid_size=32, extent=extent)
+        pos = QueryPosition(sim.grid, query_id=0)
+        sim.add_query("crnn", CRNNQuery(sim.grid, pos))
+        sim.add_query("brute", BruteForceMonoQuery(sim.grid, QueryPosition(sim.grid, query_id=0)))
+        result = sim.run(8)
+        for t in range(9):
+            assert result["crnn"].ticks[t].answer == result["brute"].ticks[t].answer

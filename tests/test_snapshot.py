@@ -1,0 +1,70 @@
+"""Tests for the one-shot snapshot query API."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries.brute import brute_bi_rnn, brute_mono_rnn
+from repro.snapshot import bi_rnn, influence_set, mono_rnn
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False).map(
+    lambda v: round(v, 6)
+)
+point = st.tuples(unit, unit)
+point_lists = st.lists(point, min_size=0, max_size=30)
+
+
+class TestMonoSnapshot:
+    def test_empty(self):
+        assert mono_rnn({}, (0.5, 0.5)) == set()
+
+    def test_doc_example(self):
+        assert sorted(mono_rnn({1: (0.2, 0.2), 2: (0.8, 0.8)}, (0.5, 0.5))) == [1, 2]
+
+    def test_arbitrary_coordinate_scale(self):
+        """Snapshot queries work on any coordinate system, not just the
+        unit square (the extent is derived from the data)."""
+        positions = {1: (1200.0, 3400.0), 2: (1300.0, 3400.0), 3: (9000.0, 9000.0)}
+        q = (1250.0, 3380.0)
+        assert mono_rnn(positions, q) == brute_mono_rnn(positions, q)
+
+    def test_negative_coordinates(self):
+        positions = {1: (-5.0, -5.0), 2: (-4.0, -5.0)}
+        q = (-4.5, -4.0)
+        assert mono_rnn(positions, q) == brute_mono_rnn(positions, q)
+
+    @given(point_lists, point, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute(self, pts, q, k):
+        positions = {i: p for i, p in enumerate(pts)}
+        assert mono_rnn(positions, q, k=k) == brute_mono_rnn(positions, q, k=k)
+
+    def test_influence_set_alias(self):
+        positions = {i: (random.Random(5).random(), 0.5) for i in range(5)}
+        assert influence_set(positions, (0.5, 0.5)) == mono_rnn(positions, (0.5, 0.5))
+
+
+class TestBiSnapshot:
+    def test_empty_b(self):
+        assert bi_rnn({1: (0.5, 0.5)}, {}, (0.1, 0.1)) == set()
+
+    def test_id_collision_between_types(self):
+        # The same id may appear in both categories; answers are B ids.
+        a = {1: (0.9, 0.9)}
+        b = {1: (0.2, 0.2)}
+        assert bi_rnn(a, b, (0.1, 0.1)) == {1}
+
+    @given(point_lists, point_lists, point)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute(self, a_pts, b_pts, q):
+        a = {i: p for i, p in enumerate(a_pts)}
+        b = {i: p for i, p in enumerate(b_pts)}
+        assert bi_rnn(a, b, q) == brute_bi_rnn(a, b, q)
+
+    @given(point_lists, point_lists, point, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_k_matches_brute(self, a_pts, b_pts, q, k):
+        a = {i: p for i, p in enumerate(a_pts)}
+        b = {i: p for i, p in enumerate(b_pts)}
+        assert bi_rnn(a, b, q, k=k) == brute_bi_rnn(a, b, q, k=k)

@@ -1,0 +1,158 @@
+"""Hypothesis stateful tests: random operation sequences, exact answers.
+
+Two state machines:
+
+- :class:`GridIndexMachine` drives the grid index with random inserts,
+  moves and removals and checks it against a dictionary model;
+- :class:`ContinuousRNNMachine` interleaves arbitrary data mutations with
+  incremental IGERN executions (mono and bi simultaneously) and checks
+  both answers against the brute-force oracle after every step — the
+  operational form of Theorems 1-4 under adversarial update sequences.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.bi import BiIGERN
+from repro.core.mono import MonoIGERN
+from repro.grid.cell import cell_key_of
+from repro.grid.index import GridIndex
+from repro.queries.brute import brute_bi_rnn, brute_mono_rnn
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False).map(
+    lambda v: round(v, 6)
+)
+point = st.tuples(coord, coord)
+
+
+class GridIndexMachine(RuleBasedStateMachine):
+    """The grid index must agree with a plain dict model at all times."""
+
+    def __init__(self):
+        super().__init__()
+        self.grid = GridIndex(7)
+        self.model = {}
+        self.next_id = 0
+
+    @rule(pos=point, category=st.sampled_from([0, "A", "B"]))
+    def insert(self, pos, category):
+        oid = self.next_id
+        self.next_id += 1
+        self.grid.insert(oid, pos, category)
+        self.model[oid] = (pos, category)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), pos=point)
+    def move(self, data, pos):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        self.grid.move(oid, pos)
+        self.model[oid] = (pos, self.model[oid][1])
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        returned = self.grid.remove(oid)
+        expected = self.model.pop(oid)[0]
+        assert (returned.x, returned.y) == expected
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.grid) == len(self.model)
+
+    @invariant()
+    def positions_and_categories_match(self):
+        for oid, (pos, category) in self.model.items():
+            p = self.grid.position(oid)
+            assert (p.x, p.y) == pos
+            assert self.grid.category(oid) == category
+
+    @invariant()
+    def cell_membership_consistent(self):
+        for oid, (pos, _) in self.model.items():
+            key = cell_key_of(self.grid.extent, self.grid.size, pos)
+            assert self.grid.cell_of(oid) == key
+            assert oid in set(self.grid.objects_in_cell(key))
+
+    @invariant()
+    def no_ghost_objects_in_cells(self):
+        listed = {
+            oid
+            for key in self.grid.occupied_cells()
+            for oid in self.grid.objects_in_cell(key)
+        }
+        assert listed == set(self.model)
+
+
+class ContinuousRNNMachine(RuleBasedStateMachine):
+    """Arbitrary mutations; IGERN must match brute force after each."""
+
+    def __init__(self):
+        super().__init__()
+        self.grid = GridIndex(6)
+        self.next_id = 0
+        self.qpos = (0.5, 0.5)
+        self.mono = MonoIGERN(self.grid)
+        self.bi = BiIGERN(self.grid)
+        self.mono_state, _ = self.mono.initial(self.qpos)
+        self.bi_state, _ = self.bi.initial(self.qpos)
+
+    def _ids(self):
+        return sorted(self.grid.objects(), key=repr)
+
+    @rule(pos=point, category=st.sampled_from(["A", "B"]))
+    def insert(self, pos, category):
+        self.grid.insert(self.next_id, pos, category)
+        self.next_id += 1
+
+    @precondition(lambda self: len(self.grid) > 0)
+    @rule(data=st.data(), pos=point)
+    def move(self, data, pos):
+        oid = data.draw(st.sampled_from(self._ids()))
+        self.grid.move(oid, pos)
+
+    @precondition(lambda self: len(self.grid) > 0)
+    @rule(data=st.data())
+    def remove(self, data):
+        oid = data.draw(st.sampled_from(self._ids()))
+        self.grid.remove(oid)
+
+    @rule(pos=point)
+    def move_query(self, pos):
+        self.qpos = pos
+
+    @invariant()
+    def mono_matches_brute(self):
+        self.mono.incremental(self.mono_state, self.qpos)
+        expected = brute_mono_rnn(self.grid.positions_snapshot(), self.qpos)
+        assert set(self.mono_state.answer) == expected
+
+    @invariant()
+    def bi_matches_brute(self):
+        self.bi.incremental(self.bi_state, self.qpos)
+        expected = brute_bi_rnn(
+            self.grid.positions_snapshot("A"),
+            self.grid.positions_snapshot("B"),
+            self.qpos,
+        )
+        assert set(self.bi_state.answer) == expected
+
+
+TestGridIndexStateful = GridIndexMachine.TestCase
+TestGridIndexStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+
+TestContinuousRNNStateful = ContinuousRNNMachine.TestCase
+TestContinuousRNNStateful.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)

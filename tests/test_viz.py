@@ -1,0 +1,67 @@
+"""Tests for the ASCII visualization helpers."""
+
+from repro.core.mono import MonoIGERN
+from repro.geometry.bisector import bisector_halfplane
+from repro.grid.alive import AliveCellGrid
+from repro.grid.index import GridIndex
+from repro.viz import render_grid, render_query_state, render_region
+
+
+class TestRenderRegion:
+    def test_all_alive_initially(self):
+        alive = AliveCellGrid(8)
+        text = render_region(alive)
+        lines = text.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 8 for line in lines)
+        assert set(text) <= {".", "\n"}
+
+    def test_halfplane_splits_raster(self):
+        alive = AliveCellGrid(8)
+        alive.add_halfplane(bisector_halfplane((0.25, 0.5), (0.75, 0.5)))
+        text = render_region(alive)
+        lines = text.splitlines()
+        # Left edge alive, right edge dead, on every row.
+        assert all(line[0] == "." for line in lines)
+        assert all(line[-1] == " " for line in lines)
+
+    def test_query_marker(self):
+        alive = AliveCellGrid(8)
+        text = render_region(alive, qpos=(0.01, 0.99))
+        # Row 0 is the top of the map (max y), column 0 the min x.
+        assert text.splitlines()[0][0] == "Q"
+
+    def test_objects_and_candidates(self):
+        grid = GridIndex(8)
+        grid.insert("free", (0.9, 0.1))
+        grid.insert("cand", (0.1, 0.9))
+        alive = AliveCellGrid(8)
+        text = render_region(alive, grid=grid, candidates={"cand"})
+        assert "C" in text
+        assert "*" in text  # free object in an alive cell
+
+    def test_downsampling_large_grid(self):
+        alive = AliveCellGrid(256)
+        text = render_region(alive, max_side=32)
+        lines = text.splitlines()
+        assert len(lines) == 32
+        assert all(len(line) == 32 for line in lines)
+
+
+class TestRenderGrid:
+    def test_categories_and_query(self):
+        grid = GridIndex(8)
+        grid.insert(1, (0.1, 0.1), "A")
+        grid.insert(2, (0.9, 0.9), "B")
+        text = render_grid(grid, qpos=(0.5, 0.5), category_chars={"A": "A", "B": "B"})
+        assert "A" in text and "B" in text and "Q" in text
+
+
+class TestRenderQueryState:
+    def test_mono_state_renders(self, small_grid):
+        algo = MonoIGERN(small_grid)
+        state, _ = algo.initial((0.5, 0.5))
+        text = render_query_state(state, small_grid)
+        assert "Q" in text
+        assert "C" in text  # some candidate is visible
+        assert len(text.splitlines()) == small_grid.size
