@@ -23,6 +23,15 @@ Quickstart::
     print(result["igern"].ticks[-1].answer)
 """
 
+import logging as _logging
+
+# Library logging convention: emit under the "repro" namespace, ship a
+# NullHandler so applications that never configure logging stay silent.
+# Debug-level records cover query registration/pause/resume and
+# answer-change publication (see repro.engine).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
+from repro import obs
 from repro.core import BiIGERN, MonoIGERN, SharedVerificationCache
 from repro.engine import (
     AnswerChange,
@@ -64,6 +73,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # core algorithms
     "MonoIGERN",
     "BiIGERN",

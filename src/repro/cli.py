@@ -6,8 +6,14 @@ Subcommands:
   answers (monochromatic by default, ``--bi`` for bichromatic);
 - ``igern experiment <id|all>`` — regenerate one (or every) figure of the
   paper and print its table; ``--csv DIR`` also writes CSV files;
+- ``igern obs`` — replay a workload with tracing and metrics enabled and
+  print the per-phase span breakdown plus a Prometheus-style snapshot;
 - ``igern trace`` — record a reproducible moving-object trace to CSV;
 - ``igern list`` — list the available experiments.
+
+``demo`` and ``experiment`` additionally accept ``--trace FILE`` (JSON
+lines, one object per span) and ``--metrics FILE`` (Prometheus text) to
+capture observability data from any run.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.engine.workload import WorkloadSpec, build_generator, build_simulator, central_object
 from repro.experiments.figures import ALL_EXPERIMENTS
 from repro.experiments.harness import ExperimentResult
@@ -50,6 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--check", action="store_true", help="verify each tick against brute force"
     )
+    _add_obs_flags(demo)
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure")
     exp.add_argument("exp_id", help="experiment id (see 'igern list') or 'all'")
@@ -59,6 +67,24 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "--markdown", type=Path, default=None, help="write a markdown report here"
     )
+    _add_obs_flags(exp)
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="replay a workload with tracing on; print the phase breakdown",
+    )
+    obs_cmd.add_argument(
+        "--workload",
+        default="demo",
+        help="'demo' (default: mono + bi IGERN side by side) or an"
+        " experiment id (see 'igern list')",
+    )
+    obs_cmd.add_argument("-n", "--objects", type=int, default=2000)
+    obs_cmd.add_argument("--ticks", type=int, default=10)
+    obs_cmd.add_argument("--grid", type=int, default=64)
+    obs_cmd.add_argument("--seed", type=int, default=7)
+    obs_cmd.add_argument("--scale", type=float, default=None, help="experiment scale")
+    _add_obs_flags(obs_cmd)
 
     trace = sub.add_parser("trace", help="record a moving-object trace to CSV")
     trace.add_argument("output", type=Path)
@@ -84,7 +110,69 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="stream finished spans to FILE as JSON lines",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a Prometheus-style metrics snapshot to FILE",
+    )
+
+
+class _ObsSession:
+    """Observability state for one CLI run: enable, sinks, final export.
+
+    For ``demo``/``experiment`` it activates only when ``--trace`` or
+    ``--metrics`` was given; ``igern obs`` forces it on.
+    """
+
+    def __init__(self, args: argparse.Namespace, force: bool = False):
+        self.trace_path = getattr(args, "trace", None)
+        self.metrics_path = getattr(args, "metrics", None)
+        self.active = force or self.trace_path is not None or self.metrics_path is not None
+        self._sink = None
+        self.tracer = None
+        self.registry = None
+        if self.active:
+            self.tracer, self.registry = obs.enable()
+            self.tracer.clear()
+            self.registry.clear()
+            if self.trace_path is not None:
+                try:
+                    self._sink = obs.JsonLinesSink(self.trace_path)
+                except OSError as exc:
+                    obs.disable()
+                    raise SystemExit(f"cannot open trace file: {exc}")
+                self.tracer.add_sink(self._sink)
+
+    def finish(self) -> None:
+        """Write requested outputs and return observability to idle."""
+        if not self.active:
+            return
+        if self._sink is not None:
+            self.tracer.remove_sink(self._sink)
+            self._sink.close()
+            print(f"wrote span trace to {self.trace_path}")
+        if self.metrics_path is not None:
+            try:
+                obs.write_metrics_text(self.metrics_path, self.registry)
+            except OSError as exc:
+                obs.disable()
+                raise SystemExit(f"cannot write metrics file: {exc}")
+            print(f"wrote metrics snapshot to {self.metrics_path}")
+        obs.disable()
+
+
 def _run_demo(args: argparse.Namespace) -> int:
+    session = _ObsSession(args)
     spec = WorkloadSpec(
         n_objects=args.objects,
         grid_size=args.grid,
@@ -125,6 +213,7 @@ def _run_demo(args: argparse.Namespace) -> int:
             ok = ok and match
             line += f"  brute-check={'ok' if match else 'MISMATCH'}"
         print(line)
+    session.finish()
     if args.check:
         print("verification:", "all ticks match brute force" if ok else "FAILED")
         return 0 if ok else 1
@@ -143,12 +232,14 @@ def _run_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    session = _ObsSession(args)
     if args.markdown is not None:
         from repro.experiments.summary import write_report
 
         path = write_report(
             args.markdown, scale=args.scale, seed=args.seed, experiments=names
         )
+        session.finish()
         print(f"wrote markdown report to {path}")
         return 0
     if args.csv is not None:
@@ -165,7 +256,54 @@ def _run_experiment(args: argparse.Namespace) -> int:
             print()
             if args.csv is not None:
                 write_csv(result, args.csv / f"{result.exp_id}.csv")
+    session.finish()
     return 0
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    session = _ObsSession(args, force=True)
+    if args.workload == "demo":
+        _obs_demo_workload(args)
+        title = f"demo workload ({args.objects} objects, {args.ticks} ticks)"
+    elif args.workload in ALL_EXPERIMENTS:
+        ALL_EXPERIMENTS[args.workload](scale=args.scale, seed=args.seed)
+        title = f"experiment {args.workload}"
+    else:
+        print(
+            f"unknown workload {args.workload!r}; use 'demo' or one of: "
+            f"{', '.join(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        obs.disable()
+        return 2
+    print(f"observability replay: {title}")
+    print()
+    print(obs.summary_table(session.tracer, session.registry))
+    if args.metrics is None:
+        print()
+        print("prometheus snapshot")
+        print(obs.prometheus_text(session.registry), end="")
+    session.finish()
+    return 0
+
+
+def _obs_demo_workload(args: argparse.Namespace) -> None:
+    """Mono and bi IGERN side by side over the same spec (traced)."""
+    spec = WorkloadSpec(n_objects=args.objects, grid_size=args.grid, seed=args.seed)
+    sim = build_simulator(spec)
+    qid = central_object(sim)
+    sim.add_query("igern", IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, query_id=qid)))
+    sim.run(args.ticks)
+
+    bi_spec = WorkloadSpec(
+        n_objects=args.objects, grid_size=args.grid, seed=args.seed, bichromatic=True
+    )
+    bi_sim = build_simulator(bi_spec)
+    bi_qid = central_object(bi_sim, "A")
+    bi_sim.add_query(
+        "igern-bi", IGERNBiQuery(bi_sim.grid, QueryPosition(bi_sim.grid, query_id=bi_qid))
+    )
+    bi_sim.run(args.ticks)
 
 
 def _run_trace(args: argparse.Namespace) -> int:
@@ -215,6 +353,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_demo(args)
     if args.command == "experiment":
         return _run_experiment(args)
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "watch":

@@ -22,7 +22,7 @@ B objects can be answers — yet IGERN keeps the same structure:
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional, Set, Tuple
+from typing import Iterable, Optional, Set, Tuple
 
 from repro.core.candidates import (
     normalize_prune_mode,
@@ -104,8 +104,16 @@ class BiIGERN:
             qpos=q,
             alive=AliveCellGrid(self.grid.size, self.grid.extent, k=self.k),
         )
-        found = self._tighten(state, kind=SearchKind.CONSTRAINED)
-        answer, extra = self._verify(state)
+        tracer = self.search.tracer
+        with tracer.span("bi.initial"):
+            # Phase I: clip the region toward the nearest A objects.
+            with tracer.span("bi.initial.tighten") as sp:
+                found = self._tighten(state, kind=SearchKind.CONSTRAINED)
+                sp.set(absorbed=found)
+            # Phase II: resolve the B objects of the alive region.
+            with tracer.span("bi.initial.verify") as sp:
+                answer, extra = self._verify(state)
+                sp.set(answer=len(answer), extra_absorbed=extra)
         state.answer = answer
         return state, self._report(
             state, answer, is_initial=True, tightened=found + extra
@@ -119,39 +127,55 @@ class BiIGERN:
         """Maintain the answer for the current tick, updating ``state``."""
         qx, qy = qpos
         q = Point(qx, qy)
-        movement = self._refresh_moved(state, q)
-        if movement:
-            self._rebuild_region(state)
-        grid = self.grid
-        if state.alive.alive_cell_bound() <= _SCAN_CELL_LIMIT:
-            # Fast path: one scan of the small monitored region serves both
-            # the Phase I tightening (absorb the A objects) and the Phase II
-            # verification (resolve the B objects).  B objects whose cells
-            # die during absorption are re-checked inside _verify, so the
-            # shared enumeration stays sound.
-            rows = self.search.region_objects_by_distance(
-                q, state.alive, kind=SearchKind.BOUNDED
-            )
-            excluded = self._excluded_a(state)
-            found = 0
-            pending = []
-            for _, oid in rows:
-                if grid.category(oid) == self.cat_a:
-                    if oid in excluded:
-                        continue
-                    pos = grid.position(oid)
-                    if not state.alive.is_alive(grid.cell_key(pos)):
-                        continue
-                    self._absorb(state, oid)
-                    found += 1
-                else:
-                    pending.append(oid)
-            pruned = self._prune(state) if found else 0
-            answer, extra = self._verify(state, pending=pending)
-        else:
-            found = self._tighten(state, kind=SearchKind.BOUNDED)
-            pruned = self._prune(state) if found else 0
-            answer, extra = self._verify(state)
+        tracer = self.search.tracer
+        with tracer.span("bi.incremental") as root:
+            movement = self._refresh_moved(state, q)
+            if movement:
+                with tracer.span("bi.incremental.rebuild"):
+                    self._rebuild_region(state)
+            grid = self.grid
+            if state.alive.alive_cell_bound() <= _SCAN_CELL_LIMIT:
+                # Fast path: one scan of the small monitored region serves both
+                # the Phase I tightening (absorb the A objects) and the Phase II
+                # verification (resolve the B objects).  B objects whose cells
+                # die during absorption are re-checked inside _verify, so the
+                # shared enumeration stays sound.
+                with tracer.span("bi.incremental.tighten") as sp:
+                    rows = self.search.region_objects_by_distance(
+                        q, state.alive, kind=SearchKind.BOUNDED
+                    )
+                    excluded = self._excluded_a(state)
+                    found = 0
+                    pending = []
+                    for _, oid in rows:
+                        if grid.category(oid) == self.cat_a:
+                            if oid in excluded:
+                                continue
+                            pos = grid.position(oid)
+                            if not state.alive.is_alive(grid.cell_key(pos)):
+                                continue
+                            self._absorb(state, oid)
+                            found += 1
+                        else:
+                            pending.append(oid)
+                    sp.set(absorbed=found)
+                with tracer.span("bi.incremental.prune") as sp:
+                    pruned = self._prune(state) if found else 0
+                    sp.set(pruned=pruned)
+                with tracer.span("bi.incremental.verify") as sp:
+                    answer, extra = self._verify(state, pending=pending)
+                    sp.set(answer=len(answer), extra_absorbed=extra)
+            else:
+                with tracer.span("bi.incremental.tighten") as sp:
+                    found = self._tighten(state, kind=SearchKind.BOUNDED)
+                    sp.set(absorbed=found)
+                with tracer.span("bi.incremental.prune") as sp:
+                    pruned = self._prune(state) if found else 0
+                    sp.set(pruned=pruned)
+                with tracer.span("bi.incremental.verify") as sp:
+                    answer, extra = self._verify(state)
+                    sp.set(answer=len(answer), extra_absorbed=extra)
+            root.set(movement_rebuild=movement)
         state.answer = answer
         return self._report(
             state,

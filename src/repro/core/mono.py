@@ -109,10 +109,16 @@ class MonoIGERN:
             qpos=q,
             alive=AliveCellGrid(self.grid.size, self.grid.extent, self.k),
         )
-        # Phase I: bounded region.
-        found = self._tighten(state, kind=SearchKind.CONSTRAINED)
-        # Phase II: verification.
-        answer = self._verify(state)
+        tracer = self.search.tracer
+        with tracer.span("mono.initial"):
+            # Phase I: bounded region.
+            with tracer.span("mono.initial.tighten") as sp:
+                found = self._tighten(state, kind=SearchKind.CONSTRAINED)
+                sp.set(absorbed=found)
+            # Phase II: verification.
+            with tracer.span("mono.initial.verify") as sp:
+                answer = self._verify(state)
+                sp.set(candidates=len(state.candidates), answer=len(answer))
         state.answer = answer
         return state, self._report(state, answer, is_initial=True, tightened=found)
 
@@ -126,16 +132,26 @@ class MonoIGERN:
         """Maintain the answer for the current tick, updating ``state``."""
         qx, qy = qpos
         q = Point(qx, qy)
-        movement = self._refresh_moved(state, q)
-        if movement:
-            self._rebuild_region(state)
-        # Scenario 3: objects inside the alive cells — the tightening
-        # search doubles as the existence check (its first probe).
-        found = self._tighten(state, kind=SearchKind.BOUNDED)
-        pruned = 0
-        if found:
-            pruned = self._prune(state)
-        answer = self._verify(state)
+        tracer = self.search.tracer
+        with tracer.span("mono.incremental") as root:
+            movement = self._refresh_moved(state, q)
+            if movement:
+                with tracer.span("mono.incremental.rebuild"):
+                    self._rebuild_region(state)
+            # Scenario 3: objects inside the alive cells — the tightening
+            # search doubles as the existence check (its first probe).
+            with tracer.span("mono.incremental.tighten") as sp:
+                found = self._tighten(state, kind=SearchKind.BOUNDED)
+                sp.set(absorbed=found)
+            pruned = 0
+            if found:
+                with tracer.span("mono.incremental.prune") as sp:
+                    pruned = self._prune(state)
+                    sp.set(pruned=pruned)
+            with tracer.span("mono.incremental.verify") as sp:
+                answer = self._verify(state)
+                sp.set(candidates=len(state.candidates), answer=len(answer))
+            root.set(movement_rebuild=movement)
         state.answer = answer
         return self._report(
             state,

@@ -17,11 +17,15 @@ that layer on top of the :class:`~repro.engine.simulation.Simulator`:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Hashable, List, Optional
 
 from repro.engine.simulation import Simulator
+from repro.obs.metrics import active_registry
 from repro.queries.base import ContinuousQuery
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -46,6 +50,7 @@ class ContinuousQueryManager:
         self._last_answers: Dict[str, FrozenSet[Hashable]] = {}
         self._announced: set = set()
         self._subscribers: Dict[Optional[str], List[ChangeCallback]] = {}
+        self._registry = active_registry()
 
     # ------------------------------------------------------------------
     # Query lifecycle
@@ -93,14 +98,38 @@ class ContinuousQueryManager:
         """
         self._subscribers.setdefault(query, []).append(callback)
 
+    def unsubscribe(
+        self, callback: ChangeCallback, query: Optional[str] = None
+    ) -> bool:
+        """Stop delivering changes to ``callback``.
+
+        The ``(callback, query)`` pair must match how it was subscribed —
+        a global subscription (``query=None``) is distinct from any
+        per-query one.  A callback subscribed multiple times is removed
+        once per call.  Returns whether a subscription was removed.
+        """
+        callbacks = self._subscribers.get(query)
+        if not callbacks or callback not in callbacks:
+            return False
+        callbacks.remove(callback)
+        if not callbacks:
+            del self._subscribers[query]
+        return True
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
     def step(self) -> List[AnswerChange]:
-        """Advance one tick; return (and dispatch) the answer changes."""
+        """Advance one tick; return (and dispatch) the answer changes.
+
+        For each change, per-query subscribers are called first (in
+        subscription order), then global subscribers — so a query-specific
+        handler can update state a global audit log then observes.
+        """
         metrics = self.simulator.step()
         changes: List[AnswerChange] = []
+        registry = self._registry
         for name, m in metrics.items():
             previous = self._last_answers.get(name, frozenset())
             # A query's very first result is always announced (even when
@@ -118,6 +147,16 @@ class ContinuousQueryManager:
             )
             self._last_answers[name] = m.answer
             changes.append(change)
+            logger.debug(
+                "answer change for %r at tick %d: +%d -%d (size %d)",
+                name,
+                change.tick,
+                len(change.added),
+                len(change.removed),
+                len(change.answer),
+            )
+            if registry is not None:
+                registry.counter("answer_changes_total", query=name).inc()
             for callback in self._subscribers.get(name, ()):  # per-query
                 callback(change)
             for callback in self._subscribers.get(None, ()):  # global

@@ -92,6 +92,19 @@ class QueryLog:
     def total_ops(self, key: str) -> int:
         return sum(t.ops.get(key, 0) for t in self.ticks)
 
+    def ops_total(self) -> Dict[str, int]:
+        """Every operation counter summed across all ticks.
+
+        The keyless companion of :meth:`total_ops`: callers get the whole
+        accumulated dict without having to know each counter name up
+        front.
+        """
+        out: Dict[str, int] = {}
+        for t in self.ticks:
+            for key, value in t.ops.items():
+                out[key] = out.get(key, 0) + value
+        return out
+
 
 @dataclass
 class SimulationResult:
@@ -110,5 +123,13 @@ class SimulationResult:
 
 
 def diff_ops(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
-    """Operation-count delta between two :class:`SearchStats` snapshots."""
-    return {key: after.get(key, 0) - before.get(key, 0) for key in after}
+    """Operation-count delta between two :class:`SearchStats` snapshots.
+
+    Iterates the key *union*: a counter present only in ``before`` (e.g.
+    after a stats reset swapped in a narrower snapshot) still contributes
+    its (negative) delta instead of being silently dropped.
+    """
+    return {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in {**before, **after}
+    }

@@ -10,12 +10,17 @@ algorithms fairly.
 
 from __future__ import annotations
 
+import logging
 import time
-from typing import Callable, Dict, Hashable, List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.engine.metrics import QueryLog, SimulationResult, TickMetrics, diff_ops
 from repro.grid.index import GridIndex
+from repro.obs.metrics import MetricsRegistry, active_registry, record_ops_delta
+from repro.obs.trace import get_tracer
 from repro.queries.base import ContinuousQuery
+
+logger = logging.getLogger(__name__)
 
 
 class Simulator:
@@ -39,6 +44,11 @@ class Simulator:
         Data space of the grid index (defaults to the unit square, the
         coordinate system of the bundled generators).  The caller is
         responsible for feeding a generator whose positions live in it.
+    registry:
+        Metrics registry to publish per-tick counters, gauges and
+        histograms into.  Defaults to the *active* registry of
+        :mod:`repro.obs.metrics` (``None`` unless observability is
+        enabled, in which case publishing is skipped entirely).
     """
 
     def __init__(
@@ -48,10 +58,13 @@ class Simulator:
         dt: float = 1.0,
         clock: Callable[[], float] = time.perf_counter,
         extent=None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.generator = generator
         self.dt = dt
         self.clock = clock
+        self.tracer = get_tracer()
+        self.registry = registry if registry is not None else active_registry()
         self.grid = GridIndex(grid_size, extent=extent)
         for oid, pos, category in generator.initial():
             self.grid.insert(oid, pos, category)
@@ -74,6 +87,9 @@ class Simulator:
             )
         self._queries[name] = query
         self._started[name] = False
+        logger.debug(
+            "registered query %r (%s) at tick %d", name, query.name, self.current_tick
+        )
         return query
 
     def query(self, name: str) -> ContinuousQuery:
@@ -88,6 +104,7 @@ class Simulator:
         query = self._queries.pop(name)
         self._started.pop(name, None)
         self._paused.discard(name)
+        logger.debug("removed query %r at tick %d", name, self.current_tick)
         return query
 
     def pause_query(self, name: str) -> None:
@@ -103,12 +120,14 @@ class Simulator:
         if name not in self._queries:
             raise KeyError(f"no query named {name!r}")
         self._paused.add(name)
+        logger.debug("paused query %r at tick %d", name, self.current_tick)
 
     def resume_query(self, name: str) -> None:
         """Resume a paused query (incrementally; see :meth:`pause_query`)."""
         if name not in self._queries:
             raise KeyError(f"no query named {name!r}")
         self._paused.discard(name)
+        logger.debug("resumed query %r at tick %d", name, self.current_tick)
 
     def is_paused(self, name: str) -> bool:
         return name in self._paused
@@ -162,8 +181,11 @@ class Simulator:
         directly by :class:`repro.engine.manager.ContinuousQueryManager`.
         """
         self.current_tick += 1
-        self._apply_movement()
-        return self.execute_queries()
+        tracer = self.tracer
+        with tracer.span("engine.tick", tick=self.current_tick):
+            with tracer.span("engine.movement"):
+                self._apply_movement()
+            return self.execute_queries()
 
     def _apply_movement(self) -> None:
         if hasattr(self.generator, "step_events"):
@@ -181,9 +203,16 @@ class Simulator:
     def execute_queries(self) -> Dict[str, TickMetrics]:
         """Execute every non-paused query at the current time, measured."""
         out: Dict[str, TickMetrics] = {}
+        tracer = self.tracer
+        registry = self.registry
         for name, query in self._queries.items():
             if name in self._paused:
                 continue
+            span = (
+                tracer.begin(f"engine.query.{name}", algo=query.name)
+                if tracer.enabled
+                else None
+            )
             ops_before = query.search.stats.snapshot()
             start = self.clock()
             if not self._started[name]:
@@ -193,7 +222,7 @@ class Simulator:
                 answer = query.tick()
             elapsed = self.clock() - start
             ops_after = query.search.stats.snapshot()
-            out[name] = TickMetrics(
+            metrics = TickMetrics(
                 tick=self.current_tick,
                 wall_time=elapsed,
                 answer=frozenset(answer),
@@ -201,4 +230,24 @@ class Simulator:
                 region_cells=query.monitored_region_cells,
                 ops=diff_ops(ops_before, ops_after),
             )
+            out[name] = metrics
+            if span is not None:
+                tracer.end(span, monitored=metrics.monitored, answer=len(answer))
+            if registry is not None:
+                self._publish(registry, name, query, metrics)
         return out
+
+    def _publish(
+        self,
+        registry: MetricsRegistry,
+        name: str,
+        query: ContinuousQuery,
+        metrics: TickMetrics,
+    ) -> None:
+        """Feed one query execution into the metrics registry."""
+        registry.counter("query_ticks_total", query=name).inc()
+        registry.histogram("query_tick_seconds", query=name).observe(metrics.wall_time)
+        registry.gauge("query_monitored_objects", query=name).set(metrics.monitored)
+        registry.gauge("query_region_cells", query=name).set(metrics.region_cells)
+        registry.gauge("query_answer_size", query=name).set(metrics.answer_size)
+        record_ops_delta(registry, metrics.ops)

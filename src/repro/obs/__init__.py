@@ -1,0 +1,121 @@
+"""Observability: hierarchical span tracing, metrics, and exporters.
+
+The paper's evaluation is a story about *where time and work go* — per-tick
+CPU (Figures 6a/7a/8a/9a), monitored-object counts (6b/8b), cells visited
+per search kind (the Section 6 cost model).  This package makes those
+quantities first-class and visible *inside* a tick:
+
+- :mod:`repro.obs.trace` — a lightweight hierarchical span tracer.  Code
+  wraps phases in ``tracer.span("mono.incremental.verify")`` blocks; spans
+  carry wall time and op-count attributes and land in a bounded ring
+  buffer.  Tracing is **off by default** and the disabled fast path is a
+  single attribute check, so instrumented hot paths stay hot.
+- :mod:`repro.obs.metrics` — a dependency-free registry of counters,
+  gauges, and fixed-bucket histograms.  It absorbs and generalizes the
+  per-search-kind :class:`repro.grid.search.SearchStats` counters.
+- :mod:`repro.obs.export` — JSON-lines span events, a Prometheus-style
+  text snapshot, and a human ``summary()`` table.
+
+Quickstart::
+
+    from repro import obs
+
+    obs.enable()
+    ... run queries ...
+    print(obs.summary())          # per-phase span breakdown + metrics
+    obs.disable()
+
+The CLI exposes the same flow as ``igern obs`` and via ``--trace FILE`` /
+``--metrics FILE`` on ``demo`` and ``experiment``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.obs.export import (
+    JsonLinesSink,
+    prometheus_text,
+    spans_to_jsonl,
+    summary_table,
+    write_metrics_text,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    absorb_search_stats,
+    active_registry,
+    get_registry,
+    install_registry,
+    uninstall_registry,
+)
+from repro.obs.trace import NULL_SPAN, Span, SpanAggregate, Tracer, get_tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "SpanAggregate",
+    "NULL_SPAN",
+    "get_tracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    "install_registry",
+    "uninstall_registry",
+    "active_registry",
+    "absorb_search_stats",
+    "JsonLinesSink",
+    "prometheus_text",
+    "spans_to_jsonl",
+    "summary_table",
+    "write_spans_jsonl",
+    "write_metrics_text",
+    "enable",
+    "disable",
+    "enabled",
+    "summary",
+]
+
+
+def enable(
+    trace: bool = True, metrics: bool = True
+) -> Tuple[Tracer, Optional[MetricsRegistry]]:
+    """Turn observability on: the global tracer and the global registry.
+
+    Returns ``(tracer, registry)`` so callers can attach sinks or inspect
+    collected data.  ``metrics=True`` installs the global registry as the
+    *active* one, which engine components pick up at construction time.
+    """
+    tracer = get_tracer()
+    if trace:
+        tracer.enable()
+    registry = None
+    if metrics:
+        registry = get_registry()
+        install_registry(registry)
+    return tracer, registry
+
+
+def disable(clear: bool = False) -> None:
+    """Turn tracing and metric collection off (optionally dropping data)."""
+    tracer = get_tracer()
+    tracer.disable()
+    uninstall_registry()
+    if clear:
+        tracer.clear()
+        get_registry().clear()
+
+
+def enabled() -> bool:
+    """Whether the global tracer is currently recording."""
+    return get_tracer().enabled
+
+
+def summary() -> str:
+    """Human-readable table over the global tracer and registry."""
+    return summary_table(get_tracer(), get_registry())

@@ -1,0 +1,198 @@
+"""Exporters: JSON-lines span events, Prometheus text, summary table.
+
+Three consumers, three formats:
+
+- machines replaying a trace → :func:`spans_to_jsonl` /
+  :class:`JsonLinesSink` (one JSON object per finished span);
+- scrapers → :func:`prometheus_text` (the Prometheus exposition format,
+  produced without any dependency);
+- humans → :func:`summary_table` (per-phase span breakdown plus a metric
+  listing, the output of ``igern obs``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import IO, Iterable, Optional, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One compact JSON object per span, newline separated."""
+    return "\n".join(json.dumps(s.to_dict(), separators=(",", ":")) for s in spans)
+
+
+def write_spans_jsonl(path: Union[str, Path], tracer: Tracer) -> Path:
+    """Dump the tracer's retained spans to a JSON-lines file."""
+    path = Path(path)
+    text = spans_to_jsonl(tracer.spans())
+    path.write_text(text + "\n" if text else "")
+    return path
+
+
+class JsonLinesSink:
+    """A live span sink streaming JSON lines to a file.
+
+    Attach with ``tracer.add_sink(sink)``; spans are written as they
+    finish, so the file is useful even if the process dies mid-run.
+    Accepts a path (opened and owned, close with :meth:`close`) or any
+    writable text file object (borrowed).
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        if isinstance(target, (str, Path)):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+
+    def __call__(self, span: Span) -> None:
+        self._file.write(json.dumps(span.to_dict(), separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return prefix + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """The registry in Prometheus text exposition format.
+
+    Counters keep their ``_total`` suffix, histograms expand into
+    ``_bucket`` / ``_sum`` / ``_count`` series; every line is scrapeable
+    by a stock Prometheus server.
+    """
+    lines = []
+    typed = set()
+    for metric in registry.collect():
+        name = _prom_name(metric.name, prefix)
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for bound, cumulative in metric.cumulative_buckets():
+                le = "+Inf" if bound == float("inf") else repr(bound)
+                le_label = 'le="' + le + '"'
+                lines.append(
+                    f"{name}_bucket{_prom_labels(metric.labels, le_label)} {cumulative}"
+                )
+            lines.append(f"{name}_sum{_prom_labels(metric.labels)} {repr(metric.total)}")
+            lines.append(f"{name}_count{_prom_labels(metric.labels)} {metric.count}")
+        else:
+            lines.append(f"{name}{_prom_labels(metric.labels)} {_fmt_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_text(path: Union[str, Path], registry: MetricsRegistry) -> Path:
+    """Write the Prometheus snapshot to a file."""
+    path = Path(path)
+    path.write_text(prometheus_text(registry))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Human summary
+# ----------------------------------------------------------------------
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f}ms"
+    return f"{seconds * 1e6:8.1f}us"
+
+
+def summary_table(
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    prefix: Optional[str] = None,
+) -> str:
+    """Per-phase span breakdown plus metric listing, for terminals.
+
+    Span rows are grouped by name (count, total, mean, max) and sorted by
+    total time descending — the "where does the tick go" table.  ``prefix``
+    restricts the span section (e.g. ``"mono."``).
+    """
+    out = io.StringIO()
+    if tracer is not None:
+        aggs = sorted(
+            tracer.aggregate(prefix).values(), key=lambda a: a.total, reverse=True
+        )
+        out.write("spans (per-phase breakdown)\n")
+        if aggs:
+            out.write(
+                f"  {'span':<34} {'count':>7} {'total':>10} {'mean':>10} {'max':>10}\n"
+            )
+            for agg in aggs:
+                out.write(
+                    f"  {agg.name:<34} {agg.count:>7}"
+                    f" {_fmt_seconds(agg.total):>10}"
+                    f" {_fmt_seconds(agg.mean):>10}"
+                    f" {_fmt_seconds(agg.max):>10}\n"
+                )
+        else:
+            out.write("  (no spans recorded — is tracing enabled?)\n")
+    if registry is not None:
+        metrics = list(registry.collect())
+        if tracer is not None:
+            out.write("\n")
+        out.write("metrics\n")
+        if metrics:
+            for metric in metrics:
+                labels = (
+                    "{" + ", ".join(f"{k}={v}" for k, v in metric.labels) + "}"
+                    if metric.labels
+                    else ""
+                )
+                if isinstance(metric, Histogram):
+                    out.write(
+                        f"  {metric.name}{labels}: count={metric.count}"
+                        f" mean={_fmt_seconds(metric.mean).strip()}"
+                        f" p50={_fmt_seconds(metric.percentile(50)).strip()}"
+                        f" p95={_fmt_seconds(metric.percentile(95)).strip()}\n"
+                    )
+                elif isinstance(metric, (Counter, Gauge)):
+                    out.write(f"  {metric.name}{labels}: {_fmt_value(metric.value)}\n")
+        else:
+            out.write("  (no metrics recorded)\n")
+    return out.getvalue().rstrip("\n")

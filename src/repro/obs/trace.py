@@ -1,0 +1,277 @@
+"""Hierarchical span tracing with a near-zero disabled fast path.
+
+A *span* is one timed phase of work — ``engine.tick``,
+``mono.incremental.verify``, ``grid.search.nearest`` — with a name, wall
+time, nesting depth, and a free-form attribute dict (op counts, search
+kind, tick number).  Spans nest through a thread-local stack, so a search
+executed inside the verification phase of an incremental step records
+``engine.tick > mono.incremental > mono.incremental.verify >
+grid.search.count_closer_than`` as its ancestry.
+
+Two usage styles:
+
+``with``-block (per-phase instrumentation, cost irrelevant)::
+
+    with tracer.span("mono.initial.tighten") as sp:
+        found = ...
+        sp.set(found=found)
+
+guarded begin/end (hot paths; the disabled cost is one attribute check)::
+
+    sp = tracer.begin("grid.search.nearest") if tracer.enabled else None
+    try:
+        ...
+    finally:
+        if sp is not None:
+            tracer.end(sp, cells=n_cells)
+
+When the tracer is disabled, :meth:`Tracer.span` returns the shared
+:data:`NULL_SPAN` no-op context manager, so ``with``-style call sites need
+no guard at all.
+
+Finished spans land in a bounded ring buffer (oldest dropped first) and
+are forwarded to any attached sinks (e.g.
+:class:`repro.obs.export.JsonLinesSink`).  Naming convention: dotted
+lowercase components, ``<subsystem>.<step>[.<phase>]`` — see
+``docs/OBSERVABILITY.md`` for the catalog.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Span:
+    """One timed, attributed phase of work.
+
+    Also usable as a context manager: entering starts the span on its
+    tracer's stack, exiting finishes it.  ``start``/``end`` are
+    ``time.perf_counter`` readings; ``duration`` is their difference (0.0
+    while unfinished).
+    """
+
+    __slots__ = ("tracer", "name", "start", "end", "depth", "parent", "attrs")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.tracer = tracer
+        self.name = name
+        self.start = 0.0
+        self.end = 0.0
+        self.depth = 0
+        self.parent: Optional[str] = None
+        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
+
+    @property
+    def duration(self) -> float:
+        """Wall time in seconds (0.0 until the span is finished)."""
+        return self.end - self.start if self.end else 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.tracer.end(self)
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by the JSON-lines exporter."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+        }
+        if self.parent is not None:
+            out["parent"] = self.parent
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, duration={self.duration * 1e6:.1f}us,"
+            f" depth={self.depth}, attrs={self.attrs!r})"
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: what ``span()`` returns while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+#: The singleton no-op span (never recorded, attribute-setting discarded).
+NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class SpanAggregate:
+    """Accumulated statistics for all finished spans of one name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+    ops: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def add(self, span: Span) -> None:
+        d = span.duration
+        self.count += 1
+        self.total += d
+        if d < self.min:
+            self.min = d
+        if d > self.max:
+            self.max = d
+        for key, value in span.attrs.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.ops[key] = self.ops.get(key, 0) + value
+
+
+SpanSink = Callable[[Span], None]
+
+
+class Tracer:
+    """Thread-safe hierarchical span collector with bounded retention.
+
+    ``enabled`` is a plain attribute so hot paths can guard with a single
+    load; nothing else is touched on the disabled path.
+    """
+
+    def __init__(self, capacity: int = 8192, clock: Callable[[], float] = time.perf_counter):
+        self.enabled: bool = False
+        self.clock = clock
+        self.capacity = capacity
+        self._finished: "deque[Span]" = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._sinks: List[SpanSink] = []
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all finished spans (the per-thread stacks are untouched)."""
+        with self._lock:
+            self._finished.clear()
+
+    # -- sinks -----------------------------------------------------------
+
+    def add_sink(self, sink: SpanSink) -> None:
+        """Forward every finished span to ``sink`` (e.g. a JSONL writer)."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: SpanSink) -> None:
+        self._sinks.remove(sink)
+
+    # -- span creation ---------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """A context-manager span, or :data:`NULL_SPAN` when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs or None)
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """Start a span immediately (hot-path API; pair with :meth:`end`).
+
+        Callers are expected to have checked ``tracer.enabled`` themselves;
+        an unconditional ``begin`` on a disabled tracer still works but
+        pays the bookkeeping.
+        """
+        span = Span(self, name, attrs or None)
+        self._push(span)
+        return span
+
+    def end(self, span: Span, **attrs: Any) -> Span:
+        """Finish a span begun with :meth:`begin` (or entered as a CM)."""
+        span.end = self.clock()
+        if attrs:
+            span.attrs.update(attrs)
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # mismatched nesting: unwind to the span
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        with self._lock:
+            self._finished.append(span)
+        for sink in self._sinks:
+            sink(span)
+        return span
+
+    # -- inspection ------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Finished spans, oldest first (bounded by ``capacity``)."""
+        with self._lock:
+            return list(self._finished)
+
+    def aggregate(self, prefix: Optional[str] = None) -> Dict[str, SpanAggregate]:
+        """Per-name statistics over the retained spans.
+
+        ``prefix`` restricts to span names starting with it (e.g.
+        ``"mono."`` for the monochromatic phases only).
+        """
+        out: Dict[str, SpanAggregate] = {}
+        for span in self.spans():
+            if prefix is not None and not span.name.startswith(prefix):
+                continue
+            agg = out.get(span.name)
+            if agg is None:
+                agg = out[span.name] = SpanAggregate(span.name)
+            agg.add(span)
+        return out
+
+    # -- internals -------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        span.depth = len(stack)
+        span.parent = stack[-1].name if stack else None
+        stack.append(span)
+        span.start = self.clock()
+
+
+_DEFAULT = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer, shared by every component."""
+    return _DEFAULT

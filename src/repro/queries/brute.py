@@ -13,7 +13,7 @@ object still counts as an RNN.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Set, Tuple
+from typing import FrozenSet, Hashable, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.geometry.point import dist_sq
 from repro.grid.index import Category, GridIndex, ObjectId
@@ -99,15 +99,17 @@ class BruteForceMonoQuery(ContinuousQuery):
         return self.tick()
 
     def tick(self) -> FrozenSet[Hashable]:
-        snapshot = self.grid.positions_snapshot()
-        self._answer = frozenset(
-            brute_mono_rnn(
-                snapshot,
-                self.position.current(),
-                query_id=self.position.query_id,
-                k=self.k,
+        with self.search.tracer.span("brute.scan") as sp:
+            snapshot = self.grid.positions_snapshot()
+            self._answer = frozenset(
+                brute_mono_rnn(
+                    snapshot,
+                    self.position.current(),
+                    query_id=self.position.query_id,
+                    k=self.k,
+                )
             )
-        )
+            sp.set(objects=len(snapshot))
         return self._answer
 
 
@@ -133,15 +135,17 @@ class BruteForceBiQuery(ContinuousQuery):
         return self.tick()
 
     def tick(self) -> FrozenSet[Hashable]:
-        snap_a = self.grid.positions_snapshot(self.cat_a)
-        snap_b = self.grid.positions_snapshot(self.cat_b)
-        self._answer = frozenset(
-            brute_bi_rnn(
-                snap_a,
-                snap_b,
-                self.position.current(),
-                query_id=self.position.query_id,
-                k=self.k,
+        with self.search.tracer.span("brute.scan") as sp:
+            snap_a = self.grid.positions_snapshot(self.cat_a)
+            snap_b = self.grid.positions_snapshot(self.cat_b)
+            self._answer = frozenset(
+                brute_bi_rnn(
+                    snap_a,
+                    snap_b,
+                    self.position.current(),
+                    query_id=self.position.query_id,
+                    k=self.k,
+                )
             )
-        )
+            sp.set(objects=len(snap_a) + len(snap_b))
         return self._answer

@@ -108,51 +108,55 @@ class CRNNQuery(ContinuousQuery):
         exclude = {qid} if qid is not None else set()
         pies = PiePartition(qpos, self.n_pies)
         rect_cache: Dict[CellKey, object] = {}
+        tracer = search.tracer
 
         new_candidates: Dict[int, ObjectId] = {}
-        for i in range(self.n_pies):
-            bound = None
-            if not full:
-                prev = self._candidates.get(i)
-                if prev is not None and prev in grid:
-                    prev_pos = grid.position(prev)
-                    if prev_pos != qpos and pies.pie_of(prev_pos) == i:
-                        bound = dist(prev_pos, qpos) * (1.0 + _BOUND_SLACK)
+        with tracer.span("crnn.pies", full=full) as sp:
+            for i in range(self.n_pies):
+                bound = None
+                if not full:
+                    prev = self._candidates.get(i)
+                    if prev is not None and prev in grid:
+                        prev_pos = grid.position(prev)
+                        if prev_pos != qpos and pies.pie_of(prev_pos) == i:
+                            bound = dist(prev_pos, qpos) * (1.0 + _BOUND_SLACK)
 
-            def in_pie_cell(key: CellKey, _i=i) -> bool:
-                rect = rect_cache.get(key)
-                if rect is None:
-                    rect = grid.cell_rect(key)
-                    rect_cache[key] = rect
-                return pies.rect_intersects_pie(rect, _i)
+                def in_pie_cell(key: CellKey, _i=i) -> bool:
+                    rect = rect_cache.get(key)
+                    if rect is None:
+                        rect = grid.cell_rect(key)
+                        rect_cache[key] = rect
+                    return pies.rect_intersects_pie(rect, _i)
 
-            def in_pie(oid: ObjectId, pos, _i=i) -> bool:
-                return tuple(pos) != tuple(qpos) and pies.pie_of(pos) == _i
+                def in_pie(oid: ObjectId, pos, _i=i) -> bool:
+                    return tuple(pos) != tuple(qpos) and pies.pie_of(pos) == _i
 
-            hit = search.nearest(
-                qpos,
-                exclude=exclude,
-                cell_filter=in_pie_cell,
-                obj_filter=in_pie,
-                radius=bound,
-                kind=SearchKind.BOUNDED if bound is not None else SearchKind.CONSTRAINED,
-            )
-            if hit is not None:
-                new_candidates[i] = hit[0]
+                hit = search.nearest(
+                    qpos,
+                    exclude=exclude,
+                    cell_filter=in_pie_cell,
+                    obj_filter=in_pie,
+                    radius=bound,
+                    kind=SearchKind.BOUNDED if bound is not None else SearchKind.CONSTRAINED,
+                )
+                if hit is not None:
+                    new_candidates[i] = hit[0]
+            sp.set(candidates=len(new_candidates))
 
         answer = set()
-        for oid in new_candidates.values():
-            pos = grid.position(oid)
-            # Squared-space comparison (strict inequality semantics).
-            witnesses = search.count_closer_than(
-                pos,
-                threshold_sq=dist_sq(pos, qpos),
-                exclude=exclude | {oid},
-                stop_at=1,
-                kind=SearchKind.UNCONSTRAINED,
-            )
-            if witnesses == 0:
-                answer.add(oid)
+        with tracer.span("crnn.verify"):
+            for oid in new_candidates.values():
+                pos = grid.position(oid)
+                # Squared-space comparison (strict inequality semantics).
+                witnesses = search.count_closer_than(
+                    pos,
+                    threshold_sq=dist_sq(pos, qpos),
+                    exclude=exclude | {oid},
+                    stop_at=1,
+                    kind=SearchKind.UNCONSTRAINED,
+                )
+                if witnesses == 0:
+                    answer.add(oid)
 
         self._candidates = new_candidates
         self._qpos_last = qpos

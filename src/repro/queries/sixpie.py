@@ -42,6 +42,10 @@ class SixPieSnapshotQuery(ContinuousQuery):
         return self.tick()
 
     def tick(self) -> FrozenSet[Hashable]:
+        with self.search.tracer.span("sixpie.evaluate", pies=self.n_pies):
+            return self._evaluate()
+
+    def _evaluate(self) -> FrozenSet[Hashable]:
         grid = self.grid
         search = self.search
         qpos = self.position.current()

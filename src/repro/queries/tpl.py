@@ -41,6 +41,9 @@ class TPLQuery(ContinuousQuery):
         return self.tick()
 
     def tick(self) -> FrozenSet[Hashable]:
-        _, report = self._algo.initial(self.position.current())
+        # The stateless re-run shows up as one snapshot span wrapping the
+        # mono.initial phases it re-executes every tick.
+        with self.search.tracer.span("tpl.snapshot"):
+            _, report = self._algo.initial(self.position.current())
         self._answer = report.answer
         return self._answer

@@ -82,11 +82,15 @@ class VoronoiRepeatQuery(ContinuousQuery):
 
     def tick(self) -> FrozenSet[Hashable]:
         if self.method == "pruned":
-            state, report = self._algo.initial(self.position.current())
+            with self.search.tracer.span("voronoi.pruned"):
+                state, report = self._algo.initial(self.position.current())
             self.last_neighbors = len(state.nn_a)
             self._answer = report.answer
             return self._answer
-        return self._tick_classic()
+        with self.search.tracer.span("voronoi.rebuild") as sp:
+            answer = self._tick_classic()
+            sp.set(neighbors=self.last_neighbors, answer=len(answer))
+        return answer
 
     def _tick_classic(self) -> FrozenSet[Hashable]:
         grid = self.grid

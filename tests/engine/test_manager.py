@@ -78,6 +78,127 @@ class TestPauseResume:
             manager.pause("ghost")
 
 
+class FrozenGenerator:
+    """Wraps a generator but never moves anything after the initial load."""
+
+    def __init__(self, base):
+        self._base = base
+
+    def initial(self):
+        return self._base.initial()
+
+    def step(self, dt=1.0):
+        return []
+
+
+class TestUnsubscribe:
+    def test_unsubscribe_stops_delivery(self):
+        sim = make_sim()
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        events = []
+        manager.subscribe(events.append, query="q")
+        manager.run(1)
+        seen = len(events)
+        assert seen >= 1
+        assert manager.unsubscribe(events.append, query="q") is True
+        manager.run(5)
+        assert len(events) == seen, "no deliveries after unsubscribe"
+
+    def test_unsubscribe_requires_matching_scope(self):
+        """A global subscription is distinct from any per-query one."""
+        sim = make_sim()
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        events = []
+        manager.subscribe(events.append)  # global
+        assert manager.unsubscribe(events.append, query="q") is False
+        manager.run(1)
+        assert events, "the global subscription must survive the mismatched removal"
+        assert manager.unsubscribe(events.append) is True
+
+    def test_unsubscribe_unknown_callback_is_noop(self):
+        manager = ContinuousQueryManager(make_sim())
+        assert manager.unsubscribe(lambda change: None) is False
+
+    def test_duplicate_subscription_removed_once_per_call(self):
+        sim = Simulator(FrozenGenerator(RandomWalkGenerator(50, seed=5)), grid_size=8)
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        events = []
+        manager.subscribe(events.append, query="q")
+        manager.subscribe(events.append, query="q")
+        manager.run(1)  # single change (first answer), delivered twice
+        assert len(events) == 2
+        assert manager.unsubscribe(events.append, query="q") is True
+        manager.unregister("q")
+        manager.register("q2", igern_at(sim, (0.5, 0.5)))
+        manager.subscribe(events.append, query="q2")
+
+
+class TestResumeDeltas:
+    def test_no_spurious_change_on_resume_with_unchanged_answer(self):
+        """Resuming in an unchanged world must publish nothing."""
+        sim = Simulator(FrozenGenerator(RandomWalkGenerator(80, seed=3)), grid_size=8)
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        first = manager.run(1)
+        assert len(first) == 1
+        manager.pause("q")
+        manager.run(3)
+        manager.resume("q")
+        assert manager.run(2) == [], (
+            "resume with an identical answer must not re-announce it"
+        )
+
+    def test_resume_delta_is_relative_to_last_published_answer(self):
+        """The post-resume change skips every intermediate state: its
+        added/removed sets are the delta from the pre-pause answer."""
+        sim = make_sim(n=200, seed=11)
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        manager.run(2)
+        before = manager.current_answer("q")
+        manager.pause("q")
+        manager.run(8)
+        manager.resume("q")
+        changes = [c for c in manager.run(1) if c.query == "q"]
+        if changes:
+            change = changes[0]
+            assert change.added == change.answer - before
+            assert change.removed == before - change.answer
+            assert manager.current_answer("q") == change.answer
+        else:
+            assert manager.current_answer("q") == before
+
+
+class TestSubscriberOrdering:
+    def test_per_query_subscribers_run_before_global(self):
+        sim = make_sim()
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        order = []
+        manager.subscribe(lambda c: order.append(("per-query", c.tick)), query="q")
+        manager.subscribe(lambda c: order.append(("global", c.tick)))
+        manager.run(4)
+        assert order, "at least the first answer must be delivered"
+        # Per change (= per tick entry pair), per-query precedes global.
+        for i in range(0, len(order), 2):
+            assert order[i][0] == "per-query"
+            assert order[i + 1][0] == "global"
+            assert order[i][1] == order[i + 1][1]
+
+    def test_subscription_order_preserved_within_scope(self):
+        sim = Simulator(FrozenGenerator(RandomWalkGenerator(60, seed=2)), grid_size=8)
+        manager = ContinuousQueryManager(sim)
+        manager.register("q", igern_at(sim, (0.5, 0.5)))
+        order = []
+        manager.subscribe(lambda c: order.append("first"))
+        manager.subscribe(lambda c: order.append("second"))
+        manager.run(1)
+        assert order == ["first", "second"]
+
+
 class TestSubscriptions:
     def test_per_query_and_global(self):
         sim = make_sim()

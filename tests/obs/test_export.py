@@ -1,0 +1,161 @@
+"""Tests for the exporters: JSON lines, Prometheus text, summary table."""
+
+import io
+import json
+
+from repro.obs.export import (
+    JsonLinesSink,
+    prometheus_text,
+    spans_to_jsonl,
+    summary_table,
+    write_metrics_text,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def traced_fixture():
+    tracer = Tracer(clock=FakeClock())
+    tracer.enable()
+    with tracer.span("engine.tick", tick=0):
+        tracer.clock.advance(0.25)
+        with tracer.span("mono.incremental"):
+            tracer.clock.advance(0.5)
+    return tracer
+
+
+class TestJsonLines:
+    def test_spans_to_jsonl_roundtrip(self):
+        tracer = traced_fixture()
+        lines = spans_to_jsonl(tracer.spans()).splitlines()
+        assert len(lines) == 2
+        inner = json.loads(lines[0])
+        outer = json.loads(lines[1])
+        assert inner["name"] == "mono.incremental"
+        assert inner["parent"] == "engine.tick"
+        assert outer["name"] == "engine.tick"
+        assert outer["attrs"] == {"tick": 0}
+        assert outer["duration"] == 0.75
+
+    def test_write_spans_jsonl(self, tmp_path):
+        tracer = traced_fixture()
+        path = write_spans_jsonl(tmp_path / "trace.jsonl", tracer)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["name"] for line in lines)
+
+    def test_write_empty_trace(self, tmp_path):
+        path = write_spans_jsonl(tmp_path / "empty.jsonl", Tracer())
+        assert path.read_text() == ""
+
+    def test_live_sink_streams_as_spans_finish(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.enable()
+        buf = io.StringIO()
+        sink = JsonLinesSink(buf)
+        tracer.add_sink(sink)
+        with tracer.span("a"):
+            pass
+        assert json.loads(buf.getvalue())["name"] == "a"
+        sink.close()  # borrowed file object stays open
+        buf.write("")
+
+    def test_sink_owns_path(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        tracer.enable()
+        target = tmp_path / "live.jsonl"
+        with JsonLinesSink(target) as sink:
+            tracer.add_sink(sink)
+            with tracer.span("x"):
+                pass
+            with tracer.span("y"):
+                pass
+        lines = target.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["x", "y"]
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("search_calls_total", kind="BOUNDED").inc(4)
+        reg.gauge("query_answer_size", query="igern").set(3)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_search_calls_total counter" in text
+        assert 'repro_search_calls_total{kind="BOUNDED"} 4' in text
+        assert "# TYPE repro_query_answer_size gauge" in text
+        assert 'repro_query_answer_size{query="igern"} 3' in text
+        assert text.endswith("\n")
+
+    def test_histogram_expansion(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("tick_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        text = prometheus_text(reg)
+        assert 'repro_tick_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_tick_seconds_bucket{le="1.0"} 1' in text
+        assert 'repro_tick_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_tick_seconds_sum 5.05" in text
+        assert "repro_tick_seconds_count 2" in text
+        assert "# TYPE repro_tick_seconds histogram" in text
+
+    def test_dots_become_underscores(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.tick.count").inc()
+        assert "repro_engine_tick_count 1" in prometheus_text(reg)
+
+    def test_type_line_emitted_once_across_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", kind="A").inc()
+        reg.counter("c_total", kind="B").inc()
+        text = prometheus_text(reg)
+        assert text.count("# TYPE repro_c_total counter") == 1
+
+    def test_write_metrics_text(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc(9)
+        path = write_metrics_text(tmp_path / "metrics.prom", reg)
+        assert "repro_x_total 9" in path.read_text()
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestSummaryTable:
+    def test_span_rows_sorted_by_total(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.enable()
+        with tracer.span("cheap"):
+            tracer.clock.advance(0.01)
+        with tracer.span("expensive"):
+            tracer.clock.advance(2.0)
+        text = summary_table(tracer)
+        assert text.index("expensive") < text.index("cheap")
+        assert "count" in text and "total" in text
+
+    def test_metrics_section(self):
+        reg = MetricsRegistry()
+        reg.counter("search_calls_total", kind="CONSTRAINED").inc(7)
+        h = reg.histogram("query_tick_seconds", query="igern")
+        h.observe(0.002)
+        text = summary_table(registry=reg)
+        assert "search_calls_total{kind=CONSTRAINED}: 7" in text
+        assert "query_tick_seconds{query=igern}" in text
+        assert "p95=" in text
+
+    def test_empty_sections_have_placeholders(self):
+        text = summary_table(Tracer(), MetricsRegistry())
+        assert "(no spans recorded" in text
+        assert "(no metrics recorded)" in text

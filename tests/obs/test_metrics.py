@@ -1,0 +1,153 @@
+"""Tests for the metrics registry and the SearchStats bridge."""
+
+import pytest
+
+from repro.grid.search import SearchKind, SearchStats
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    absorb_search_stats,
+    record_ops_delta,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("level")
+        g.set(10)
+        g.inc(2.5)
+        g.dec(0.5)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_observe_buckets_inclusive_upper_edge(self):
+        h = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 4.0, 99.0):
+            h.observe(v)
+        # buckets: <=1.0, <=2.0, <=4.0, +Inf
+        assert h.bucket_counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(106.0)
+        assert h.mean == pytest.approx(21.2)
+
+    def test_cumulative_buckets(self):
+        h = Histogram("t", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(10.0)
+        assert h.cumulative_buckets() == [(1.0, 1), (2.0, 2), (float("inf"), 3)]
+
+    def test_percentile_estimates_from_edges(self):
+        h = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 0.7, 3.0):
+            h.observe(v)
+        assert h.percentile(50) == 1.0
+        assert h.percentile(100) == 4.0
+
+    def test_percentile_validation_and_empty(self):
+        h = Histogram("t", buckets=(1.0,))
+        assert h.percentile(99) == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=())
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", kind="BOUNDED")
+        b = reg.counter("hits_total", kind="BOUNDED")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_labels_distinguish(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", kind="BOUNDED").inc()
+        reg.counter("hits_total", kind="CONSTRAINED").inc(2)
+        assert reg.get("hits_total", kind="BOUNDED").value == 1
+        assert reg.get("hits_total", kind="CONSTRAINED").value == 2
+        assert len(reg) == 2
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", b="2", a="1")
+        b = reg.counter("x_total", a="1", b="2")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(TypeError):
+            reg.gauge("thing")
+
+    def test_get_without_create(self):
+        reg = MetricsRegistry()
+        assert reg.get("absent") is None
+        assert len(reg) == 0
+
+    def test_collect_sorted_and_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total")
+        reg.counter("a_total")
+        assert [m.name for m in reg.collect()] == ["a_total", "b_total"]
+        reg.clear()
+        assert len(reg) == 0
+
+
+class TestSearchStatsBridge:
+    def test_record_ops_delta_splits_flavor(self):
+        reg = MetricsRegistry()
+        record_ops_delta(
+            reg, {"calls_NN": 2, "calls_NN_c": 3, "cells_NN_b": 7, "objects_NN": 0}
+        )
+        assert reg.get("search_calls_total", kind="UNCONSTRAINED").value == 2
+        assert reg.get("search_calls_total", kind="CONSTRAINED").value == 3
+        assert reg.get("search_cells_visited_total", kind="BOUNDED").value == 7
+        # zero deltas create nothing
+        assert reg.get("search_objects_examined_total", kind="UNCONSTRAINED") is None
+
+    def test_record_ops_delta_extra_labels(self):
+        reg = MetricsRegistry()
+        record_ops_delta(reg, {"calls_NN": 1}, query="igern")
+        metric = reg.get("search_calls_total", kind="UNCONSTRAINED", query="igern")
+        assert metric is not None and metric.value == 1
+
+    def test_absorb_search_stats_touches_all_flavors(self):
+        stats = SearchStats()
+        stats.calls[SearchKind.CONSTRAINED] += 1
+        stats.cells_visited[SearchKind.CONSTRAINED] += 4
+        stats.objects_examined[SearchKind.CONSTRAINED] += 9
+        reg = MetricsRegistry()
+        absorb_search_stats(reg, stats)
+        for flavor in ("UNCONSTRAINED", "CONSTRAINED", "BOUNDED"):
+            assert reg.get("search_calls_total", kind=flavor) is not None
+        assert reg.get("search_calls_total", kind="CONSTRAINED").value == 1
+        assert reg.get("search_cells_visited_total", kind="CONSTRAINED").value == 4
+        assert reg.get("search_objects_examined_total", kind="CONSTRAINED").value == 9
+        assert reg.get("search_calls_total", kind="UNCONSTRAINED").value == 0

@@ -1,0 +1,262 @@
+"""Tests for the hierarchical span tracer."""
+
+import threading
+
+from repro import obs
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in: advances on demand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_tracer(**kwargs):
+    tracer = Tracer(clock=FakeClock(), **kwargs)
+    tracer.enable()
+    return tracer
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_null_singleton(self):
+        tracer = Tracer()
+        assert tracer.span("x") is NULL_SPAN
+        assert tracer.span("y", a=1) is NULL_SPAN
+
+    def test_null_span_context_manager_and_set(self):
+        with NULL_SPAN as sp:
+            assert sp.set(anything=42) is NULL_SPAN
+        assert not Tracer().spans()
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("phase"):
+            pass
+        assert tracer.spans() == []
+
+    def test_enable_disable_toggles(self):
+        tracer = Tracer()
+        assert tracer.enabled is False
+        tracer.enable()
+        assert tracer.enabled is True
+        with tracer.span("a"):
+            pass
+        tracer.disable()
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["a"]
+
+
+class TestSpanLifecycle:
+    def test_with_block_records_duration(self):
+        tracer = make_tracer()
+        with tracer.span("work") as sp:
+            tracer.clock.advance(0.5)
+        assert sp.duration == 0.5
+        assert tracer.spans() == [sp]
+
+    def test_begin_end_hot_path(self):
+        tracer = make_tracer()
+        sp = tracer.begin("grid.search.nearest", kind="UNCONSTRAINED")
+        tracer.clock.advance(0.001)
+        tracer.end(sp, cells=3)
+        assert sp.duration == 0.001
+        assert sp.attrs == {"kind": "UNCONSTRAINED", "cells": 3}
+
+    def test_set_attaches_attributes(self):
+        tracer = make_tracer()
+        with tracer.span("phase", tick=7) as sp:
+            sp.set(found=True).set(candidates=5)
+        assert sp.attrs == {"tick": 7, "found": True, "candidates": 5}
+
+    def test_to_dict_shape(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            tracer.clock.advance(1.0)
+            with tracer.span("inner", n=2):
+                tracer.clock.advance(2.0)
+        inner = tracer.spans()[0]
+        d = inner.to_dict()
+        assert d["name"] == "inner"
+        assert d["duration"] == 2.0
+        assert d["depth"] == 1
+        assert d["parent"] == "outer"
+        assert d["attrs"] == {"n": 2}
+        outer_d = tracer.spans()[1].to_dict()
+        assert "parent" not in outer_d and "attrs" not in outer_d
+
+
+class TestNesting:
+    def test_depth_and_parent(self):
+        tracer = make_tracer()
+        with tracer.span("engine.tick"):
+            with tracer.span("mono.incremental"):
+                with tracer.span("mono.incremental.verify"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["engine.tick"].depth == 0
+        assert by_name["engine.tick"].parent is None
+        assert by_name["mono.incremental"].parent == "engine.tick"
+        assert by_name["mono.incremental.verify"].depth == 2
+        assert by_name["mono.incremental.verify"].parent == "mono.incremental"
+
+    def test_siblings_share_parent(self):
+        tracer = make_tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["a"].parent == by_name["b"].parent == "root"
+        assert by_name["a"].depth == by_name["b"].depth == 1
+
+    def test_stack_is_thread_local(self):
+        tracer = make_tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("thread.child") as sp:
+                seen["depth"] = sp.depth
+                seen["parent"] = sp.parent
+
+        with tracer.span("main.root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen == {"depth": 0, "parent": None}  # not nested under main.root
+
+
+class TestRetention:
+    def test_ring_buffer_drops_oldest(self):
+        tracer = make_tracer(capacity=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_clear(self):
+        tracer = make_tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+
+    def test_sink_sees_every_span_even_past_capacity(self):
+        tracer = make_tracer(capacity=2)
+        names = []
+        tracer.add_sink(lambda s: names.append(s.name))
+        for i in range(4):
+            with tracer.span(f"s{i}"):
+                pass
+        assert names == ["s0", "s1", "s2", "s3"]
+
+    def test_remove_sink_stops_forwarding(self):
+        tracer = make_tracer()
+        names = []
+        sink = lambda s: names.append(s.name)  # noqa: E731
+        tracer.add_sink(sink)
+        with tracer.span("kept"):
+            pass
+        tracer.remove_sink(sink)
+        with tracer.span("dropped"):
+            pass
+        assert names == ["kept"]
+
+
+class TestAggregate:
+    def test_counts_totals_and_ops(self):
+        tracer = make_tracer()
+        for cells in (3, 5):
+            with tracer.span("grid.search.nearest", cells=cells):
+                tracer.clock.advance(0.25)
+        with tracer.span("mono.initial"):
+            tracer.clock.advance(1.0)
+        aggs = tracer.aggregate()
+        nearest = aggs["grid.search.nearest"]
+        assert nearest.count == 2
+        assert nearest.total == 0.5
+        assert nearest.mean == 0.25
+        assert nearest.min == nearest.max == 0.25
+        assert nearest.ops == {"cells": 8}
+        assert aggs["mono.initial"].count == 1
+
+    def test_aggregate_skips_bool_and_string_attrs(self):
+        tracer = make_tracer()
+        with tracer.span("x", found=True, kind="BOUNDED", n=2):
+            pass
+        assert tracer.aggregate()["x"].ops == {"n": 2}
+
+    def test_prefix_filter(self):
+        tracer = make_tracer()
+        for name in ("mono.initial", "mono.incremental", "bi.initial"):
+            with tracer.span(name):
+                pass
+        assert set(tracer.aggregate("mono.")) == {"mono.initial", "mono.incremental"}
+
+
+class TestGlobalFacade:
+    def test_obs_enable_disable_roundtrip(self):
+        try:
+            tracer, registry = obs.enable()
+            assert obs.enabled() is True
+            assert tracer is obs.get_tracer()
+            assert registry is obs.get_registry()
+            from repro.obs.metrics import active_registry
+
+            assert active_registry() is registry
+        finally:
+            obs.disable(clear=True)
+        assert obs.enabled() is False
+        from repro.obs.metrics import active_registry
+
+        assert active_registry() is None
+
+    def test_summary_mentions_spans_header(self):
+        try:
+            obs.enable()
+            with obs.get_tracer().span("demo.phase"):
+                pass
+            text = obs.summary()
+            assert "spans (per-phase breakdown)" in text
+            assert "demo.phase" in text
+        finally:
+            obs.disable(clear=True)
+
+
+class TestInstrumentationIntegration:
+    """End-to-end: running queries under tracing produces the phase spans."""
+
+    def test_mono_igern_phases_visible(self):
+        from repro.engine.workload import WorkloadSpec, build_simulator, central_object
+        from repro.queries import IGERNMonoQuery, QueryPosition
+
+        tracer = obs.get_tracer()
+        try:
+            obs.enable(metrics=False)
+            tracer.clear()
+            sim = build_simulator(WorkloadSpec(n_objects=300, grid_size=16, seed=3))
+            qid = central_object(sim)
+            sim.add_query(
+                "igern", IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+            )
+            sim.run(4)
+            names = {s.name for s in tracer.spans()}
+        finally:
+            obs.disable(clear=True)
+        # The acceptance criterion: initial, incremental, and verification
+        # phases separately visible.
+        assert "mono.initial" in names
+        assert "mono.initial.verify" in names
+        assert "mono.incremental" in names
+        assert "mono.incremental.verify" in names
+        assert "engine.tick" in names
+        assert any(n.startswith("grid.search.") for n in names)

@@ -1,7 +1,5 @@
 """Tests for the ``igern`` command-line interface."""
 
-import pytest
-
 from repro.cli import main
 
 
@@ -56,6 +54,78 @@ class TestTrace:
         loaded = Trace.load(path)
         assert loaded.n_objects == 30
         assert len(loaded) == 5
+
+
+class TestObs:
+    def test_demo_workload_shows_phases_and_flavors(self, capsys):
+        rc = main(["obs", "-n", "300", "--ticks", "3", "--grid", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Mono IGERN initial, incremental, and verification phases are
+        # separately visible (the acceptance criterion), plus bi phases.
+        assert "mono.initial" in out
+        assert "mono.incremental" in out
+        assert "mono.incremental.verify" in out
+        assert "bi.initial" in out
+        # All three search flavors appear in the Prometheus snapshot.
+        for flavor in ("UNCONSTRAINED", "CONSTRAINED", "BOUNDED"):
+            assert f'repro_search_calls_total{{kind="{flavor}"' in out
+
+    def test_obs_on_experiment_workload(self, capsys):
+        rc = main(["obs", "--workload", "fig5", "--scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spans (per-phase breakdown)" in out
+        assert "grid.search." in out
+
+    def test_unknown_workload(self, capsys):
+        rc = main(["obs", "--workload", "nope"])
+        assert rc == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_obs_writes_trace_and_metrics_files(self, tmp_path, capsys):
+        trace = tmp_path / "spans.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        rc = main(
+            [
+                "obs", "-n", "200", "--ticks", "2", "--grid", "16",
+                "--trace", str(trace), "--metrics", str(metrics),
+            ]
+        )
+        assert rc == 0
+        import json
+
+        lines = trace.read_text().splitlines()
+        assert lines
+        names = {json.loads(line)["name"] for line in lines}
+        assert "engine.tick" in names
+        assert "repro_search_calls_total" in metrics.read_text()
+
+    def test_demo_accepts_obs_flags(self, tmp_path, capsys):
+        trace = tmp_path / "demo-trace.jsonl"
+        rc = main(
+            ["demo", "-n", "150", "--ticks", "2", "--grid", "16", "--trace", str(trace)]
+        )
+        assert rc == 0
+        assert trace.exists() and trace.read_text().strip()
+        assert str(trace) in capsys.readouterr().out
+
+    def test_experiment_accepts_metrics_flag(self, tmp_path, capsys):
+        metrics = tmp_path / "exp.prom"
+        rc = main(
+            ["experiment", "fig5", "--scale", "0.05", "--metrics", str(metrics)]
+        )
+        assert rc == 0
+        assert "search_calls_total" in metrics.read_text()
+
+    def test_obs_leaves_global_state_disabled(self):
+        from repro import obs
+
+        main(["obs", "-n", "150", "--ticks", "1", "--grid", "16"])
+        assert obs.enabled() is False
+        from repro.obs.metrics import active_registry
+
+        assert active_registry() is None
 
 
 class TestList:
