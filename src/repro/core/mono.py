@@ -31,17 +31,17 @@ from repro.core.candidates import (
     prune_candidates,
     prune_monitored,
 )
-from repro.core.state import MonoState, ObjectId, StepReport
+from repro.core.state import (
+    SCAN_CELL_LIMIT as _SCAN_CELL_LIMIT,
+    MonoState,
+    ObjectId,
+    StepReport,
+)
 from repro.geometry.bisector import bisector_halfplane
 from repro.geometry.point import Point, dist_sq
 from repro.grid.alive import AliveCellGrid
 from repro.grid.index import GridIndex
 from repro.grid.search import GridSearch, SearchKind
-
-
-# Above this many bounding-box cells, the tightening step switches from
-# the one-pass region scan to the best-first loop (see _tighten).
-_SCAN_CELL_LIMIT = 48
 
 
 class MonoIGERN:

@@ -15,12 +15,42 @@ rather than the whole space.  These live in :class:`MonoState` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Set
+from typing import Dict, FrozenSet, Hashable, Optional, Set
 
-from repro.geometry.point import Point
+from repro.geometry.point import Point, dist
 from repro.grid.alive import AliveCellGrid
 
 ObjectId = Hashable
+
+#: Above this many bounding-box cells, the incremental tightening step
+#: switches from the one-pass region scan to the unbounded best-first
+#: loop (see ``MonoIGERN._tighten`` / ``BiIGERN._tighten``).  The tick
+#: scheduler's footprints are only valid while the executor stays on the
+#: scan path, so the same constant gates both decisions.
+SCAN_CELL_LIMIT = 48
+
+#: A footprint larger than this is not worth monitoring: intersection
+#: tests would cost more than the tick they might save, so the query
+#: falls back to being evaluated every tick.
+FOOTPRINT_CELL_CAP = 1024
+
+
+def _add_ball_cells(grid, center: Point, radius: float, out: set, cap: int) -> bool:
+    """Add every cell intersecting the closed ball's bounding box.
+
+    Conservative cover of a verification witness ball: any object that
+    can become (or stop being) strictly closer to ``center`` than
+    ``radius`` lies inside the ball, hence inside these cells.  Returns
+    ``False`` once ``out`` exceeds ``cap``.
+    """
+    lo = grid.cell_key((center.x - radius, center.y - radius))
+    hi = grid.cell_key((center.x + radius, center.y + radius))
+    if (hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1) > cap:
+        return False
+    for ix in range(lo[0], hi[0] + 1):
+        for iy in range(lo[1], hi[1] + 1):
+            out.add((ix, iy))
+    return len(out) <= cap
 
 
 @dataclass
@@ -45,6 +75,23 @@ class StepReport:
     def monitored_count(self) -> int:
         return len(self.monitored)
 
+    def carried(self) -> "StepReport":
+        """A zero-ops copy of this report for a tick the engine skipped.
+
+        The answer, monitored set and region stay exactly as they were;
+        the per-step activity fields (rebuild / tightened / pruned) are
+        zeroed, since the skipped execution did nothing.  (Direct
+        construction: this runs once per skipped query per tick, and
+        ``dataclasses.replace`` is an order of magnitude slower.)
+        """
+        return StepReport(
+            answer=self.answer,
+            monitored=self.monitored,
+            alive_cells=self.alive_cells,
+            alive_fraction=self.alive_fraction,
+            is_initial=False,
+        )
+
 
 @dataclass
 class MonoState:
@@ -54,6 +101,30 @@ class MonoState:
     candidates: Dict[ObjectId, Point] = field(default_factory=dict)
     alive: AliveCellGrid = None  # type: ignore[assignment]
     answer: Set[ObjectId] = field(default_factory=set)
+
+    def footprint_cells(self, grid, cap: int = FOOTPRINT_CELL_CAP) -> Optional[set]:
+        """The cells the next incremental step's outcome can depend on.
+
+        The monitored alive region (tightening reads exactly these cells
+        on the scan path) plus, per candidate ``c``, a cover of the
+        witness ball ``B(c, dist(c, q))`` (verification counts the
+        objects strictly inside it).  Returns ``None`` when no valid
+        bounded footprint exists: for ``k = 1`` whenever the region bound
+        exceeds :data:`SCAN_CELL_LIMIT` (the executor would fall back to
+        the unbounded best-first search, whose reach footprints cannot
+        cover), or when the cover outgrows ``cap``.
+        """
+        alive = self.alive
+        if alive.k == 1 and alive.alive_cell_bound() > SCAN_CELL_LIMIT:
+            return None
+        cells = set(alive.alive_cells())
+        if len(cells) > cap:
+            return None
+        q = self.qpos
+        for pos in self.candidates.values():
+            if not _add_ball_cells(grid, pos, dist(pos, q), cells, cap):
+                return None
+        return cells
 
 
 @dataclass
@@ -69,3 +140,32 @@ class BiState:
     nn_a: Dict[ObjectId, Point] = field(default_factory=dict)
     alive: AliveCellGrid = None  # type: ignore[assignment]
     answer: Set[ObjectId] = field(default_factory=set)
+
+    def footprint_cells(
+        self, grid, cat_b, cap: int = FOOTPRINT_CELL_CAP
+    ) -> Optional[set]:
+        """The cells the next incremental step's outcome can depend on.
+
+        The monitored alive region (both the A-tightening and the B
+        enumeration read exactly these cells on the scan path) plus, per
+        B object currently inside it, a cover of its witness ball
+        ``B(b, dist(b, q))`` — the region where A objects decide ``b``'s
+        membership *and* where ``b``'s nearest A (the one absorption into
+        ``NN_A`` depends on) must lie.  ``None`` when the region bound
+        exceeds :data:`SCAN_CELL_LIMIT` (unbounded fallback path) or the
+        cover outgrows ``cap``.
+        """
+        alive = self.alive
+        if alive.alive_cell_bound() > SCAN_CELL_LIMIT:
+            return None
+        region = list(alive.alive_cells())
+        cells = set(region)
+        if len(cells) > cap:
+            return None
+        q = self.qpos
+        for key in region:
+            for ob in grid.objects_in_cell(key, cat_b):
+                pos = grid.position(ob)
+                if not _add_ball_cells(grid, pos, dist(pos, q), cells, cap):
+                    return None
+        return cells

@@ -10,6 +10,7 @@ harness turns into the paper's figures.
 
 from repro.engine.manager import AnswerChange, ContinuousQueryManager
 from repro.engine.metrics import QueryLog, SimulationResult, TickMetrics
+from repro.engine.scheduler import TickScheduler
 from repro.engine.simulation import Simulator
 from repro.engine.workload import WorkloadSpec, build_simulator
 
@@ -18,6 +19,7 @@ __all__ = [
     "QueryLog",
     "SimulationResult",
     "Simulator",
+    "TickScheduler",
     "WorkloadSpec",
     "build_simulator",
     "AnswerChange",

@@ -131,6 +131,10 @@ class ContinuousQueryManager:
         changes: List[AnswerChange] = []
         registry = self._registry
         for name, m in metrics.items():
+            # A skipped tick carried the previous answer forward verbatim;
+            # no set comparison needed once the query has been announced.
+            if m.skipped and name in self._announced:
+                continue
             previous = self._last_answers.get(name, frozenset())
             # A query's very first result is always announced (even when
             # empty), so subscribers learn it is live; afterwards only

@@ -24,6 +24,9 @@ class TickMetrics:
     monitored: int
     region_cells: int
     ops: Dict[str, int] = field(default_factory=dict)
+    #: True when the tick scheduler proved this tick a no-op for the
+    #: query and carried its previous answer forward without executing.
+    skipped: bool = False
 
     @property
     def answer_size(self) -> int:
@@ -89,6 +92,16 @@ class QueryLog:
             return 0.0
         return sum(t.monitored for t in self.ticks) / len(self.ticks)
 
+    @property
+    def evaluated_count(self) -> int:
+        """Ticks on which the query actually executed."""
+        return sum(1 for t in self.ticks if not t.skipped)
+
+    @property
+    def skipped_count(self) -> int:
+        """Ticks the scheduler skipped (answer carried forward)."""
+        return sum(1 for t in self.ticks if t.skipped)
+
     def total_ops(self, key: str) -> int:
         return sum(t.ops.get(key, 0) for t in self.ticks)
 
@@ -120,6 +133,16 @@ class SimulationResult:
 
     def names(self) -> Sequence[str]:
         return list(self.logs)
+
+    @property
+    def queries_evaluated(self) -> int:
+        """Query executions actually performed across the whole run."""
+        return sum(log.evaluated_count for log in self.logs.values())
+
+    @property
+    def queries_skipped(self) -> int:
+        """Query executions the tick scheduler proved unnecessary."""
+        return sum(log.skipped_count for log in self.logs.values())
 
 
 def diff_ops(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:

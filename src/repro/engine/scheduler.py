@@ -1,0 +1,172 @@
+"""Event-driven query scheduling over batched grid deltas.
+
+The simulator applies a whole tick of movement through
+:meth:`repro.grid.index.GridIndex.apply_updates` and hands the resulting
+:class:`~repro.grid.delta.TickDelta` to a :class:`TickScheduler`, which
+answers one question: *which queries could this tick's changes possibly
+affect?*  Everything else carries its previous answer forward untouched.
+
+The decision is conservative by construction (see ``docs/PERFORMANCE.md``
+for the correctness argument): a query is skipped only when
+
+- its query object and every monitored object were stationary (none of
+  its footprint ``objects`` appears among the tick's moved / inserted /
+  removed ids), and
+- no object moved within, entered, or left any of its footprint
+  ``cells`` (its cells are disjoint from the delta's ``touched_cells``,
+  which include the cells of *within-cell* movers).
+
+Queries without a footprint (snapshot baselines, or stateful monitors
+whose region momentarily has no bounded cover) are evaluated every tick.
+
+Two reverse indices — cell → interested queries and object id →
+interested queries — are maintained incrementally as footprints change,
+so per-tick matching costs are proportional to the change volume (or to
+the footprint sizes, whichever side is smaller), never to the number of
+registered queries times the grid size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set
+
+from repro.grid.delta import CellKey, TickDelta
+from repro.queries.base import QueryFootprint
+
+ObjectId = Hashable
+
+
+class TickScheduler:
+    """Maps one tick's grid delta to the set of affected queries."""
+
+    def __init__(self):
+        self._footprints: Dict[str, QueryFootprint] = {}
+        #: Queries with no bounded footprint: always evaluated.
+        self._always: Set[str] = set()
+        self._cell_index: Dict[CellKey, Set[str]] = {}
+        self._obj_index: Dict[ObjectId, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Footprint maintenance
+    # ------------------------------------------------------------------
+
+    def update_footprint(
+        self, name: str, footprint: Optional[QueryFootprint]
+    ) -> None:
+        """(Re)register a query's footprint after it was evaluated.
+
+        The reverse indices are updated by diff: only the cells/objects
+        entering or leaving the footprint are touched, so a stable
+        footprint costs two set comparisons.
+        """
+        previous = self._footprints.get(name)
+        if footprint is None:
+            if previous is not None:
+                self._unindex(name, previous)
+                del self._footprints[name]
+            self._always.add(name)
+            return
+        self._always.discard(name)
+        if previous is not None:
+            if (
+                previous.cells == footprint.cells
+                and previous.objects == footprint.objects
+            ):
+                self._footprints[name] = footprint
+                return
+            self._diff_index(name, previous, footprint)
+        else:
+            for key in footprint.cells:
+                self._cell_index.setdefault(key, set()).add(name)
+            for oid in footprint.objects:
+                self._obj_index.setdefault(oid, set()).add(name)
+        self._footprints[name] = footprint
+
+    def remove_query(self, name: str) -> None:
+        """Forget a deregistered query entirely."""
+        self._always.discard(name)
+        previous = self._footprints.pop(name, None)
+        if previous is not None:
+            self._unindex(name, previous)
+
+    def footprint(self, name: str) -> Optional[QueryFootprint]:
+        """The currently registered footprint of a query (``None`` if
+        the query is in always-evaluate mode)."""
+        return self._footprints.get(name)
+
+    def _unindex(self, name: str, footprint: QueryFootprint) -> None:
+        for key in footprint.cells:
+            owners = self._cell_index.get(key)
+            if owners is not None:
+                owners.discard(name)
+                if not owners:
+                    del self._cell_index[key]
+        for oid in footprint.objects:
+            owners = self._obj_index.get(oid)
+            if owners is not None:
+                owners.discard(name)
+                if not owners:
+                    del self._obj_index[oid]
+
+    def _diff_index(
+        self, name: str, old: QueryFootprint, new: QueryFootprint
+    ) -> None:
+        for key in old.cells - new.cells:
+            owners = self._cell_index.get(key)
+            if owners is not None:
+                owners.discard(name)
+                if not owners:
+                    del self._cell_index[key]
+        for key in new.cells - old.cells:
+            self._cell_index.setdefault(key, set()).add(name)
+        for oid in old.objects - new.objects:
+            owners = self._obj_index.get(oid)
+            if owners is not None:
+                owners.discard(name)
+                if not owners:
+                    del self._obj_index[oid]
+        for oid in new.objects - old.objects:
+            self._obj_index.setdefault(oid, set()).add(name)
+
+    # ------------------------------------------------------------------
+    # Per-tick matching
+    # ------------------------------------------------------------------
+
+    def affected(self, delta: TickDelta) -> Set[str]:
+        """Names of footprinted queries this delta could affect.
+
+        Queries in always-evaluate mode are *not* included — the engine
+        evaluates them unconditionally; this returns only the footprint
+        hits.  Matching iterates the cheaper side: the delta's touched
+        cells against the cell index when the tick is quiet, or each
+        footprint against the delta when the tick is busy.
+        """
+        out: Set[str] = set()
+        touched = delta.touched_cells
+        cell_index = self._cell_index
+        # Total indexed footprint size, to pick the iteration side.
+        index_size = len(cell_index)
+        if len(touched) <= index_size or not self._footprints:
+            for key in touched:
+                owners = cell_index.get(key)
+                if owners is not None:
+                    out.update(owners)
+            obj_index = self._obj_index
+            for ids in (delta.moved, delta.inserted, delta.removed):
+                if len(ids) <= len(obj_index):
+                    for oid in ids:
+                        owners = obj_index.get(oid)
+                        if owners is not None:
+                            out.update(owners)
+                else:
+                    for oid, owners in obj_index.items():
+                        if oid in ids:
+                            out.update(owners)
+        else:
+            changed = delta.changed_ids()
+            for name, fp in self._footprints.items():
+                if not fp.cells.isdisjoint(touched) or not fp.objects.isdisjoint(
+                    changed
+                ):
+                    out.add(name)
+        return out

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 import logging
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Set
 
 from repro.engine.metrics import QueryLog, SimulationResult, TickMetrics, diff_ops
+from repro.engine.scheduler import TickScheduler
+from repro.grid.delta import TickDelta
 from repro.grid.index import GridIndex
 from repro.obs.metrics import MetricsRegistry, active_registry, record_ops_delta
 from repro.obs.trace import get_tracer
@@ -49,6 +51,14 @@ class Simulator:
         histograms into.  Defaults to the *active* registry of
         :mod:`repro.obs.metrics` (``None`` unless observability is
         enabled, in which case publishing is skipped entirely).
+    scheduler:
+        When ``True`` (the default), movement is applied as one batched
+        grid update per tick and a :class:`TickScheduler` intersects the
+        resulting delta with each query's relevance footprint, executing
+        only the affected queries; the rest carry their previous answer
+        forward at zero cost.  Answers are identical either way — the
+        skip test is conservative — so ``False`` exists for A/B
+        measurements and as the oracle in the correctness suite.
     """
 
     def __init__(
@@ -59,6 +69,7 @@ class Simulator:
         clock: Callable[[], float] = time.perf_counter,
         extent=None,
         registry: Optional[MetricsRegistry] = None,
+        scheduler: bool = True,
     ):
         self.generator = generator
         self.dt = dt
@@ -71,6 +82,19 @@ class Simulator:
         self._queries: Dict[str, ContinuousQuery] = {}
         self._started: Dict[str, bool] = {}
         self._paused: set = set()
+        self.scheduler: Optional[TickScheduler] = (
+            TickScheduler() if scheduler else None
+        )
+        #: Names that must be evaluated at their next tick regardless of
+        #: the delta (freshly resumed queries missed triggers while
+        #: paused, so their footprints are stale).
+        self._force_eval: set = set()
+        self._last_metrics: Dict[str, TickMetrics] = {}
+        #: Running totals for quick introspection (mirrored into the
+        #: metrics registry as ``queries_evaluated_total`` /
+        #: ``ticks_skipped_total`` when one is active).
+        self.queries_evaluated = 0
+        self.ticks_skipped = 0
         self.current_tick = 0
 
     # ------------------------------------------------------------------
@@ -104,6 +128,10 @@ class Simulator:
         query = self._queries.pop(name)
         self._started.pop(name, None)
         self._paused.discard(name)
+        self._force_eval.discard(name)
+        self._last_metrics.pop(name, None)
+        if self.scheduler is not None:
+            self.scheduler.remove_query(name)
         logger.debug("removed query %r at tick %d", name, self.current_tick)
         return query
 
@@ -123,10 +151,16 @@ class Simulator:
         logger.debug("paused query %r at tick %d", name, self.current_tick)
 
     def resume_query(self, name: str) -> None:
-        """Resume a paused query (incrementally; see :meth:`pause_query`)."""
+        """Resume a paused query (incrementally; see :meth:`pause_query`).
+
+        The first post-resume tick is always evaluated: movement during
+        the pause never consulted the query's footprint, so its previous
+        skip-safety evidence is void.
+        """
         if name not in self._queries:
             raise KeyError(f"no query named {name!r}")
         self._paused.discard(name)
+        self._force_eval.add(name)
         logger.debug("resumed query %r at tick %d", name, self.current_tick)
 
     def is_paused(self, name: str) -> bool:
@@ -174,39 +208,97 @@ class Simulator:
         return result
 
     def step(self) -> Dict[str, TickMetrics]:
-        """Advance time by one tick: apply movement, run every query.
+        """Advance time by one tick: apply movement, run affected queries.
 
         Returns the fresh :class:`TickMetrics` per (non-paused) query.
         This is the single-tick primitive behind :meth:`run`, also used
         directly by :class:`repro.engine.manager.ContinuousQueryManager`.
+
+        With the tick scheduler enabled, movement lands as one batched
+        grid update whose :class:`TickDelta` is intersected with the
+        registered query footprints; queries untouched by the delta take
+        the zero-cost skip path in :meth:`execute_queries`.
         """
         self.current_tick += 1
         tracer = self.tracer
         with tracer.span("engine.tick", tick=self.current_tick):
             with tracer.span("engine.movement"):
-                self._apply_movement()
-            return self.execute_queries()
+                delta = self._apply_movement()
+            if self.scheduler is None or delta is None:
+                return self.execute_queries()
+            run = self.scheduler.affected(delta)
+            return self.execute_queries(run=run)
 
-    def _apply_movement(self) -> None:
+    def _apply_movement(self) -> Optional[TickDelta]:
+        """Apply one tick of generator output to the grid.
+
+        Returns the batched :class:`TickDelta` when the scheduler is on;
+        with the scheduler off the legacy per-update path runs instead
+        (returning ``None``), keeping the baseline's cost profile intact
+        for A/B comparisons.
+        """
+        grid = self.grid
+        if self.scheduler is not None:
+            if hasattr(self.generator, "step_events"):
+                events = self.generator.step_events(self.dt)
+                return grid.apply_updates(
+                    events.moves, inserts=events.inserts, removes=events.removes
+                )
+            return grid.apply_updates(self.generator.step(self.dt))
         if hasattr(self.generator, "step_events"):
             events = self.generator.step_events(self.dt)
             for oid in events.removes:
-                self.grid.remove(oid)
+                grid.remove(oid)
             for oid, pos, category in events.inserts:
-                self.grid.insert(oid, pos, category)
+                grid.insert(oid, pos, category)
             for oid, pos in events.moves:
-                self.grid.move(oid, pos)
+                grid.move(oid, pos)
         else:
             for oid, pos in self.generator.step(self.dt):
-                self.grid.move(oid, pos)
+                grid.move(oid, pos)
+        return None
 
-    def execute_queries(self) -> Dict[str, TickMetrics]:
-        """Execute every non-paused query at the current time, measured."""
+    def execute_queries(
+        self, run: Optional[Set[str]] = None
+    ) -> Dict[str, TickMetrics]:
+        """Execute every non-paused query at the current time, measured.
+
+        ``run`` is the scheduler's affected-set for this tick: queries
+        outside it that have already started *and* hold a registered
+        footprint carry their previous answer forward without executing.
+        ``None`` (scheduler off, or the initial step) evaluates everyone.
+        """
         out: Dict[str, TickMetrics] = {}
         tracer = self.tracer
         registry = self.registry
+        scheduler = self.scheduler
         for name, query in self._queries.items():
             if name in self._paused:
+                continue
+            if (
+                run is not None
+                and self._started[name]
+                and name not in run
+                and name not in self._force_eval
+                and scheduler is not None
+                and scheduler.footprint(name) is not None
+            ):
+                last = self._last_metrics.get(name)
+                answer = query.skip_tick()
+                metrics = TickMetrics(
+                    tick=self.current_tick,
+                    wall_time=0.0,
+                    answer=frozenset(answer),
+                    monitored=last.monitored if last is not None else 0,
+                    region_cells=last.region_cells if last is not None else 0,
+                    ops={},
+                    skipped=True,
+                )
+                out[name] = metrics
+                self._last_metrics[name] = metrics
+                self.ticks_skipped += 1
+                if registry is not None:
+                    registry.counter("ticks_skipped_total", query=name).inc()
                 continue
             span = (
                 tracer.begin(f"engine.query.{name}", algo=query.name)
@@ -231,9 +323,15 @@ class Simulator:
                 ops=diff_ops(ops_before, ops_after),
             )
             out[name] = metrics
+            self._last_metrics[name] = metrics
+            self._force_eval.discard(name)
+            self.queries_evaluated += 1
+            if scheduler is not None:
+                scheduler.update_footprint(name, query.footprint())
             if span is not None:
                 tracer.end(span, monitored=metrics.monitored, answer=len(answer))
             if registry is not None:
+                registry.counter("queries_evaluated_total", query=name).inc()
                 self._publish(registry, name, query, metrics)
         return out
 

@@ -88,9 +88,18 @@ def build_generator(spec: WorkloadSpec):
     )
 
 
-def build_simulator(spec: WorkloadSpec) -> Simulator:
-    """A simulator loaded with the spec's objects (no queries yet)."""
-    return Simulator(build_generator(spec), grid_size=spec.grid_size, dt=spec.dt)
+def build_simulator(spec: WorkloadSpec, scheduler: bool = True) -> Simulator:
+    """A simulator loaded with the spec's objects (no queries yet).
+
+    ``scheduler=False`` builds the oracle configuration: every query is
+    evaluated every tick, with per-update grid maintenance.
+    """
+    return Simulator(
+        build_generator(spec),
+        grid_size=spec.grid_size,
+        dt=spec.dt,
+        scheduler=scheduler,
+    )
 
 
 def central_object(

@@ -16,6 +16,7 @@ within the cell boundary".  This package provides:
 """
 
 from repro.grid.cell import CellKey, cell_key_of, cell_rect_of
+from repro.grid.delta import TickDelta
 from repro.grid.index import GridIndex
 from repro.grid.alive import AliveCellGrid
 from repro.grid.search import GridSearch, SearchKind, SearchStats
@@ -24,6 +25,7 @@ __all__ = [
     "CellKey",
     "cell_key_of",
     "cell_rect_of",
+    "TickDelta",
     "GridIndex",
     "AliveCellGrid",
     "GridSearch",

@@ -1,0 +1,85 @@
+"""One tick's worth of grid changes, summarized for the scheduler.
+
+:meth:`repro.grid.index.GridIndex.apply_updates` applies a whole tick of
+movement/churn in one pass and returns a :class:`TickDelta` describing
+what changed.  The engine's :class:`repro.engine.scheduler.TickScheduler`
+intersects this record with each continuous query's relevance footprint
+to decide which queries can legally be skipped this tick.
+
+Two cell sets are tracked, at different granularities:
+
+- ``dirty_cells`` — the old and new cells of every *boundary-crosser*
+  plus the cells of inserts and removes: the cells whose membership
+  changed (the classic "cell change" events of Figure 5a).
+- ``touched_cells`` — every cell that held any change at all, including
+  the cell of an object that moved *within* it.  A query whose footprint
+  is disjoint from ``touched_cells`` saw no movement anywhere in its
+  monitored area; this is the conservative set the skip test uses
+  (within-cell movement can flip a verification outcome even though no
+  cell membership changed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Set, Tuple
+
+CellKey = Tuple[int, int]
+ObjectId = Hashable
+
+
+@dataclass
+class TickDelta:
+    """Everything that changed in the grid during one batched tick."""
+
+    #: Ids whose stored position actually changed (updates that re-stated
+    #: an identical position are not movement).
+    moved: Set[ObjectId] = field(default_factory=set)
+    #: Ids inserted this tick (population churn).
+    inserted: Set[ObjectId] = field(default_factory=set)
+    #: Ids removed this tick (population churn).
+    removed: Set[ObjectId] = field(default_factory=set)
+    #: Old ∪ new cells of boundary-crossers, plus insert/remove cells.
+    dirty_cells: Set[CellKey] = field(default_factory=set)
+    #: Every cell holding any change, including within-cell movement.
+    touched_cells: Set[CellKey] = field(default_factory=set)
+    #: Per-cell sets of objects that entered the cell this tick.
+    cell_enters: Dict[CellKey, Set[ObjectId]] = field(default_factory=dict)
+    #: Per-cell sets of objects that left the cell this tick.
+    cell_leaves: Dict[CellKey, Set[ObjectId]] = field(default_factory=dict)
+
+    def changed_ids(self) -> Set[ObjectId]:
+        """Every object id involved in any change this tick."""
+        return self.moved | self.inserted | self.removed
+
+    def is_empty(self) -> bool:
+        """Whether nothing at all changed this tick."""
+        return not (self.moved or self.inserted or self.removed)
+
+    # -- construction helpers (used by GridIndex.apply_updates) ---------
+
+    def record_move(
+        self, oid: ObjectId, old_key: CellKey, new_key: CellKey
+    ) -> None:
+        """Record one position change (``old_key`` may equal ``new_key``)."""
+        self.moved.add(oid)
+        self.touched_cells.add(new_key)
+        if new_key == old_key:
+            return
+        self.touched_cells.add(old_key)
+        self.dirty_cells.add(old_key)
+        self.dirty_cells.add(new_key)
+        self.cell_leaves.setdefault(old_key, set()).add(oid)
+        self.cell_enters.setdefault(new_key, set()).add(oid)
+
+    def record_insert(self, oid: ObjectId, key: CellKey) -> None:
+        self.inserted.add(oid)
+        self.dirty_cells.add(key)
+        self.touched_cells.add(key)
+        self.cell_enters.setdefault(key, set()).add(oid)
+
+    def record_remove(self, oid: ObjectId, key: CellKey) -> None:
+        self.removed.add(oid)
+        self.dirty_cells.add(key)
+        self.touched_cells.add(key)
+        self.cell_leaves.setdefault(key, set()).add(oid)

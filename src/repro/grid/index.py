@@ -17,6 +17,7 @@ from typing import Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.grid.cell import CellKey, cell_key_of, cell_rect_of
+from repro.grid.delta import TickDelta
 
 Category = Hashable
 ObjectId = Hashable
@@ -51,6 +52,9 @@ class GridIndex:
         self._positions: Dict[ObjectId, Point] = {}
         self._categories: Dict[ObjectId, Category] = {}
         self._cell_of: Dict[ObjectId, CellKey] = {}
+        # category -> ids of that category, so per-category enumeration
+        # and counting never scan the whole population.
+        self._by_category: Dict[Category, Set[ObjectId]] = {}
         self.cell_changes = 0
         self.updates = 0
 
@@ -69,6 +73,7 @@ class GridIndex:
         self._categories[oid] = category
         self._cell_of[oid] = key
         self._cells.setdefault(key, {}).setdefault(category, set()).add(oid)
+        self._by_category.setdefault(category, set()).add(oid)
 
     def remove(self, oid: ObjectId) -> Point:
         """Remove an object and return its last position."""
@@ -81,6 +86,10 @@ class GridIndex:
             del self._cells[key][category]
             if not self._cells[key]:
                 del self._cells[key]
+        ids = self._by_category[category]
+        ids.discard(oid)
+        if not ids:
+            del self._by_category[category]
         return pos
 
     def move(self, oid: ObjectId, pos: Iterable[float]) -> bool:
@@ -129,6 +138,94 @@ class GridIndex:
             self.move(oid, pos)
         else:
             self.insert(oid, pos, category)
+
+    def apply_updates(
+        self,
+        moves: Iterable[Tuple[ObjectId, Iterable[float]]],
+        inserts: Iterable[Tuple[ObjectId, Iterable[float], Category]] = (),
+        removes: Iterable[ObjectId] = (),
+    ) -> TickDelta:
+        """Apply one tick's worth of updates in a single pass.
+
+        Removes are applied first, then inserts, then moves — the order
+        the simulator uses for churn streams.  Counter semantics are
+        identical to the equivalent sequence of :meth:`move` /
+        :meth:`insert` / :meth:`remove` calls; on top of them the returned
+        :class:`TickDelta` records which objects moved, which cells got
+        dirty (membership changes) or touched (any movement), and the
+        per-cell enter/leave sets — the raw material for the engine's
+        skip decisions.
+
+        A move that restates an object's current position is applied (and
+        counted as an update, like :meth:`move`) but reported as *no*
+        movement: a stationary object cannot affect any query.
+        """
+        delta = TickDelta()
+        cells = self._cells
+        positions = self._positions
+        cell_of = self._cell_of
+        categories = self._categories
+        n = self.size
+        xmin = self._xmin
+        ymin = self._ymin
+        inv_w = self._inv_w
+        inv_h = self._inv_h
+
+        for oid in removes:
+            key = cell_of[oid]
+            self.remove(oid)
+            delta.record_remove(oid, key)
+        for oid, pos, category in inserts:
+            self.insert(oid, pos, category)
+            delta.record_insert(oid, cell_of[oid])
+
+        moved = delta.moved
+        touched = delta.touched_cells
+        dirty = delta.dirty_cells
+        enters = delta.cell_enters
+        leaves = delta.cell_leaves
+        n_moves = 0
+        for oid, pos in moves:
+            x, y = pos
+            n_moves += 1
+            old = positions[oid]
+            if old.x == x and old.y == y:
+                continue
+            p = pos if type(pos) is Point else Point(x, y)
+            ix = int((x - xmin) * inv_w)
+            iy = int((y - ymin) * inv_h)
+            if ix < 0:
+                ix = 0
+            elif ix >= n:
+                ix = n - 1
+            if iy < 0:
+                iy = 0
+            elif iy >= n:
+                iy = n - 1
+            new_key = (ix, iy)
+            old_key = cell_of[oid]
+            positions[oid] = p
+            moved.add(oid)
+            touched.add(new_key)
+            if new_key == old_key:
+                continue
+            category = categories[oid]
+            bucket = cells[old_key][category]
+            bucket.discard(oid)
+            if not bucket:
+                del cells[old_key][category]
+                if not cells[old_key]:
+                    del cells[old_key]
+            cells.setdefault(new_key, {}).setdefault(category, set()).add(oid)
+            cell_of[oid] = new_key
+            self.cell_changes += 1
+            touched.add(old_key)
+            dirty.add(old_key)
+            dirty.add(new_key)
+            leaves.setdefault(old_key, set()).add(oid)
+            enters.setdefault(new_key, set()).add(oid)
+        self.updates += n_moves
+        return delta
 
     # ------------------------------------------------------------------
     # Lookup
@@ -183,19 +280,21 @@ class GridIndex:
         return len(buckets.get(category, ()))
 
     def objects(self, category: Optional[Category] = None) -> Iterator[ObjectId]:
-        """All object ids, optionally restricted to one category."""
+        """All object ids, optionally restricted to one category.
+
+        Per-category enumeration reads the maintained id set — O(size of
+        the category), not a scan of the whole population.
+        """
         if category is None:
             yield from self._positions
         else:
-            for oid, cat in self._categories.items():
-                if cat == category:
-                    yield oid
+            yield from self._by_category.get(category, ())
 
     def count(self, category: Optional[Category] = None) -> int:
-        """Number of indexed objects, optionally of one category."""
+        """Number of indexed objects, optionally of one category (O(1))."""
         if category is None:
             return len(self._positions)
-        return sum(1 for cat in self._categories.values() if cat == category)
+        return len(self._by_category.get(category, ()))
 
     def occupied_cells(self) -> Iterator[CellKey]:
         """Keys of all cells holding at least one object."""
@@ -207,10 +306,10 @@ class GridIndex:
         """A copy of all current positions, keyed by object id."""
         if category is None:
             return {oid: (p.x, p.y) for oid, p in self._positions.items()}
+        positions = self._positions
         return {
-            oid: (p.x, p.y)
-            for oid, p in self._positions.items()
-            if self._categories[oid] == category
+            oid: (positions[oid].x, positions[oid].y)
+            for oid in self._by_category.get(category, ())
         }
 
     def reset_counters(self) -> None:

@@ -92,6 +92,19 @@ class SearchStats:
         return out
 
 
+def _as_excluded(exclude: Iterable[ObjectId]):
+    """The exclusion set, without copying when the caller already has one.
+
+    Search primitives only ever *read* the exclusion set, so a caller's
+    ``set``/``frozenset`` can be used as-is; every other iterable is
+    materialized once.  The hot verification loops pass sets, which used
+    to be re-copied on every single search call.
+    """
+    if type(exclude) in (set, frozenset):
+        return exclude
+    return set(exclude)
+
+
 _NEIGHBOR_STEPS = ((1, 0), (-1, 0), (0, 1), (0, -1))
 
 
@@ -198,7 +211,7 @@ class GridSearch:
             Cost bucket for the operation counters.
         """
         qx, qy = q
-        excluded: Set[ObjectId] = set(exclude)
+        excluded = _as_excluded(exclude)
         grid = self.grid
         n = grid.size
         extent = grid.extent
@@ -264,7 +277,7 @@ class GridSearch:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         qx, qy = q
-        excluded: Set[ObjectId] = set(exclude)
+        excluded = _as_excluded(exclude)
         grid = self.grid
         n = grid.size
         extent = grid.extent
@@ -335,7 +348,7 @@ class GridSearch:
         which is enough to miscount an exactly equidistant witness.
         """
         cx, cy = center
-        excluded: Set[ObjectId] = set(exclude)
+        excluded = _as_excluded(exclude)
         grid = self.grid
         n = grid.size
         extent = grid.extent
@@ -398,7 +411,7 @@ class GridSearch:
         Returns ``(oid, squared_distance)`` or ``None``.
         """
         cx, cy = center
-        excluded: Set[ObjectId] = set(exclude)
+        excluded = _as_excluded(exclude)
         grid = self.grid
         n = grid.size
         stats = self.stats
@@ -449,7 +462,7 @@ class GridSearch:
         next-nearest neighbor is one NN operation.
         """
         qx, qy = q
-        excluded: Set[ObjectId] = set(exclude)
+        excluded = _as_excluded(exclude)
         grid = self.grid
         n = grid.size
         stats = self.stats
@@ -510,7 +523,7 @@ class GridSearch:
         if radius < 0.0:
             raise ValueError(f"radius must be non-negative, got {radius}")
         cx, cy = center
-        excluded: Set[ObjectId] = set(exclude)
+        excluded = _as_excluded(exclude)
         grid = self.grid
         n = grid.size
         stats = self.stats
@@ -570,18 +583,28 @@ class GridSearch:
         the caller absorb objects exactly as the repeated nearest-in-alive
         loop would, at a fraction of the cost.  Returns ``(d2, oid)``
         pairs, closest first.
+
+        The enumeration reads exactly ``alive.alive_cells()`` — never the
+        occupied-cell directory — so the set of cells an incremental step
+        can observe through this scan is precisely the footprint the tick
+        scheduler monitors (see ``docs/PERFORMANCE.md``).
         """
         qx, qy = q
         stats = self.stats
         stats.calls[kind] += 1
-        positions = self.grid._positions
+        grid = self.grid
+        positions = grid._positions
+        excluded = _as_excluded(exclude)
         out: List[Tuple[float, ObjectId]] = []
-        for oid in self.objects_in_alive(alive, category, exclude):
-            stats.objects_examined[kind] += 1
-            p = positions[oid]
-            dx = p.x - qx
-            dy = p.y - qy
-            out.append((dx * dx + dy * dy, oid))
+        for key in alive.alive_cells():
+            for oid in grid.objects_in_cell(key, category):
+                if oid in excluded:
+                    continue
+                stats.objects_examined[kind] += 1
+                p = positions[oid]
+                dx = p.x - qx
+                dy = p.y - qy
+                out.append((dx * dx + dy * dy, oid))
         stats.cells_visited[kind] += alive.alive_cell_bound()
         out.sort(key=lambda pair: pair[0])
         return out
@@ -596,9 +619,11 @@ class GridSearch:
 
         Iterates whichever side is smaller: the alive cells or the occupied
         cells, since after Phase I the alive region is typically tiny while
-        early on it is the whole grid.
+        early on it is the whole grid.  The iteration reads the grid's
+        cell directory live — callers that mutate the grid mid-stream must
+        materialize the generator first (all in-tree callers do).
         """
-        excluded: Set[ObjectId] = set(exclude)
+        excluded = _as_excluded(exclude)
         grid = self.grid
         occupied = grid._cells
         if alive.alive_cell_bound() <= len(occupied):
@@ -607,7 +632,7 @@ class GridSearch:
                     if oid not in excluded:
                         yield oid
         else:
-            for key in list(occupied):
+            for key in occupied:
                 if alive.is_alive(key):
                     for oid in grid.objects_in_cell(key, category):
                         if oid not in excluded:

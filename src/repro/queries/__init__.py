@@ -22,7 +22,7 @@ interface so the simulation engine can drive them interchangeably:
   by the correctness tests.
 """
 
-from repro.queries.base import ContinuousQuery, QueryPosition
+from repro.queries.base import ContinuousQuery, QueryFootprint, QueryPosition
 from repro.queries.igern_mono import IGERNMonoQuery
 from repro.queries.igern_bi import IGERNBiQuery
 from repro.queries.crnn import CRNNQuery
@@ -38,6 +38,7 @@ from repro.queries.brute import (
 
 __all__ = [
     "ContinuousQuery",
+    "QueryFootprint",
     "QueryPosition",
     "IGERNMonoQuery",
     "IGERNBiQuery",

@@ -11,11 +11,37 @@ evaluation machinery differs.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import FrozenSet, Hashable, Optional, Union
 
 from repro.geometry.point import Point
+from repro.grid.cell import CellKey
 from repro.grid.index import GridIndex, ObjectId
 from repro.grid.search import GridSearch
+
+
+@dataclass(frozen=True)
+class QueryFootprint:
+    """A query's relevance footprint: what this tick's answer depends on.
+
+    The contract (see ``docs/PERFORMANCE.md``): between two executions a
+    query's answer can only change if at least one of these happened —
+
+    - an object in ``objects`` moved, was removed, or re-entered (the
+      query object itself, the monitored candidates / A-neighbors);
+    - any object moved *within*, entered, or left one of ``cells`` (the
+      monitored alive region plus the verification witness balls, at grid
+      granularity).
+
+    A footprint must therefore be *conservative*: over-covering cells
+    only costs skipped opportunities, while under-covering breaks answer
+    identity.  Executors that cannot bound their dependencies (snapshot
+    baselines recomputing from the whole population) return ``None`` from
+    :meth:`ContinuousQuery.footprint` and are re-evaluated every tick.
+    """
+
+    cells: FrozenSet[CellKey]
+    objects: FrozenSet[ObjectId]
 
 
 class QueryPosition:
@@ -70,6 +96,27 @@ class ContinuousQuery(abc.ABC):
     @abc.abstractmethod
     def tick(self) -> FrozenSet[Hashable]:
         """Re-evaluate after one time interval of movement."""
+
+    def footprint(self) -> Optional[QueryFootprint]:
+        """The cells and objects this query's next answer depends on.
+
+        ``None`` (the default) means the dependency set is unbounded and
+        the query must be re-evaluated every tick — correct for snapshot
+        baselines that recompute from the full population.  Stateful
+        monitors override this with their monitored region and object
+        set; see :class:`QueryFootprint` for the exact contract.
+        """
+        return None
+
+    def skip_tick(self) -> FrozenSet[Hashable]:
+        """Account for a tick the engine proved to be a no-op.
+
+        Called by the scheduler *instead of* :meth:`tick` when nothing in
+        the query's footprint changed; carries the previous answer
+        forward.  Executors with per-step reports override this to also
+        record a zero-ops step.
+        """
+        return self._answer
 
     @property
     def answer(self) -> FrozenSet[Hashable]:

@@ -7,7 +7,7 @@ from typing import FrozenSet, Hashable, Optional
 from repro.core.bi import BiIGERN
 from repro.core.state import BiState, StepReport
 from repro.grid.index import Category, GridIndex
-from repro.queries.base import ContinuousQuery, QueryPosition
+from repro.queries.base import ContinuousQuery, QueryFootprint, QueryPosition
 
 
 class IGERNBiQuery(ContinuousQuery):
@@ -54,6 +54,25 @@ class IGERNBiQuery(ContinuousQuery):
         self.last_report = report
         self._answer = report.answer
         return report.answer
+
+    def footprint(self) -> "QueryFootprint | None":
+        """Monitored cells (alive region + per-B witness balls) and the
+        monitored A objects (plus the query object itself)."""
+        state = self._state
+        if state is None:
+            return None
+        cells = state.footprint_cells(self.grid, self._algo.cat_b)
+        if cells is None:
+            return None
+        objects = set(state.nn_a)
+        if self.position.query_id is not None:
+            objects.add(self.position.query_id)
+        return QueryFootprint(cells=frozenset(cells), objects=frozenset(objects))
+
+    def skip_tick(self):
+        if self.last_report is not None:
+            self.last_report = self.last_report.carried()
+        return self._answer
 
     @property
     def monitored_count(self) -> int:

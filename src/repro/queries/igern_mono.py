@@ -7,7 +7,7 @@ from typing import FrozenSet, Hashable, Optional
 from repro.core.mono import MonoIGERN
 from repro.core.state import MonoState, StepReport
 from repro.grid.index import GridIndex
-from repro.queries.base import ContinuousQuery, QueryPosition
+from repro.queries.base import ContinuousQuery, QueryFootprint, QueryPosition
 
 
 class IGERNMonoQuery(ContinuousQuery):
@@ -48,6 +48,29 @@ class IGERNMonoQuery(ContinuousQuery):
         self.last_report = report
         self._answer = report.answer
         return report.answer
+
+    def footprint(self) -> "QueryFootprint | None":
+        """Monitored cells (alive region + witness balls) and objects.
+
+        ``None`` until the initial step ran, and whenever the monitored
+        region is momentarily too large for a bounded footprint (the
+        executor then takes the unbounded search path).
+        """
+        state = self._state
+        if state is None:
+            return None
+        cells = state.footprint_cells(self.grid)
+        if cells is None:
+            return None
+        objects = set(state.candidates)
+        if self.position.query_id is not None:
+            objects.add(self.position.query_id)
+        return QueryFootprint(cells=frozenset(cells), objects=frozenset(objects))
+
+    def skip_tick(self):
+        if self.last_report is not None:
+            self.last_report = self.last_report.carried()
+        return self._answer
 
     @property
     def monitored_count(self) -> int:

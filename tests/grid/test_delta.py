@@ -1,0 +1,144 @@
+"""Batched updates: GridIndex.apply_updates, TickDelta, category sets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.grid.delta import TickDelta
+from repro.grid.index import GridIndex
+
+
+class TestTickDelta:
+    def test_empty(self):
+        d = TickDelta()
+        assert d.is_empty()
+        assert d.changed_ids() == set()
+
+    def test_record_move_within_cell(self):
+        d = TickDelta()
+        d.record_move("a", (1, 1), (1, 1))
+        assert d.moved == {"a"}
+        assert d.touched_cells == {(1, 1)}
+        assert d.dirty_cells == set()
+        assert d.cell_enters == {} and d.cell_leaves == {}
+        assert not d.is_empty()
+
+    def test_record_move_across_cells(self):
+        d = TickDelta()
+        d.record_move("a", (1, 1), (2, 1))
+        assert d.touched_cells == {(1, 1), (2, 1)}
+        assert d.dirty_cells == {(1, 1), (2, 1)}
+        assert d.cell_leaves == {(1, 1): {"a"}}
+        assert d.cell_enters == {(2, 1): {"a"}}
+
+    def test_churn_records(self):
+        d = TickDelta()
+        d.record_insert("new", (0, 0))
+        d.record_remove("old", (3, 3))
+        assert d.inserted == {"new"} and d.removed == {"old"}
+        assert d.dirty_cells == {(0, 0), (3, 3)}
+        assert d.touched_cells == {(0, 0), (3, 3)}
+        assert d.changed_ids() == {"new", "old"}
+
+
+class TestApplyUpdates:
+    def test_matches_individual_moves(self):
+        """Same final state and counters as the per-move loop."""
+        rng = random.Random(42)
+        pts = [(rng.random(), rng.random()) for _ in range(200)]
+        batched = GridIndex(16)
+        serial = GridIndex(16)
+        for i, p in enumerate(pts):
+            batched.insert(i, p, category=i % 2)
+            serial.insert(i, p, category=i % 2)
+        moves = [(i, (rng.random(), rng.random())) for i in range(0, 200, 3)]
+        delta = batched.apply_updates(moves)
+        crossings = sum(1 for oid, p in moves if serial.move(oid, p))
+        assert batched.updates == serial.updates
+        assert batched.cell_changes == serial.cell_changes
+        assert len(delta.dirty_cells) <= 2 * crossings
+        for i in range(200):
+            assert batched.position(i) == serial.position(i)
+            assert batched.cell_of(i) == serial.cell_of(i)
+
+    def test_delta_contents(self):
+        grid = GridIndex(4)
+        grid.insert("stay", (0.1, 0.1))
+        grid.insert("wiggle", (0.3, 0.3))
+        grid.insert("cross", (0.6, 0.6))
+        delta = grid.apply_updates(
+            [("wiggle", (0.31, 0.31)), ("cross", (0.9, 0.9))]
+        )
+        assert delta.moved == {"wiggle", "cross"}
+        assert grid.cell_key((0.3, 0.3)) in delta.touched_cells
+        assert delta.dirty_cells == {
+            grid.cell_key((0.6, 0.6)),
+            grid.cell_key((0.9, 0.9)),
+        }
+        assert delta.cell_enters == {grid.cell_key((0.9, 0.9)): {"cross"}}
+        assert delta.cell_leaves == {grid.cell_key((0.6, 0.6)): {"cross"}}
+
+    def test_restated_position_counts_update_but_not_movement(self):
+        grid = GridIndex(4)
+        grid.insert("a", (0.5, 0.5))
+        delta = grid.apply_updates([("a", (0.5, 0.5))])
+        assert grid.updates == 1
+        assert delta.is_empty()
+
+    def test_churn_order_removes_then_inserts_then_moves(self):
+        """An id freed by a remove can be reused by an insert same tick."""
+        grid = GridIndex(4)
+        grid.insert("x", (0.1, 0.1))
+        grid.insert("y", (0.9, 0.9))
+        delta = grid.apply_updates(
+            [("y", (0.85, 0.85))],
+            inserts=[("x", Point(0.6, 0.6), "B")],
+            removes=["x"],
+        )
+        assert grid.category("x") == "B"
+        assert delta.removed == {"x"} and delta.inserted == {"x"}
+        assert grid.cell_key((0.6, 0.6)) in delta.dirty_cells
+
+    def test_move_of_unknown_object_raises(self):
+        grid = GridIndex(4)
+        with pytest.raises(KeyError):
+            grid.apply_updates([("ghost", (0.5, 0.5))])
+
+
+class TestCategorySets:
+    def test_objects_and_count_by_category(self):
+        grid = GridIndex(8)
+        for i in range(10):
+            grid.insert(i, (i / 10.0 + 0.05, 0.5), category="A" if i < 4 else "B")
+        assert grid.count("A") == 4
+        assert grid.count("B") == 6
+        assert grid.count() == 10
+        assert set(grid.objects("A")) == set(range(4))
+        assert set(grid.objects("B")) == set(range(4, 10))
+
+    def test_category_sets_survive_remove_and_batch(self):
+        grid = GridIndex(8)
+        grid.insert("a1", (0.1, 0.1), "A")
+        grid.insert("a2", (0.2, 0.2), "A")
+        grid.insert("b1", (0.3, 0.3), "B")
+        grid.remove("a1")
+        assert set(grid.objects("A")) == {"a2"}
+        grid.apply_updates(
+            [("a2", (0.8, 0.8))],
+            inserts=[("b2", Point(0.4, 0.4), "B")],
+            removes=["b1"],
+        )
+        assert set(grid.objects("B")) == {"b2"}
+        assert grid.count("A") == 1
+        assert grid.count("missing") == 0
+        assert list(grid.objects("missing")) == []
+
+    def test_positions_snapshot_by_category(self):
+        grid = GridIndex(8)
+        grid.insert("a", (0.1, 0.2), "A")
+        grid.insert("b", (0.3, 0.4), "B")
+        assert grid.positions_snapshot("A") == {"a": (0.1, 0.2)}
+        assert set(grid.positions_snapshot()) == {"a", "b"}
