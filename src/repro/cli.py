@@ -9,6 +9,9 @@ Subcommands:
 - ``igern obs`` — replay a workload with tracing and metrics enabled and
   print the per-phase span breakdown plus a Prometheus-style snapshot;
 - ``igern trace`` — record a reproducible moving-object trace to CSV;
+- ``igern fuzz run|replay|corpus`` — differential fuzzing: run a seeded
+  scenario sweep (shrinking and saving any failures as replayable JSON
+  artifacts), replay an artifact, or check the committed corpus;
 - ``igern list`` — list the available experiments.
 
 ``demo`` and ``experiment`` additionally accept ``--trace FILE`` (JSON
@@ -96,6 +99,71 @@ def _build_parser() -> argparse.ArgumentParser:
         "--network",
         choices=["grid_city", "delaunay", "walk", "jump"],
         default="grid_city",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing against the brute-force oracle"
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="run a seeded differential scenario sweep"
+    )
+    fuzz_run.add_argument(
+        "--seed",
+        default="0",
+        help="base seed: an integer, or 'from-week-number' for a seed that"
+        " rotates weekly (CI)",
+    )
+    fuzz_run.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this much wall time",
+    )
+    fuzz_run.add_argument(
+        "--scenarios",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N scenarios",
+    )
+    fuzz_run.add_argument(
+        "--start", type=int, default=0, help="first scenario index (resume)"
+    )
+    fuzz_run.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip the per-tick structural invariant checks",
+    )
+    fuzz_run.add_argument(
+        "--artifacts",
+        type=Path,
+        default=Path("fuzz-failures"),
+        metavar="DIR",
+        help="directory for shrunk failure artifacts (default: fuzz-failures)",
+    )
+    fuzz_run.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="save failing scenarios without minimizing them first",
+    )
+    _add_obs_flags(fuzz_run)
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-run saved failure artifacts"
+    )
+    fuzz_replay.add_argument("artifacts", type=Path, nargs="+", metavar="FILE")
+
+    fuzz_corpus = fuzz_sub.add_parser(
+        "corpus", help="replay the committed regression corpus"
+    )
+    fuzz_corpus.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        help="corpus directory (default: tests/fuzz_corpus)",
     )
 
     watch = sub.add_parser(
@@ -323,6 +391,103 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fuzz_seed(raw: str) -> int:
+    """An explicit integer, or a seed derived from the current ISO week.
+
+    ``from-week-number`` lets a scheduled CI job sweep a fresh slice of
+    the scenario space every week while staying reproducible within the
+    week (a failure seen Monday replays identically on Friday).
+    """
+    if raw == "from-week-number":
+        import datetime
+
+        year, week, _ = datetime.date.today().isocalendar()
+        return year * 100 + week
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit(
+            f"invalid --seed {raw!r}: expected an integer or 'from-week-number'"
+        )
+
+
+def _run_fuzz_cmd(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        corpus_entries,
+        artifact_name,
+        replay_artifact,
+        run_fuzz,
+        save_artifact,
+        shrink,
+    )
+
+    if args.fuzz_command == "run":
+        if args.budget is None and args.scenarios is None:
+            raise SystemExit("fuzz run needs --budget and/or --scenarios")
+        session = _ObsSession(args)
+        seed = _parse_fuzz_seed(args.seed)
+        report = run_fuzz(
+            seed=seed,
+            budget_seconds=args.budget,
+            max_scenarios=args.scenarios,
+            start=args.start,
+            check_invariants=not args.no_invariants,
+        )
+        print(report.summary())
+        for result in report.failures:
+            sc = result.scenario
+            print(f"\nFAIL {sc.label}")
+            for d in result.divergences[:8]:
+                print(f"  {d.describe()}")
+            saved = result
+            if not args.no_shrink:
+                outcome = shrink(result.scenario, result)
+                saved = outcome.result
+                print(
+                    f"  shrunk {outcome.original_objects}->{outcome.objects}"
+                    f" objects, {outcome.original_ticks}->{outcome.ticks}"
+                    f" ticks in {outcome.runs} runs"
+                )
+            path = save_artifact(
+                args.artifacts / artifact_name(saved),
+                saved,
+                note=f"igern fuzz run --seed {args.seed} (index {sc.index})",
+            )
+            print(f"  artifact: {path}")
+        session.finish()
+        return 1 if report.failures else 0
+
+    if args.fuzz_command == "replay":
+        bad = 0
+        for path in args.artifacts:
+            result = replay_artifact(path)
+            if result.ok:
+                print(f"{path}: ok ({result.ticks} ticks, no divergence)")
+            else:
+                bad += 1
+                print(f"{path}: {len(result.divergences)} divergence(s)")
+                for d in result.divergences[:8]:
+                    print(f"  {d.describe()}")
+        return 1 if bad else 0
+
+    if args.fuzz_command == "corpus":
+        entries = corpus_entries(args.dir)
+        if not entries:
+            print("corpus is empty")
+            return 0
+        bad = 0
+        for path in entries:
+            result = replay_artifact(path)
+            status = "ok" if result.ok else f"{len(result.divergences)} divergence(s)"
+            bad += 0 if result.ok else 1
+            print(f"{path.name}: {status}")
+            for d in result.divergences[:4]:
+                print(f"  {d.describe()}")
+        print(f"{len(entries)} corpus entries, {bad} failing")
+        return 1 if bad else 0
+    return 2
+
+
 def _run_watch(args: argparse.Namespace) -> int:
     from repro.viz import render_query_state
 
@@ -357,6 +522,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_obs(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "fuzz":
+        return _run_fuzz_cmd(args)
     if args.command == "watch":
         return _run_watch(args)
     if args.command == "list":

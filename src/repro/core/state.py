@@ -15,9 +15,9 @@ rather than the whole space.  These live in :class:`MonoState` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Optional, Set
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set
 
-from repro.geometry.point import Point, dist
+from repro.geometry.point import Point, dist, dist_sq
 from repro.grid.alive import AliveCellGrid
 
 ObjectId = Hashable
@@ -126,6 +126,71 @@ class MonoState:
                 return None
         return cells
 
+    def check_invariants(self, grid, k: int = 1, query_id=None) -> List[str]:
+        """Structural soundness of the monitored state, as violations.
+
+        Checked after a completed initial/incremental step (the default
+        guarded pruning policy; the literal policy deliberately leaves
+        dominated ex-candidates inside alive cells):
+
+        - *region exhausted* — every *point-alive* object inside an alive
+          cell has been absorbed into ``candidates`` (Phase I termination:
+          the alive region never hides an unexamined object, which is what
+          makes Theorem 2's completeness argument go through).  Cell-level
+          aliveness over-approximates, so a straddling cell may hold
+          point-dead objects the algorithm correctly ignores;
+        - *answer verified* — every reported RNN has fewer than ``k``
+          strictly closer witnesses, re-derived here by exhaustive
+          comparison (Phase II soundness, independent of the search
+          structure that computed it);
+        - *answer monitored* — the answer is a subset of the candidates;
+        - *snapshots fresh* — every candidate's cached position matches
+          the grid (stale snapshots silently disable movement detection).
+
+        Returns human-readable violation strings; empty means sound.
+        """
+        out: List[str] = []
+        candidates = self.candidates
+        for key in self.alive.alive_cells():
+            for oid in grid.objects_in_cell(key):
+                if (
+                    oid != query_id
+                    and oid not in candidates
+                    and self.alive.point_alive(grid.position(oid))
+                ):
+                    out.append(
+                        f"alive cell {key} holds unabsorbed object {oid!r}"
+                    )
+        for oid in self.answer:
+            if oid not in candidates:
+                out.append(f"answer object {oid!r} is not monitored")
+        q = self.qpos
+        for oid in self.answer:
+            if oid not in grid:
+                out.append(f"answer object {oid!r} is not in the index")
+                continue
+            pos = grid.position(oid)
+            dq2 = dist_sq(pos, q)
+            witnesses = 0
+            for other in grid.objects():
+                if other == oid or other == query_id:
+                    continue
+                if dist_sq(grid.position(other), pos) < dq2:
+                    witnesses += 1
+                    if witnesses >= k:
+                        break
+            if witnesses >= k:
+                out.append(
+                    f"answer object {oid!r} fails verification"
+                    f" ({witnesses} strictly closer witnesses, k={k})"
+                )
+        for oid, snapshot in candidates.items():
+            if oid not in grid:
+                out.append(f"candidate {oid!r} is no longer indexed")
+            elif grid.position(oid) != snapshot:
+                out.append(f"candidate {oid!r} has a stale position snapshot")
+        return out
+
 
 @dataclass
 class BiState:
@@ -169,3 +234,66 @@ class BiState:
                 if not _add_ball_cells(grid, pos, dist(pos, q), cells, cap):
                     return None
         return cells
+
+    def check_invariants(
+        self, grid, cat_a, cat_b, k: int = 1, query_id=None
+    ) -> List[str]:
+        """Structural soundness of the bichromatic monitored state.
+
+        The bichromatic mirror of :meth:`MonoState.check_invariants`:
+
+        - *region exhausted* — every *point-alive* A object inside an
+          alive cell is monitored in ``NN_A`` (Phase I termination for
+          Algorithm 3/4; straddling cells may hold point-dead A objects);
+        - *answer typed* — every reported RNN is an indexed B object;
+        - *answer verified* — every reported B object has fewer than
+          ``k`` A objects (other than the query) strictly closer to it
+          than the query position, by exhaustive comparison;
+        - *snapshots fresh* — monitored A positions match the grid.
+        """
+        out: List[str] = []
+        nn_a = self.nn_a
+        for key in self.alive.alive_cells():
+            for oid in grid.objects_in_cell(key, cat_a):
+                if (
+                    oid != query_id
+                    and oid not in nn_a
+                    and self.alive.point_alive(grid.position(oid))
+                ):
+                    out.append(
+                        f"alive cell {key} holds unabsorbed A object {oid!r}"
+                    )
+        q = self.qpos
+        for ob in self.answer:
+            if ob not in grid:
+                out.append(f"answer object {ob!r} is not in the index")
+                continue
+            if grid.category(ob) != cat_b:
+                out.append(
+                    f"answer object {ob!r} has category"
+                    f" {grid.category(ob)!r}, expected {cat_b!r}"
+                )
+                continue
+            pos = grid.position(ob)
+            dq2 = dist_sq(pos, q)
+            witnesses = 0
+            for oa in grid.objects(cat_a):
+                if oa == query_id:
+                    continue
+                if dist_sq(grid.position(oa), pos) < dq2:
+                    witnesses += 1
+                    if witnesses >= k:
+                        break
+            if witnesses >= k:
+                out.append(
+                    f"answer object {ob!r} fails verification"
+                    f" ({witnesses} strictly closer A witnesses, k={k})"
+                )
+        for oid, snapshot in nn_a.items():
+            if oid not in grid:
+                out.append(f"monitored A object {oid!r} is no longer indexed")
+            elif grid.position(oid) != snapshot:
+                out.append(
+                    f"monitored A object {oid!r} has a stale position snapshot"
+                )
+        return out

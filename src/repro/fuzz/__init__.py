@@ -1,0 +1,65 @@
+"""Differential fuzzing and conformance testing.
+
+The adversary for Theorems 1-4 and the tick scheduler: a seeded scenario
+generator over the full configuration space (:mod:`repro.fuzz.scenario`),
+a lockstep multi-executor differential runner with structural invariant
+checking (:mod:`repro.fuzz.runner`), a failure minimizer
+(:mod:`repro.fuzz.shrink`), and a replayable artifact corpus
+(:mod:`repro.fuzz.corpus`).  Driven by ``igern fuzz`` and by the tier-1
+regression tests; see ``docs/TESTING.md``.
+"""
+
+from repro.fuzz.corpus import (
+    Artifact,
+    artifact_name,
+    corpus_entries,
+    load_artifact,
+    replay_artifact,
+    replay_corpus,
+    save_artifact,
+)
+from repro.fuzz.runner import (
+    Divergence,
+    FuzzReport,
+    ScenarioResult,
+    run_fuzz,
+    run_scenario,
+)
+from repro.fuzz.scenario import (
+    MOTIONS,
+    LatticeJumpGenerator,
+    Scenario,
+    ScriptedWorkload,
+    build_motion,
+    generate_scenarios,
+    make_scenario,
+    query_id_of,
+    scripted,
+)
+from repro.fuzz.shrink import ShrinkOutcome, shrink
+
+__all__ = [
+    "Artifact",
+    "Divergence",
+    "FuzzReport",
+    "LatticeJumpGenerator",
+    "MOTIONS",
+    "Scenario",
+    "ScenarioResult",
+    "ScriptedWorkload",
+    "ShrinkOutcome",
+    "artifact_name",
+    "build_motion",
+    "corpus_entries",
+    "generate_scenarios",
+    "load_artifact",
+    "make_scenario",
+    "query_id_of",
+    "replay_artifact",
+    "replay_corpus",
+    "run_fuzz",
+    "run_scenario",
+    "save_artifact",
+    "scripted",
+    "shrink",
+]

@@ -1,0 +1,108 @@
+"""Replayable failure artifacts and the committed regression corpus.
+
+A failure artifact is one JSON document: the (shrunk, scripted) scenario
+plus the divergences observed when it was captured and a free-text note.
+Artifacts are deterministic to replay — the script *is* the workload —
+so a divergence found by a nightly fuzz job reproduces identically on a
+laptop.
+
+The **corpus** is a directory of such artifacts committed to the
+repository (``tests/fuzz_corpus/``).  Every entry is a scenario that
+once caught a bug or exercises a configuration known to be treacherous;
+the tier-1 suite replays all of them and asserts zero divergences, which
+turns every past failure into a permanent regression test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.fuzz.runner import Divergence, ScenarioResult, run_scenario
+from repro.fuzz.scenario import Scenario
+
+ARTIFACT_VERSION = 1
+
+#: Repository-relative default corpus location.
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "fuzz_corpus"
+
+
+@dataclass
+class Artifact:
+    """A saved failing (or regression) scenario."""
+
+    scenario: Scenario
+    divergences: List[Divergence] = field(default_factory=list)
+    note: str = ""
+    version: int = ARTIFACT_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "note": self.note,
+            "scenario": self.scenario.to_dict(),
+            "divergences": [d.to_dict() for d in self.divergences],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Artifact":
+        return Artifact(
+            scenario=Scenario.from_dict(data["scenario"]),
+            divergences=[Divergence.from_dict(d) for d in data.get("divergences", ())],
+            note=data.get("note", ""),
+            version=data.get("version", ARTIFACT_VERSION),
+        )
+
+
+def save_artifact(
+    path: Union[str, Path],
+    result: ScenarioResult,
+    note: str = "",
+) -> Path:
+    """Write one scenario result (typically a shrunk failure) as JSON."""
+    path = Path(path)
+    artifact = Artifact(
+        scenario=result.scenario, divergences=result.divergences, note=note
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> Artifact:
+    data = json.loads(Path(path).read_text())
+    if "scenario" not in data:
+        raise ValueError(f"{path}: not a fuzz artifact (no 'scenario' key)")
+    return Artifact.from_dict(data)
+
+
+def replay_artifact(path: Union[str, Path]) -> ScenarioResult:
+    """Re-run an artifact's scenario differentially, fresh."""
+    artifact = load_artifact(path)
+    if artifact.scenario.script is None:
+        raise ValueError(f"{path}: artifact scenario is not scripted")
+    return run_scenario(artifact.scenario)
+
+
+def artifact_name(result: ScenarioResult) -> str:
+    """A stable, descriptive filename for a failure artifact."""
+    sc = result.scenario
+    kind = result.divergences[0].kind if result.divergences else "regression"
+    return f"{sc.mode}-{sc.motion}-k{sc.k}-s{sc.seed}i{sc.index}-{kind}.json"
+
+
+def corpus_entries(directory: Optional[Union[str, Path]] = None) -> List[Path]:
+    """All artifact files of a corpus directory, sorted by name."""
+    directory = Path(directory) if directory is not None else DEFAULT_CORPUS_DIR
+    if not directory.is_dir():
+        return []
+    return sorted(p for p in directory.iterdir() if p.suffix == ".json")
+
+
+def replay_corpus(
+    directory: Optional[Union[str, Path]] = None,
+) -> List[tuple]:
+    """Replay every corpus entry; returns ``(path, ScenarioResult)`` pairs."""
+    return [(path, replay_artifact(path)) for path in corpus_entries(directory)]

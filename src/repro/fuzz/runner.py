@@ -1,0 +1,404 @@
+"""Lockstep differential execution of one scenario, and the fuzz loop.
+
+For every scenario the runner builds **two simulators over the identical
+frozen event script** — scheduler on and scheduler off (the
+evaluate-everything oracle configuration) — registers the same executors
+in both (IGERN plus, per scenario, one baseline), and advances them tick
+by tick in lockstep.  After every tick it checks three layers:
+
+1. **oracle** — each executor's answer in the scheduler-off simulator
+   must equal the quadratic brute-force answer recomputed from the raw
+   positions (Theorems 1-4, operationally);
+2. **scheduler** — each executor's answer with the scheduler on must be
+   bit-identical to its answer with the scheduler off (the skip decision
+   is conservative), and the two grids must hold identical positions;
+3. **invariants** — the IGERN monitored state passes
+   :meth:`~repro.core.state.MonoState.check_invariants` /
+   :meth:`~repro.core.state.BiState.check_invariants` in *both*
+   simulators (in particular after skipped ticks), and the registered
+   footprint covers the alive region and the monitored/answer objects.
+
+Any violation becomes a :class:`Divergence`; the scenario (already in
+scripted form) plus its divergences is the replayable failure artifact.
+
+:func:`run_fuzz` drives the seeded scenario stream under a time budget
+or a scenario count, publishing ``fuzz_scenarios_total`` and
+``fuzz_divergences_total`` into the active metrics registry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.engine.simulation import Simulator
+from repro.fuzz.scenario import (
+    Scenario,
+    ScriptedWorkload,
+    generate_scenarios,
+    query_id_of,
+    scripted,
+)
+from repro.geometry.rectangle import Rect
+from repro.obs.metrics import active_registry
+from repro.queries import (
+    CRNNQuery,
+    IGERNBiQuery,
+    IGERNMonoQuery,
+    QueryPosition,
+    SixPieSnapshotQuery,
+    TPLQuery,
+    VoronoiRepeatQuery,
+    brute_bi_rnn,
+    brute_mono_rnn,
+)
+
+CAT_A, CAT_B = "A", "B"
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement or invariant violation."""
+
+    kind: str  # "oracle" | "scheduler" | "invariant" | "grid-sync"
+    tick: int
+    name: str  # executor name or invariant site
+    expected: list
+    actual: list
+    detail: str = ""
+
+    def describe(self) -> str:
+        out = f"[{self.kind}] tick {self.tick} {self.name}"
+        if self.detail:
+            out += f": {self.detail}"
+        if self.expected or self.actual:
+            out += f" (expected {self.expected!r}, got {self.actual!r})"
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "tick": self.tick,
+            "name": self.name,
+            "expected": list(self.expected),
+            "actual": list(self.actual),
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Divergence":
+        return Divergence(
+            kind=data["kind"],
+            tick=data["tick"],
+            name=data["name"],
+            expected=list(data["expected"]),
+            actual=list(data["actual"]),
+            detail=data.get("detail", ""),
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one differential scenario run."""
+
+    scenario: Scenario  # always the scripted form
+    ticks: int
+    divergences: List[Divergence]
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+class _Lockstep:
+    """The paired simulators plus per-tick checking for one scenario."""
+
+    def __init__(self, scenario: Scenario, check_invariants: bool = True):
+        self.scenario = scenario
+        self.check_invariants = check_invariants
+        self.qid = query_id_of(scenario)
+        self.divergences: List[Divergence] = []
+        extent = Rect(*scenario.extent)
+        self.sim_on = Simulator(
+            ScriptedWorkload(scenario.script),
+            grid_size=scenario.grid_size,
+            extent=extent,
+            scheduler=True,
+        )
+        self.sim_off = Simulator(
+            ScriptedWorkload(scenario.script),
+            grid_size=scenario.grid_size,
+            extent=extent,
+            scheduler=False,
+        )
+        self._register(self.sim_on)
+        self._register(self.sim_off)
+
+    def _position(self, sim: Simulator) -> QueryPosition:
+        if self.qid is not None:
+            return QueryPosition(sim.grid, query_id=self.qid)
+        return QueryPosition(sim.grid, fixed=self.scenario.query_point)
+
+    def _register(self, sim: Simulator) -> None:
+        sc = self.scenario
+        k = sc.k
+        grid = sim.grid
+        if sc.mode == "mono":
+            sim.add_query("igern", IGERNMonoQuery(grid, self._position(sim), k=k))
+            if sc.baseline == "crnn":
+                sim.add_query("crnn", CRNNQuery(grid, self._position(sim)))
+            elif sc.baseline == "tpl":
+                sim.add_query("tpl", TPLQuery(grid, self._position(sim), k=k))
+            elif sc.baseline == "sixpie":
+                sim.add_query("sixpie", SixPieSnapshotQuery(grid, self._position(sim)))
+        else:
+            sim.add_query("igern", IGERNBiQuery(grid, self._position(sim), k=k))
+            if sc.baseline == "voronoi":
+                sim.add_query("voronoi", VoronoiRepeatQuery(grid, self._position(sim)))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        metrics_on = self.sim_on.execute_queries()
+        metrics_off = self.sim_off.execute_queries()
+        self._check_tick(0, metrics_on, metrics_off)
+        for t in range(1, self.scenario.n_ticks + 1):
+            metrics_on = self.sim_on.step()
+            metrics_off = self.sim_off.step()
+            self._check_tick(t, metrics_on, metrics_off)
+        return ScenarioResult(
+            scenario=self.scenario,
+            ticks=self.scenario.n_ticks,
+            divergences=self.divergences,
+        )
+
+    def _oracle(self) -> set:
+        sc = self.scenario
+        grid = self.sim_off.grid
+        if self.qid is not None:
+            qpos = grid.position(self.qid)
+        else:
+            qpos = sc.query_point
+        if sc.mode == "mono":
+            return brute_mono_rnn(
+                grid.positions_snapshot(), qpos, query_id=self.qid, k=sc.k
+            )
+        return brute_bi_rnn(
+            grid.positions_snapshot(CAT_A),
+            grid.positions_snapshot(CAT_B),
+            qpos,
+            query_id=self.qid,
+            k=sc.k,
+        )
+
+    def _check_tick(self, tick: int, metrics_on: Dict, metrics_off: Dict) -> None:
+        report = self.divergences
+        if self.sim_on.grid.positions_snapshot() != self.sim_off.grid.positions_snapshot():
+            report.append(
+                Divergence(
+                    kind="grid-sync",
+                    tick=tick,
+                    name="grid",
+                    expected=[],
+                    actual=[],
+                    detail="paired grids hold different positions",
+                )
+            )
+        expected = self._oracle()
+        for name in self.sim_off.query_names():
+            off_answer = set(metrics_off[name].answer)
+            on_answer = set(metrics_on[name].answer)
+            if off_answer != expected:
+                report.append(
+                    Divergence(
+                        kind="oracle",
+                        tick=tick,
+                        name=name,
+                        expected=sorted(expected, key=repr),
+                        actual=sorted(off_answer, key=repr),
+                    )
+                )
+            if on_answer != off_answer:
+                report.append(
+                    Divergence(
+                        kind="scheduler",
+                        tick=tick,
+                        name=name,
+                        expected=sorted(off_answer, key=repr),
+                        actual=sorted(on_answer, key=repr),
+                        detail="scheduler=True answer differs from scheduler=False",
+                    )
+                )
+        if self.check_invariants:
+            for side, sim in (("on", self.sim_on), ("off", self.sim_off)):
+                for violation in self._state_violations(sim):
+                    report.append(
+                        Divergence(
+                            kind="invariant",
+                            tick=tick,
+                            name=f"igern[scheduler-{side}]",
+                            expected=[],
+                            actual=[],
+                            detail=violation,
+                        )
+                    )
+            for violation in self._footprint_violations(self.sim_on):
+                report.append(
+                    Divergence(
+                        kind="invariant",
+                        tick=tick,
+                        name="footprint",
+                        expected=[],
+                        actual=[],
+                        detail=violation,
+                    )
+                )
+
+    def _state_violations(self, sim: Simulator) -> List[str]:
+        query = sim.query("igern")
+        state = query._state
+        if state is None:
+            return []
+        if self.scenario.mode == "mono":
+            return state.check_invariants(sim.grid, k=self.scenario.k, query_id=self.qid)
+        return state.check_invariants(
+            sim.grid, CAT_A, CAT_B, k=self.scenario.k, query_id=self.qid
+        )
+
+    def _footprint_violations(self, sim: Simulator) -> List[str]:
+        """The registered footprint must cover everything the scheduler
+        relies on: the alive region (at cell granularity), the monitored
+        object set, the query object, and every answer object's cell."""
+        if sim.scheduler is None:
+            return []
+        fp = sim.scheduler.footprint("igern")
+        if fp is None:
+            return []
+        query = sim.query("igern")
+        state = query._state
+        if state is None:
+            return []
+        out: List[str] = []
+        missing = set(state.alive.alive_cells()) - set(fp.cells)
+        if missing:
+            out.append(f"footprint misses alive cells {sorted(missing)[:4]}")
+        monitored = (
+            state.candidates if self.scenario.mode == "mono" else state.nn_a
+        )
+        for oid in monitored:
+            if oid not in fp.objects:
+                out.append(f"footprint misses monitored object {oid!r}")
+        if self.qid is not None and self.qid not in fp.objects:
+            out.append(f"footprint misses query object {self.qid!r}")
+        grid = sim.grid
+        for oid in state.answer:
+            if oid in grid and grid.cell_of(oid) not in fp.cells:
+                out.append(f"footprint misses answer object {oid!r}'s cell")
+        return out
+
+
+def run_scenario(scenario: Scenario, check_invariants: bool = True) -> ScenarioResult:
+    """Differentially execute one scenario; returns its scripted result."""
+    sc = scripted(scenario)
+    result = _Lockstep(sc, check_invariants=check_invariants).run()
+    registry = active_registry()
+    if registry is not None:
+        registry.counter("fuzz_scenarios_total").inc()
+        if result.divergences:
+            registry.counter("fuzz_divergences_total").inc(len(result.divergences))
+    return result
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzzing session."""
+
+    seed: int
+    scenarios: int = 0
+    ticks: int = 0
+    elapsed: float = 0.0
+    failures: List[ScenarioResult] = field(default_factory=list)
+    coverage: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def divergences(self) -> int:
+        return sum(len(r.divergences) for r in self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def _cover(self, dimension: str, value) -> None:
+        bucket = self.coverage.setdefault(dimension, {})
+        key = str(value)
+        bucket[key] = bucket.get(key, 0) + 1
+
+    def record(self, result: ScenarioResult) -> None:
+        sc = result.scenario
+        self.scenarios += 1
+        self.ticks += result.ticks
+        for dimension, value in (
+            ("mode", sc.mode),
+            ("motion", sc.motion),
+            ("k", sc.k),
+            ("grid_size", sc.grid_size),
+            ("extent", sc.extent),
+            ("moving_query", sc.moving_query),
+            ("baseline", sc.baseline or "none"),
+            ("move_fraction", sc.move_fraction),
+        ):
+            self._cover(dimension, value)
+        if not result.ok:
+            self.failures.append(result)
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz seed={self.seed}: {self.scenarios} scenarios,"
+            f" {self.ticks} ticks, {self.divergences} divergences"
+            f" in {self.elapsed:.1f}s"
+        ]
+        for dimension in ("mode", "motion", "k", "baseline"):
+            bucket = self.coverage.get(dimension, {})
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(bucket.items()))
+            lines.append(f"  {dimension}: {parts}")
+        for result in self.failures:
+            lines.append(f"  FAIL {result.scenario.label}")
+            for div in result.divergences[:5]:
+                lines.append(f"    {div.describe()}")
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    seed: int,
+    budget_seconds: Optional[float] = None,
+    max_scenarios: Optional[int] = None,
+    start: int = 0,
+    check_invariants: bool = True,
+    clock: Callable[[], float] = time.perf_counter,
+    on_result: Optional[Callable[[ScenarioResult], None]] = None,
+) -> FuzzReport:
+    """Run the seeded scenario stream until a budget or count is hit.
+
+    At least one of ``budget_seconds`` / ``max_scenarios`` must be given.
+    The stream itself is deterministic in ``seed``; a time budget only
+    decides *how far* into the stream the session gets, so any failure it
+    finds is reproducible from ``(seed, scenario.index)`` alone.
+    """
+    if budget_seconds is None and max_scenarios is None:
+        raise ValueError("provide budget_seconds and/or max_scenarios")
+    report = FuzzReport(seed=seed)
+    began = clock()
+    for scenario in generate_scenarios(seed, start=start):
+        if max_scenarios is not None and report.scenarios >= max_scenarios:
+            break
+        if budget_seconds is not None and clock() - began >= budget_seconds:
+            break
+        result = run_scenario(scenario, check_invariants=check_invariants)
+        report.record(result)
+        if on_result is not None:
+            on_result(result)
+    report.elapsed = clock() - began
+    return report

@@ -1,0 +1,403 @@
+"""Seeded scenario generation for the differential fuzzer.
+
+A :class:`Scenario` is one fully parameterized end-to-end run: mode
+(mono/bi), ``k``, grid resolution, data-space extent, motion model,
+population size and churn, query mobility, and which baseline executor
+(if any) rides along next to IGERN and the brute-force oracle.  Every
+field is JSON-native, so a scenario — and in particular a *failing*
+scenario — round-trips losslessly through an artifact file.
+
+Two forms exist:
+
+- **generated** — the motion stream is defined by ``(motion, seed, ...)``
+  and produced by the library's own generators;
+- **scripted** — the stream is frozen into an explicit per-tick event
+  list (``script``).  :func:`scripted` converts the former into the
+  latter by recording one run; the runner always executes the scripted
+  form so that any divergence is replayable byte-for-byte, and the
+  shrinker can edit the event list directly.
+
+Scenario sampling (:func:`make_scenario`) is deterministic in
+``(seed, index)``.  The mode and motion-model dimensions are cycled
+rather than sampled, so any contiguous window of
+``2 * len(MOTIONS)`` scenarios is guaranteed to cover every
+(mode, motion) combination; the remaining dimensions are drawn from a
+per-scenario PRNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.motion.churn import ChurnRandomWalkGenerator, TickEvents
+from repro.motion.clusters import GaussianClusterGenerator
+from repro.motion.generator import NetworkMovingObjectGenerator
+from repro.motion.roadnet import RoadNetwork
+from repro.motion.uniform import RandomWalkGenerator, UniformJumpGenerator
+
+#: Motion models the generator cycles through.  ``lattice`` is the
+#: adversarial one: positions snap to a coarse lattice, manufacturing the
+#: exact-tie configurations (equidistant witnesses, coincident objects)
+#: where strict-vs-non-strict comparisons and bisector degeneracies live.
+MOTIONS = ("walk", "jump", "clusters", "roadnet", "churn", "lattice")
+
+#: Extents sampled beyond the default unit square: scaled, negative, and
+#: non-square data spaces shake out absolute-coordinate assumptions.
+EXTENTS = (
+    (0.0, 0.0, 1.0, 1.0),
+    (0.0, 0.0, 8.0, 8.0),
+    (-1.0, -1.0, 1.0, 1.0),
+    (2.0, 1.0, 6.0, 3.0),
+)
+
+GRID_SIZES = (4, 8, 16, 24, 48)
+
+
+@dataclass
+class Scenario:
+    """One differential-fuzzing run, fully described by plain data."""
+
+    seed: int
+    index: int
+    mode: str  # "mono" | "bi"
+    k: int
+    grid_size: int
+    extent: Tuple[float, float, float, float]
+    motion: str
+    n_objects: int
+    n_ticks: int
+    move_fraction: float
+    a_fraction: float
+    moving_query: bool
+    query_point: Optional[Tuple[float, float]]
+    baseline: Optional[str]  # extra executor: crnn/tpl/sixpie/voronoi
+    script: Optional[dict] = field(default=None, repr=False)
+
+    @property
+    def label(self) -> str:
+        q = "moving-q" if self.moving_query else "fixed-q"
+        return (
+            f"s{self.seed}.{self.index} {self.mode} k={self.k} {self.motion} "
+            f"n={self.n_objects} t={self.n_ticks} grid={self.grid_size} {q}"
+            + (f" +{self.baseline}" if self.baseline else "")
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "Scenario":
+        data = dict(data)
+        data["extent"] = tuple(data["extent"])
+        if data.get("query_point") is not None:
+            data["query_point"] = tuple(data["query_point"])
+        return Scenario(**data)
+
+
+class LatticeJumpGenerator:
+    """Objects teleporting between nodes of a coarse lattice.
+
+    Every position is an exact multiple of ``1/lattice`` of the extent,
+    so equal distances are *bit-equal* floats: ties between a witness
+    distance and the query distance, collinear triples, and coincident
+    objects all occur routinely instead of almost never.  This is the
+    workload that distinguishes strict (``<``) from non-strict (``<=``)
+    verification — the paper's tie semantics — which smooth random
+    coordinates essentially never exercise.
+    """
+
+    def __init__(
+        self,
+        n_objects: int,
+        seed: int = 0,
+        lattice: int = 8,
+        jump_prob: float = 0.35,
+        extent: Optional[Rect] = None,
+        categories: Optional[Dict[Hashable, float]] = None,
+    ):
+        if n_objects < 1:
+            raise ValueError(f"n_objects must be positive, got {n_objects}")
+        if lattice < 2:
+            raise ValueError(f"lattice must be >= 2, got {lattice}")
+        self.extent = extent if extent is not None else Rect.unit()
+        self.lattice = lattice
+        self.jump_prob = jump_prob
+        self._rng = random.Random(seed)
+        weights = categories if categories else {0: 1.0}
+        labels = list(weights)
+        probs = [weights[label] for label in labels]
+        self._positions: Dict[Hashable, Point] = {}
+        self._categories: Dict[Hashable, Hashable] = {}
+        for i in range(n_objects):
+            self._positions[i] = self._node()
+            self._categories[i] = self._rng.choices(labels, weights=probs)[0]
+
+    def _node(self) -> Point:
+        e = self.extent
+        m = self.lattice
+        ix = self._rng.randint(0, m)
+        iy = self._rng.randint(0, m)
+        return Point(
+            e.xmin + ix * (e.xmax - e.xmin) / m,
+            e.ymin + iy * (e.ymax - e.ymin) / m,
+        )
+
+    def node_point(self, ix: int, iy: int) -> Point:
+        """The lattice node at integer coordinates (for fixed queries)."""
+        e = self.extent
+        m = self.lattice
+        return Point(
+            e.xmin + ix * (e.xmax - e.xmin) / m,
+            e.ymin + iy * (e.ymax - e.ymin) / m,
+        )
+
+    def initial(self) -> List[Tuple[Hashable, Point, Hashable]]:
+        return [
+            (oid, pos, self._categories[oid])
+            for oid, pos in self._positions.items()
+        ]
+
+    def step(self, dt: float = 1.0) -> List[Tuple[Hashable, Point]]:
+        updates: List[Tuple[Hashable, Point]] = []
+        for oid in self._positions:
+            if self._rng.random() < self.jump_prob:
+                p = self._node()
+                self._positions[oid] = p
+                updates.append((oid, p))
+        return updates
+
+
+class ScriptedWorkload:
+    """Generator-protocol replay of a scenario's frozen event script.
+
+    Exposes ``step_events`` (the richer protocol) so churn scripts replay
+    their inserts/removes through the same path the live generator used.
+    Past the recorded horizon the workload goes quiet.
+    """
+
+    def __init__(self, script: dict):
+        self._initial = [
+            (oid, Point(x, y), _category_from_json(cat))
+            for oid, x, y, cat in script["initial"]
+        ]
+        self._ticks = [
+            TickEvents(
+                moves=[(oid, Point(x, y)) for oid, x, y in tick["moves"]],
+                inserts=[
+                    (oid, Point(x, y), _category_from_json(cat))
+                    for oid, x, y, cat in tick.get("inserts", ())
+                ],
+                removes=list(tick.get("removes", ())),
+            )
+            for tick in script["ticks"]
+        ]
+        self._cursor = 0
+
+    def initial(self):
+        return list(self._initial)
+
+    def step_events(self, dt: float = 1.0) -> TickEvents:
+        if self._cursor >= len(self._ticks):
+            return TickEvents(moves=[], inserts=[], removes=[])
+        events = self._ticks[self._cursor]
+        self._cursor = self._cursor + 1
+        return TickEvents(
+            moves=list(events.moves),
+            inserts=list(events.inserts),
+            removes=list(events.removes),
+        )
+
+
+def _category_from_json(cat):
+    # JSON keeps 0 and "A"/"B" distinct already; nothing to coerce, but
+    # lists (from tuples) would break hashability.
+    return tuple(cat) if isinstance(cat, list) else cat
+
+
+def _categories(scenario: Scenario) -> Optional[Dict[Hashable, float]]:
+    if scenario.mode != "bi":
+        return None
+    return {"A": scenario.a_fraction, "B": 1.0 - scenario.a_fraction}
+
+
+def build_motion(scenario: Scenario):
+    """The live motion generator described by a generated scenario."""
+    extent = Rect(*scenario.extent)
+    categories = _categories(scenario)
+    seed = scenario.seed * 1_000_003 + scenario.index
+    n = scenario.n_objects
+    if scenario.motion == "walk":
+        span = min(extent.width, extent.height)
+        return RandomWalkGenerator(
+            n, seed=seed, step_sigma=0.02 * span, extent=extent, categories=categories
+        )
+    if scenario.motion == "jump":
+        return UniformJumpGenerator(
+            n, seed=seed, jump_prob=0.3, extent=extent, categories=categories
+        )
+    if scenario.motion == "clusters":
+        span = min(extent.width, extent.height)
+        return GaussianClusterGenerator(
+            n,
+            n_clusters=3,
+            seed=seed,
+            cluster_sigma=0.08 * span,
+            member_sigma=0.02 * span,
+            drift_sigma=0.01 * span,
+            extent=extent,
+            categories=categories,
+        )
+    if scenario.motion == "churn":
+        span = min(extent.width, extent.height)
+        return ChurnRandomWalkGenerator(
+            n,
+            seed=seed,
+            step_sigma=0.02 * span,
+            birth_rate=0.10,
+            death_rate=0.10,
+            extent=extent,
+            categories=categories,
+        )
+    if scenario.motion == "lattice":
+        return LatticeJumpGenerator(
+            n, seed=seed, lattice=8, extent=extent, categories=categories
+        )
+    if scenario.motion == "roadnet":
+        net = RoadNetwork.grid_city(rows=4, cols=4, seed=seed)
+        return NetworkMovingObjectGenerator(
+            net,
+            n,
+            seed=seed,
+            speed_range=(0.01, 0.05),
+            categories=categories,
+            move_fraction=scenario.move_fraction,
+        )
+    raise ValueError(f"unknown motion model {scenario.motion!r}")
+
+
+def scripted(scenario: Scenario) -> Scenario:
+    """Freeze a generated scenario into its scripted, replayable form.
+
+    Records one run of the live motion generator into an explicit event
+    script and resolves the query: a moving query binds to a concrete
+    object id present at t=0 (falling back to a fixed point when the
+    needed category is absent).  Idempotent on already-scripted input.
+    """
+    if scenario.script is not None:
+        return scenario
+    gen = build_motion(scenario)
+    initial = [(oid, pos, cat) for oid, pos, cat in gen.initial()]
+    ticks = []
+    for _ in range(scenario.n_ticks):
+        if hasattr(gen, "step_events"):
+            events = gen.step_events(1.0)
+        else:
+            events = TickEvents(moves=list(gen.step(1.0)), inserts=[], removes=[])
+        ticks.append(
+            {
+                "moves": [[oid, p.x, p.y] for oid, p in events.moves],
+                "inserts": [[oid, p.x, p.y, cat] for oid, p, cat in events.inserts],
+                "removes": list(events.removes),
+            }
+        )
+    script = {
+        "initial": [[oid, p.x, p.y, cat] for oid, p, cat in initial],
+        "ticks": ticks,
+    }
+    out = Scenario.from_dict(scenario.to_dict())
+    out.script = script
+    # Resolve the query against the frozen population.
+    if out.moving_query:
+        want = "A" if out.mode == "bi" else None
+        qid = _pick_query_object(script, want)
+        if qid is None:
+            out.moving_query = False
+        else:
+            out.query_point = None
+            out.script["query_id"] = qid
+    if not out.moving_query and out.query_point is None:
+        extent = Rect(*out.extent)
+        c = extent.center
+        out.query_point = (c.x, c.y)
+    return out
+
+
+def query_id_of(scenario: Scenario):
+    """The bound query object id of a scripted moving-query scenario."""
+    if scenario.script is None:
+        return None
+    return scenario.script.get("query_id")
+
+
+def _pick_query_object(script: dict, category):
+    """A query object that survives the whole script (churn kills ids)."""
+    removed = {
+        oid for tick in script["ticks"] for oid in tick.get("removes", ())
+    }
+    for oid, _x, _y, cat in script["initial"]:
+        if oid in removed:
+            continue
+        if category is None or cat == category:
+            return oid
+    return None
+
+
+def make_scenario(seed: int, index: int) -> Scenario:
+    """Deterministically sample scenario ``index`` of stream ``seed``."""
+    rng = random.Random(f"igern-fuzz:{seed}:{index}")
+    mode = ("mono", "bi")[index % 2]
+    motion = MOTIONS[(index // 2) % len(MOTIONS)]
+    k = rng.choice((1, 1, 2, 3))  # k=1 is the paper's case; keep it frequent
+    if mode == "mono":
+        choices = [None, "tpl"] if k > 1 else [None, "crnn", "tpl", "sixpie"]
+    else:
+        choices = [None] if k > 1 else [None, "voronoi"]
+    baseline = rng.choice(choices)
+    extent = EXTENTS[rng.randrange(len(EXTENTS))] if motion != "roadnet" else EXTENTS[0]
+    # Churn can remove any object, so churn queries are fixed points
+    # (matching the engine's own churn tests); everything else may move.
+    moving_query = motion != "churn" and rng.random() < 0.6
+    query_point = None
+    if not moving_query:
+        xmin, ymin, xmax, ymax = extent
+        if motion == "lattice":
+            # Put fixed queries on lattice nodes too: query-distance ties
+            # are the interesting ones.
+            m = 8
+            query_point = (
+                xmin + rng.randint(0, m) * (xmax - xmin) / m,
+                ymin + rng.randint(0, m) * (ymax - ymin) / m,
+            )
+        else:
+            query_point = (
+                rng.uniform(xmin + 0.25 * (xmax - xmin), xmax - 0.25 * (xmax - xmin)),
+                rng.uniform(ymin + 0.25 * (ymax - ymin), ymax - 0.25 * (ymax - ymin)),
+            )
+    return Scenario(
+        seed=seed,
+        index=index,
+        mode=mode,
+        k=k,
+        grid_size=rng.choice(GRID_SIZES),
+        extent=extent,
+        motion=motion,
+        n_objects=rng.randint(12, 80),
+        n_ticks=rng.randint(4, 10),
+        move_fraction=rng.choice((0.1, 0.5, 1.0)),
+        a_fraction=rng.choice((0.3, 0.5, 0.7)),
+        moving_query=moving_query,
+        query_point=query_point,
+        baseline=baseline,
+    )
+
+
+def generate_scenarios(seed: int, start: int = 0):
+    """Endless deterministic scenario stream (slice it or time-box it)."""
+    index = start
+    while True:
+        yield make_scenario(seed, index)
+        index += 1

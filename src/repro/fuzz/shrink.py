@@ -1,0 +1,221 @@
+"""Scenario minimization: reduce a failing run to its essence.
+
+Given a scripted scenario whose differential run diverges, the shrinker
+greedily applies reduction passes while re-running the scenario after
+every candidate edit to confirm the divergence survives:
+
+1. **truncate** — cut the script just past the first divergent tick
+   (later ticks cannot have caused it);
+2. **drop objects** — delta-debugging over the population: remove whole
+   objects (their initial record and every event that mentions them) in
+   halves, then quarters, down to single objects;
+3. **drop events** — remove individual per-tick move events that are not
+   needed to reproduce;
+4. **snap coordinates** — round every coordinate to fewer and fewer
+   decimals, which turns a float-soup reproduction into one a human can
+   read off the artifact.
+
+The predicate is "*some* divergence still occurs", not "the same
+divergence": a shrink that morphs one manifestation of a bug into
+another is still reproducing the bug, and insisting on identity makes
+shrinking brittle.  Every pass is bounded by a shared reproduction-run
+budget so pathological cases terminate.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.fuzz.runner import ScenarioResult, run_scenario
+from repro.fuzz.scenario import Scenario, query_id_of
+
+Predicate = Callable[[Scenario], Optional[ScenarioResult]]
+
+
+@dataclass
+class ShrinkOutcome:
+    """The minimized scenario plus bookkeeping about the process."""
+
+    scenario: Scenario
+    result: ScenarioResult
+    runs: int
+    original_objects: int
+    original_ticks: int
+
+    @property
+    def objects(self) -> int:
+        return len(self.scenario.script["initial"])
+
+    @property
+    def ticks(self) -> int:
+        return self.scenario.n_ticks
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _reproduces(scenario: Scenario, budget: _Budget) -> Optional[ScenarioResult]:
+    """Run the candidate; its result when it still diverges, else None."""
+    if not budget.spend():
+        return None
+    result = run_scenario(scenario, check_invariants=True)
+    return result if result.divergences else None
+
+
+def _clone(scenario: Scenario) -> Scenario:
+    out = Scenario.from_dict(copy.deepcopy(scenario.to_dict()))
+    return out
+
+
+def _truncate(scenario: Scenario, n_ticks: int) -> Scenario:
+    out = _clone(scenario)
+    out.script["ticks"] = out.script["ticks"][:n_ticks]
+    out.n_ticks = n_ticks
+    return out
+
+
+def _without_objects(scenario: Scenario, doomed: set) -> Scenario:
+    """Drop whole objects: initial records, events, and insert lineage."""
+    out = _clone(scenario)
+    script = out.script
+    script["initial"] = [
+        rec for rec in script["initial"] if rec[0] not in doomed
+    ]
+    for tick in script["ticks"]:
+        tick["moves"] = [mv for mv in tick["moves"] if mv[0] not in doomed]
+        tick["inserts"] = [rec for rec in tick["inserts"] if rec[0] not in doomed]
+        tick["removes"] = [oid for oid in tick["removes"] if oid not in doomed]
+    out.n_objects = len(script["initial"])
+    return out
+
+
+def _all_object_ids(scenario: Scenario) -> List:
+    ids = [rec[0] for rec in scenario.script["initial"]]
+    for tick in scenario.script["ticks"]:
+        for rec in tick["inserts"]:
+            if rec[0] not in ids:
+                ids.append(rec[0])
+    return ids
+
+
+def _snap(scenario: Scenario, decimals: int) -> Scenario:
+    out = _clone(scenario)
+    script = out.script
+
+    def r(v: float) -> float:
+        return round(v, decimals)
+
+    script["initial"] = [
+        [oid, r(x), r(y), cat] for oid, x, y, cat in script["initial"]
+    ]
+    for tick in script["ticks"]:
+        tick["moves"] = [[oid, r(x), r(y)] for oid, x, y in tick["moves"]]
+        tick["inserts"] = [
+            [oid, r(x), r(y), cat] for oid, x, y, cat in tick["inserts"]
+        ]
+    if out.query_point is not None:
+        out.query_point = (r(out.query_point[0]), r(out.query_point[1]))
+    return out
+
+
+def shrink(
+    scenario: Scenario,
+    result: Optional[ScenarioResult] = None,
+    max_runs: int = 300,
+) -> ShrinkOutcome:
+    """Minimize a failing scripted scenario.
+
+    ``scenario`` must already be scripted (the runner always hands back
+    the scripted form) and must diverge; raises ``ValueError`` otherwise.
+    ``max_runs`` caps the total number of reproduction executions.
+    """
+    if scenario.script is None:
+        raise ValueError("shrink() needs a scripted scenario; run it first")
+    budget = _Budget(max_runs)
+    if result is None or not result.divergences:
+        result = run_scenario(scenario)
+        budget.used += 1
+        if not result.divergences:
+            raise ValueError("scenario does not diverge; nothing to shrink")
+    original_objects = len(scenario.script["initial"])
+    original_ticks = scenario.n_ticks
+    current, best = scenario, result
+
+    # Pass 1: truncate past the first divergence.
+    first_bad = min(d.tick for d in best.divergences)
+    if first_bad < current.n_ticks:
+        candidate = _truncate(current, first_bad)
+        reproduced = _reproduces(candidate, budget)
+        if reproduced is not None:
+            current, best = candidate, reproduced
+
+    # Pass 2: drop objects, ddmin-style (halves, then smaller chunks).
+    protected = {query_id_of(current)} - {None}
+    chunk = max(1, len(_all_object_ids(current)) // 2)
+    while chunk >= 1:
+        progress = False
+        ids = [oid for oid in _all_object_ids(current) if oid not in protected]
+        i = 0
+        while i < len(ids):
+            doomed = set(ids[i : i + chunk])
+            candidate = _without_objects(current, doomed)
+            if not candidate.script["initial"]:
+                i += chunk
+                continue
+            reproduced = _reproduces(candidate, budget)
+            if reproduced is not None:
+                current, best = candidate, reproduced
+                ids = [oid for oid in ids if oid not in doomed]
+                progress = True
+            else:
+                i += chunk
+        if chunk == 1 and not progress:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if progress else 0)
+    # Re-truncate: with fewer objects the divergence may surface earlier.
+    first_bad = min(d.tick for d in best.divergences)
+    if first_bad < current.n_ticks:
+        candidate = _truncate(current, first_bad)
+        reproduced = _reproduces(candidate, budget)
+        if reproduced is not None:
+            current, best = candidate, reproduced
+
+    # Pass 3: drop individual move events.
+    for t in range(len(current.script["ticks"])):
+        j = 0
+        while j < len(current.script["ticks"][t]["moves"]):
+            candidate = _clone(current)
+            del candidate.script["ticks"][t]["moves"][j]
+            reproduced = _reproduces(candidate, budget)
+            if reproduced is not None:
+                current, best = candidate, reproduced
+            else:
+                j += 1
+
+    # Pass 4: snap coordinates to the coarsest grid that still fails.
+    for decimals in (4, 3, 2, 1):
+        candidate = _snap(current, decimals)
+        reproduced = _reproduces(candidate, budget)
+        if reproduced is not None:
+            current, best = candidate, reproduced
+        else:
+            break
+
+    return ShrinkOutcome(
+        scenario=current,
+        result=best,
+        runs=budget.used,
+        original_objects=original_objects,
+        original_ticks=original_ticks,
+    )

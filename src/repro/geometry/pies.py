@@ -101,37 +101,53 @@ class PiePartition:
         return (start, extent)
 
     def rect_intersects_pie(self, rect: Rect, i: int) -> bool:
-        """Whether any point of ``rect`` falls in sector ``i``.
+        """Whether any point of ``rect`` may fall in sector ``i``.
 
-        Exact for rectangles not containing the center (angular-interval
-        overlap); rectangles containing the center intersect every sector.
+        Conservative for rectangles not containing the center: the rect's
+        subtended interval is treated as *closed*, with a tiny angular
+        slack, so a point sitting exactly on a sector's boundary ray is
+        always covered by some rect that passes this test for its sector.
+        (Half-open overlap here would let :meth:`pie_of` assign a boundary
+        point to sector ``i`` while every cell containing it fails the
+        sector-``i`` filter — the point would be invisible to a per-sector
+        search.)  Rectangles containing the center intersect every sector.
         """
         if rect.contains(self.center):
             return True
         r_start, r_extent = self.rect_angular_interval(rect)
         p_start, p_end = self.pie_bounds(i)
-        return _intervals_overlap(r_start, r_extent, p_start, p_end - p_start)
+        return _intervals_touch(r_start, r_extent, p_start, p_end - p_start)
 
     def pies_of_rect(self, rect: Rect) -> List[int]:
-        """All sector indices intersected by ``rect``."""
+        """All sector indices possibly intersected by ``rect`` (conservative)."""
         if rect.contains(self.center):
             return list(range(self.n_pies))
         r_start, r_extent = self.rect_angular_interval(rect)
         hits = []
         for i in range(self.n_pies):
             p_start, p_end = self.pie_bounds(i)
-            if _intervals_overlap(r_start, r_extent, p_start, p_end - p_start):
+            if _intervals_touch(r_start, r_extent, p_start, p_end - p_start):
                 hits.append(i)
         return hits
 
 
-def _intervals_overlap(s1: float, e1: float, s2: float, e2: float) -> bool:
-    """Whether two circular intervals ``[s, s+e)`` overlap (angles, wrap 2*pi)."""
+#: Angular slack for closed interval overlap, absorbing the ULP noise of
+#: ``atan2``/``2*pi/n`` round-trips on sector boundary rays.
+_ANGLE_TOL = 1e-12
+
+
+def _intervals_touch(s1: float, e1: float, s2: float, e2: float) -> bool:
+    """Whether two circular intervals ``[s, s+e]`` overlap or touch.
+
+    Closed-endpoint semantics (plus :data:`_ANGLE_TOL` slack): used for
+    cell-versus-sector filtering, where over-coverage only costs visiting
+    a boundary cell twice while under-coverage loses objects.
+    """
     s1 = _norm_angle(s1)
     s2 = _norm_angle(s2)
     # Shift so interval 1 starts at zero; then interval 2 overlaps iff its
     # start falls inside interval 1 or interval 1's start falls inside it.
     rel = _norm_angle(s2 - s1)
-    if rel < e1:
+    if rel <= e1 + _ANGLE_TOL:
         return True
-    return _TWO_PI - rel < e2
+    return _TWO_PI - rel <= e2 + _ANGLE_TOL

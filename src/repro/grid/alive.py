@@ -49,6 +49,17 @@ from repro.grid.cell import CellKey
 # larger region or a slightly larger monitored set, never a wrong answer.
 _REDUNDANCY_TOL = 1e-9
 
+# Relative slack for the cell-coverage corner test.  Cell corners are
+# reconstructed as ``origin + index * width``, which can land a few ulps
+# inside the true cell (e.g. the top row's ymax accumulating to just
+# below the extent's ymax).  A point exactly on a bisector line *and* on
+# such a cell edge would then sit in a cell whose computed max-corner
+# value is a hair negative — the cell dies while the point survives,
+# and a true answer is lost.  Killing only cells that clear this margin
+# keeps the test conservative; the cost is a borderline cell staying
+# alive.
+_COVER_EPS = 1e-12
+
 
 class AliveCellGrid:
     """Per-cell half-plane coverage over an ``n x n`` grid, evaluated lazily.
@@ -71,6 +82,16 @@ class AliveCellGrid:
         self._ymin = self.extent.ymin
         self._cw = self.extent.width / size
         self._ch = self.extent.height / size
+        # Coordinate magnitudes bounding the corner-test round-off (see
+        # _COVER_EPS / _cover_tol).
+        self._tx = max(abs(self.extent.xmin), abs(self.extent.xmax))
+        self._ty = max(abs(self.extent.ymin), abs(self.extent.ymax))
+
+    def _cover_tol(self, hp: HalfPlane) -> float:
+        """Absolute slack below which a corner value counts as boundary."""
+        return _COVER_EPS * (
+            abs(hp.a) * self._tx + abs(hp.b) * self._ty + abs(hp.c)
+        )
 
     # ------------------------------------------------------------------
     # Region construction
@@ -148,10 +169,10 @@ class AliveCellGrid:
         covered = 0
         for hp in self._halfplanes:
             # Corner of the cell maximizing the plane's linear function; the
-            # whole cell is outside iff even that corner is.
+            # whole cell is outside iff even that corner clearly is.
             mx = xmax if hp.a >= 0.0 else xmin
             my = ymax if hp.b >= 0.0 else ymin
-            if hp.a * mx + hp.b * my + hp.c < 0.0:
+            if hp.a * mx + hp.b * my + hp.c < -self._cover_tol(hp):
                 covered += 1
                 if covered >= needed:
                     return False
@@ -167,7 +188,7 @@ class AliveCellGrid:
         for hp in self._halfplanes:
             mx = xmax if hp.a >= 0.0 else xmin
             my = ymax if hp.b >= 0.0 else ymin
-            if hp.a * mx + hp.b * my + hp.c < 0.0:
+            if hp.a * mx + hp.b * my + hp.c < -self._cover_tol(hp):
                 covered += 1
         return covered
 
@@ -212,10 +233,14 @@ class AliveCellGrid:
         if rect is None:
             return None
         n = self.size
-        ix0 = max(0, min(n - 1, int((rect.xmin - self._xmin) / self._cw)))
-        ix1 = max(0, min(n - 1, int((rect.xmax - self._xmin) / self._cw)))
-        iy0 = max(0, min(n - 1, int((rect.ymin - self._ymin) / self._ch)))
-        iy1 = max(0, min(n - 1, int((rect.ymax - self._ymin) / self._ch)))
+        # Widened by one cell per side: the index computation truncates,
+        # so a polygon vertex exactly on a cell edge could otherwise fall
+        # out of the range by a single ulp.  The extra ring is filtered by
+        # the per-cell aliveness test anyway.
+        ix0 = max(0, min(n - 1, int((rect.xmin - self._xmin) / self._cw) - 1))
+        ix1 = max(0, min(n - 1, int((rect.xmax - self._xmin) / self._cw) + 1))
+        iy0 = max(0, min(n - 1, int((rect.ymin - self._ymin) / self._ch) - 1))
+        iy1 = max(0, min(n - 1, int((rect.ymax - self._ymin) / self._ch) + 1))
         return (ix0, ix1, iy0, iy1)
 
     def alive_cells(self) -> Iterator[CellKey]:
@@ -302,7 +327,7 @@ class AliveCellGrid:
         x_lo, x_hi, y_lo, y_hi = self._axis_bounds()
         mx = x_hi if hp.a >= 0.0 else x_lo
         my = y_hi if hp.b >= 0.0 else y_lo
-        return np.add.outer(hp.a * mx + hp.c, hp.b * my) < 0.0
+        return np.add.outer(hp.a * mx + hp.c, hp.b * my) < -self._cover_tol(hp)
 
     def _dense_coverage(self):
         coverage = np.zeros((self.size, self.size), dtype=np.int32)

@@ -218,10 +218,18 @@ class GridSearch:
         stats = self.stats
         stats.calls[kind] += 1
 
+        # Gating the *frontier* on the mask is only sound while the alive
+        # region is convex: every reachable cell is then 4-connected to the
+        # query's cell through matching cells.  A k > 1 mask is a union of
+        # coverage-deficient cells — non-convex and possibly disconnected —
+        # so dead cells must stay traversable corridors there; only object
+        # examination is masked.
+        porous = alive is not None and alive.k > 1
+
         best_id: Optional[ObjectId] = None
         best_d2 = math.inf if radius is None else radius * radius
         start = cell_key_of(extent, n, (qx, qy))
-        if not _cell_matches(start, alive, cell_filter):
+        if not porous and not _cell_matches(start, alive, cell_filter):
             # The query's own cell is filtered out; nothing reachable under
             # the convex-region contract, so the search is empty.
             return None
@@ -235,17 +243,18 @@ class GridSearch:
             if d2 > best_d2 or (best_id is not None and d2 >= best_d2):
                 break
             stats.cells_visited[kind] += 1
-            for oid in grid.objects_in_cell(key, category):
-                if oid in excluded:
-                    continue
-                stats.objects_examined[kind] += 1
-                p = positions[oid]
-                dx = p.x - qx
-                dy = p.y - qy
-                od2 = dx * dx + dy * dy
-                if od2 < best_d2 and (obj_filter is None or obj_filter(oid, p)):
-                    best_d2 = od2
-                    best_id = oid
+            if not porous or _cell_matches(key, alive, cell_filter):
+                for oid in grid.objects_in_cell(key, category):
+                    if oid in excluded:
+                        continue
+                    stats.objects_examined[kind] += 1
+                    p = positions[oid]
+                    dx = p.x - qx
+                    dy = p.y - qy
+                    od2 = dx * dx + dy * dy
+                    if od2 < best_d2 and (obj_filter is None or obj_filter(oid, p)):
+                        best_d2 = od2
+                        best_id = oid
             ix, iy = key
             for sx, sy in _NEIGHBOR_STEPS:
                 nkey = (ix + sx, iy + sy)
@@ -253,7 +262,7 @@ class GridSearch:
                     0 <= nkey[0] < n
                     and 0 <= nkey[1] < n
                     and nkey not in seen
-                    and _cell_matches(nkey, alive, cell_filter)
+                    and (porous or _cell_matches(nkey, alive, cell_filter))
                 ):
                     seen.add(nkey)
                     nd2 = self._cell_d2(nkey, qx, qy)

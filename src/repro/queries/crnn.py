@@ -158,6 +158,14 @@ class CRNNQuery(ContinuousQuery):
                 if witnesses == 0:
                     answer.add(oid)
 
+        # Objects exactly at q fall outside every pie, but under the
+        # strict inequality they are always RNNs: nothing can be strictly
+        # closer to them than q's distance of zero.
+        qtup = tuple(qpos)
+        for oid in grid.objects_in_cell(grid.cell_key(qpos)):
+            if oid not in exclude and tuple(grid.position(oid)) == qtup:
+                answer.add(oid)
+
         self._candidates = new_candidates
         self._qpos_last = qpos
         self._answer = frozenset(answer)

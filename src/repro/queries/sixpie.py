@@ -90,5 +90,13 @@ class SixPieSnapshotQuery(ContinuousQuery):
             if witnesses == 0:
                 answer.add(oid)
 
+        # An object exactly at q belongs to no pie, but under the strict
+        # inequality it is always an RNN: nothing can be strictly closer
+        # to it than q's distance of zero.
+        qtup = tuple(qpos)
+        for oid in grid.objects_in_cell(grid.cell_key(qpos)):
+            if oid not in exclude and tuple(grid.position(oid)) == qtup:
+                answer.add(oid)
+
         self._answer = frozenset(answer)
         return self._answer

@@ -111,7 +111,7 @@ class TestDominanceClaims:
     """The paper's Section 6 dominance statements, checked mechanically."""
 
     @given(ticks, pos, pos, r_vals)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_igern_beats_crnn_when_r_at_most_six(self, t, nn, nn_c, r):
         # CRNN's bounded search runs six times vs once, provided the
         # bounded search is not more expensive than the six of CRNN's.
@@ -121,7 +121,7 @@ class TestDominanceClaims:
         assert igern_beats_crnn(p)
 
     @given(ticks, pos, pos, r_vals)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_igern_beats_tpl_when_bounded_cheaper(self, t, nn, nn_c, r):
         # The paper: NN_b is much cheaper than r_t * NN_c, hence dominance.
         p = CostModelParams(
@@ -130,7 +130,7 @@ class TestDominanceClaims:
         assert igern_beats_tpl(p)
 
     @given(ticks, pos, pos, pos, st.floats(min_value=1.0, max_value=20.0))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_igern_beats_voronoi_when_bounded_cheaper(self, t, nn, nn_c, b, a):
         p = CostModelParams(
             ticks=t, nn=(nn,), nn_c=(nn_c,), nn_b=(nn_c * a * 0.99,), a=(a,), b=(b,)

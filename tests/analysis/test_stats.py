@@ -51,7 +51,7 @@ class TestPercentile:
         assert percentile([0.0, 10.0], 25) == 2.5
 
     @given(floats)
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_monotone_in_pct(self, values):
         assert percentile(values, 25) <= percentile(values, 75)
 
@@ -64,7 +64,7 @@ class TestRunningSum:
         assert running_sum([]) == []
 
     @given(floats)
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_last_is_total(self, values):
         assert math.isclose(running_sum(values)[-1], sum(values), rel_tol=1e-9, abs_tol=1e-6)
 

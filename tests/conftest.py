@@ -1,12 +1,34 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures, helpers, and Hypothesis profiles for the test suite.
+
+Two Hypothesis profiles are registered here so individual tests never
+need to repeat deadline policy:
+
+- ``dev`` (default) — no deadline: property tests share machines with
+  whatever else is running, and a wall-clock deadline just makes slow
+  laptops flaky;
+- ``ci`` — additionally derandomized (the fuzz job owns randomized
+  exploration; unit CI should be reproducible run to run) and printing
+  the ``@reproduce_failure`` blob on failure.
+
+Select explicitly with ``--hypothesis-profile=ci``; otherwise the ``CI``
+environment variable decides.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.grid.index import GridIndex
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, print_blob=True
+)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture

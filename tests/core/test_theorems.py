@@ -39,7 +39,7 @@ moves = st.lists(
 
 class TestMonoTheorems:
     @given(grid_sizes, point_lists, point)
-    @settings(max_examples=120, deadline=None)
+    @settings(max_examples=120)
     def test_initial_accurate_and_complete(self, n, pts, q):
         grid = GridIndex(n)
         for i, p in enumerate(pts):
@@ -50,7 +50,7 @@ class TestMonoTheorems:
         assert set(report.answer) == expected
 
     @given(grid_sizes, point_lists, point, st.lists(moves, min_size=1, max_size=4), point)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_incremental_accurate_and_complete(self, n, pts, q0, tick_moves, q_final):
         grid = GridIndex(n)
         for i, p in enumerate(pts):
@@ -67,7 +67,7 @@ class TestMonoTheorems:
             assert set(state.answer) == expected
 
     @given(grid_sizes, point_lists, point, st.integers(min_value=1, max_value=4))
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_rknn_generalization(self, n, pts, q, k):
         grid = GridIndex(n)
         for i, p in enumerate(pts):
@@ -80,7 +80,7 @@ class TestMonoTheorems:
 
 class TestBiTheorems:
     @given(grid_sizes, point_lists, point_lists, point)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_initial_accurate_and_complete(self, n, a_pts, b_pts, q):
         grid = GridIndex(n)
         for i, p in enumerate(a_pts):
@@ -95,7 +95,7 @@ class TestBiTheorems:
         assert set(report.answer) == expected
 
     @given(grid_sizes, point_lists, point_lists, point, st.integers(min_value=1, max_value=4))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_bi_rknn_generalization(self, n, a_pts, b_pts, q, k):
         grid = GridIndex(n)
         for i, p in enumerate(a_pts):
@@ -117,7 +117,7 @@ class TestBiTheorems:
         st.lists(moves, min_size=1, max_size=3),
         point,
     )
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_incremental_accurate_and_complete(
         self, n, a_pts, b_pts, q0, tick_moves, q_final
     ):
@@ -146,7 +146,7 @@ class TestSixRNNProperty:
     exceed it, so those are filtered)."""
 
     @given(point_lists, point)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_at_most_six_answers_general_position(self, pts, q):
         unique = sorted(set(pts))
         if len(unique) != len(pts):

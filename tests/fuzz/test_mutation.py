@@ -1,0 +1,56 @@
+"""Mutation smoke test: the fuzzer must catch a planted tie-semantics bug.
+
+The verification primitive counts witnesses *strictly* closer than the
+candidate-to-query distance; an equidistant object must not disqualify a
+reverse nearest neighbor (the paper's open-circle semantics).  Flipping
+that ``<`` to ``<=`` is the classic off-by-an-ulp mistake, and the lattice
+scenarios exist precisely to supply exact ties.  This test plants the
+mutant (see ``conftest.leq_count_closer_than``) and asserts the whole
+pipeline reacts: a short fuzz run reports divergences, the shrinker
+minimizes one, and the saved artifact replays deterministically (failing
+under the mutant, passing once it is removed).
+"""
+
+from repro.fuzz.corpus import artifact_name, replay_artifact, save_artifact
+from repro.fuzz.runner import run_fuzz
+from repro.fuzz.shrink import shrink
+from repro.grid.search import GridSearch
+
+
+def test_planted_mutant_caught_shrunk_and_replayable(tmp_path, monkeypatch):
+    from tests.fuzz.conftest import leq_count_closer_than
+
+    with monkeypatch.context() as m:
+        m.setattr(GridSearch, "count_closer_than", leq_count_closer_than)
+
+        failures = []
+        report = run_fuzz(
+            seed=0,
+            max_scenarios=12,
+            on_result=lambda r: failures.append(r) if not r.ok else None,
+        )
+        assert not report.ok
+        assert report.divergences > 0
+        assert failures, "fuzzer reported divergences but surfaced no result"
+
+        res = failures[0]
+        outcome = shrink(res.scenario, res)
+        assert not outcome.result.ok
+        assert outcome.objects <= len(res.scenario.script["initial"])
+        assert outcome.ticks <= res.scenario.n_ticks
+
+        path = save_artifact(
+            tmp_path / artifact_name(outcome.result),
+            outcome.result,
+            note="planted <= mutant (mutation smoke test)",
+        )
+        replay_one = replay_artifact(path)
+        replay_two = replay_artifact(path)
+        assert not replay_one.ok
+        assert [d.describe() for d in replay_one.divergences] == [
+            d.describe() for d in replay_two.divergences
+        ]
+
+    # Mutant removed: the same artifact must now pass — the divergence
+    # was the mutant's, not the artifact's.
+    assert replay_artifact(path).ok

@@ -1,0 +1,114 @@
+"""Differential runner: lockstep execution, reporting, obs counters."""
+
+import pytest
+
+from repro import obs
+from repro.fuzz.runner import Divergence, FuzzReport, run_fuzz, run_scenario
+from repro.fuzz.scenario import Scenario, make_scenario
+
+
+def _tiny_scenario(mode="mono", k=1, baseline=None, script=None):
+    return Scenario(
+        seed=0,
+        index=0,
+        mode=mode,
+        k=k,
+        grid_size=4,
+        extent=(0.0, 0.0, 1.0, 1.0),
+        motion="walk",
+        n_objects=3,
+        n_ticks=2,
+        move_fraction=1.0,
+        a_fraction=0.5,
+        moving_query=False,
+        query_point=(0.5, 0.5),
+        baseline=baseline,
+        script=script,
+    )
+
+
+class TestRunScenario:
+    def test_clean_scenario_is_ok_and_scripted(self):
+        sc = _tiny_scenario(
+            script={
+                "initial": [[0, 0.2, 0.2, 0], [1, 0.8, 0.8, 0], [2, 0.4, 0.6, 0]],
+                "ticks": [
+                    {"moves": [[0, 0.3, 0.3]], "inserts": [], "removes": []},
+                    {"moves": [[1, 0.7, 0.1]], "inserts": [], "removes": []},
+                ],
+            }
+        )
+        result = run_scenario(sc)
+        assert result.ok
+        assert result.ticks == 2
+        assert result.scenario.script is not None
+
+    def test_result_is_deterministic(self):
+        sc = make_scenario(0, 0)
+        one = run_scenario(sc)
+        two = run_scenario(sc)
+        assert one.scenario.to_dict() == two.scenario.to_dict()
+        assert [d.to_dict() for d in one.divergences] == [
+            d.to_dict() for d in two.divergences
+        ]
+
+    def test_obs_counters_published(self):
+        _, registry = obs.enable()
+        try:
+            before = registry.counter("fuzz_scenarios_total").value
+            run_scenario(make_scenario(0, 0))
+            assert registry.counter("fuzz_scenarios_total").value == before + 1
+        finally:
+            obs.disable(clear=True)
+
+
+class TestDivergence:
+    def test_round_trip_and_describe(self):
+        div = Divergence(
+            kind="oracle",
+            tick=3,
+            name="igern",
+            expected=[1, 2],
+            actual=[1],
+            detail="answer mismatch",
+        )
+        assert Divergence.from_dict(div.to_dict()) == div
+        text = div.describe()
+        assert "[oracle]" in text and "tick 3" in text and "igern" in text
+
+
+class TestFuzzReport:
+    def test_record_tracks_coverage_and_failures(self):
+        report = FuzzReport(seed=0)
+        ok = run_scenario(make_scenario(0, 0))
+        report.record(ok)
+        assert report.scenarios == 1
+        assert report.ok
+        bad = run_scenario(make_scenario(0, 1))
+        bad.divergences.append(
+            Divergence(kind="oracle", tick=0, name="igern", expected=[], actual=[1])
+        )
+        report.record(bad)
+        assert not report.ok
+        assert report.divergences == 1
+        assert report.coverage["mode"] == {"mono": 1, "bi": 1}
+        summary = report.summary()
+        assert "2 scenarios" in summary
+        assert "FAIL" in summary
+
+
+class TestRunFuzz:
+    def test_requires_some_budget(self):
+        with pytest.raises(ValueError):
+            run_fuzz(seed=0)
+
+    def test_short_run_is_clean_and_covers_both_modes(self):
+        report = run_fuzz(seed=0, max_scenarios=4)
+        assert report.ok
+        assert report.scenarios == 4
+        assert set(report.coverage["mode"]) == {"mono", "bi"}
+
+    def test_zero_time_budget_runs_nothing(self):
+        ticks = iter([0.0, 1.0, 2.0, 3.0])
+        report = run_fuzz(seed=0, budget_seconds=0.5, clock=lambda: next(ticks))
+        assert report.scenarios == 0

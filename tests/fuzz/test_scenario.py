@@ -1,0 +1,122 @@
+"""Scenario generation: determinism, coverage, scripting, round-trips."""
+
+from repro.fuzz.scenario import (
+    EXTENTS,
+    GRID_SIZES,
+    MOTIONS,
+    LatticeJumpGenerator,
+    Scenario,
+    ScriptedWorkload,
+    generate_scenarios,
+    make_scenario,
+    query_id_of,
+    scripted,
+)
+
+
+class TestSampling:
+    def test_deterministic_in_seed_and_index(self):
+        for index in range(10):
+            assert make_scenario(7, index).to_dict() == make_scenario(7, index).to_dict()
+
+    def test_different_seeds_differ(self):
+        a = [make_scenario(0, i).to_dict() for i in range(12)]
+        b = [make_scenario(1, i).to_dict() for i in range(12)]
+        assert a != b
+
+    def test_mode_and_motion_window_coverage(self):
+        """Any contiguous window of 2*len(MOTIONS) covers every combo."""
+        window = 2 * len(MOTIONS)
+        for start in (0, 5):
+            combos = {
+                (sc.mode, sc.motion)
+                for sc in (make_scenario(0, start + i) for i in range(window))
+            }
+            assert combos == {
+                (mode, motion) for mode in ("mono", "bi") for motion in MOTIONS
+            }
+
+    def test_dimensions_within_domains(self):
+        for i in range(40):
+            sc = make_scenario(3, i)
+            assert sc.mode in ("mono", "bi")
+            assert sc.k in (1, 2, 3)
+            assert sc.grid_size in GRID_SIZES
+            assert sc.extent in EXTENTS
+            assert 12 <= sc.n_objects <= 80
+            assert 4 <= sc.n_ticks <= 10
+            if sc.motion == "churn":
+                assert not sc.moving_query
+            if not sc.moving_query:
+                assert sc.query_point is not None
+
+    def test_generate_scenarios_respects_start(self):
+        gen = generate_scenarios(5, start=17)
+        assert next(gen).index == 17
+        assert next(gen).index == 18
+
+
+class TestScripting:
+    def test_scripted_is_idempotent_and_replayable(self):
+        sc = scripted(make_scenario(0, 0))
+        assert sc.script is not None
+        assert scripted(sc) is sc
+        assert len(sc.script["ticks"]) == sc.n_ticks
+
+    def test_scripted_round_trips_through_json_dict(self):
+        sc = scripted(make_scenario(0, 3))
+        clone = Scenario.from_dict(sc.to_dict())
+        assert clone.to_dict() == sc.to_dict()
+
+    def test_query_resolution(self):
+        """A moving query binds to a surviving id; a fixed one to a point."""
+        for i in range(24):
+            sc = scripted(make_scenario(2, i))
+            if sc.moving_query:
+                qid = query_id_of(sc)
+                assert qid is not None
+                removed = {
+                    oid
+                    for tick in sc.script["ticks"]
+                    for oid in tick.get("removes", ())
+                }
+                assert qid not in removed
+                if sc.mode == "bi":
+                    cats = {oid: cat for oid, _, _, cat in sc.script["initial"]}
+                    assert cats[qid] == "A"
+            else:
+                assert sc.query_point is not None
+
+    def test_scripted_workload_replays_and_goes_quiet(self):
+        sc = scripted(make_scenario(0, 8))
+        workload = ScriptedWorkload(sc.script)
+        assert [
+            (oid, p.x, p.y, cat) for oid, p, cat in workload.initial()
+        ] == [tuple(rec) for rec in sc.script["initial"]]
+        for tick in sc.script["ticks"]:
+            events = workload.step_events(1.0)
+            assert [[oid, p.x, p.y] for oid, p in events.moves] == tick["moves"]
+            assert events.removes == tick["removes"]
+        quiet = workload.step_events(1.0)
+        assert quiet.moves == [] and quiet.inserts == [] and quiet.removes == []
+
+
+class TestLatticeGenerator:
+    def test_positions_are_exact_lattice_nodes(self):
+        gen = LatticeJumpGenerator(30, seed=4, lattice=8)
+        nodes = {
+            (gen.node_point(ix, iy).x, gen.node_point(ix, iy).y)
+            for ix in range(9)
+            for iy in range(9)
+        }
+        for _, pos, _ in gen.initial():
+            assert (pos.x, pos.y) in nodes
+        for _ in range(5):
+            for _, pos in gen.step(1.0):
+                assert (pos.x, pos.y) in nodes
+
+    def test_lattice_manufactures_coincidences(self):
+        """The adversarial point: distinct objects share exact positions."""
+        gen = LatticeJumpGenerator(60, seed=0, lattice=8)
+        positions = [(p.x, p.y) for _, p, _ in gen.initial()]
+        assert len(set(positions)) < len(positions)

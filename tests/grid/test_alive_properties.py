@@ -26,7 +26,7 @@ def build(n, k, q, others):
 
 class TestLazyDenseEquivalence:
     @given(grid_sizes, ks, point, sites)
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_is_alive_matches_dense_coverage(self, n, k, q, others):
         region = build(n, k, q, others)
         coverage = region._dense_coverage()
@@ -35,7 +35,7 @@ class TestLazyDenseEquivalence:
                 assert region.is_alive((ix, iy)) == (coverage[ix, iy] < k)
 
     @given(grid_sizes, point, sites)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_coverage_method_matches_dense(self, n, q, others):
         region = build(n, 1, q, others)
         coverage = region._dense_coverage()
@@ -46,7 +46,7 @@ class TestLazyDenseEquivalence:
 
 class TestRegionInvariants:
     @given(grid_sizes, point, sites)
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_query_cell_always_alive(self, n, q, others):
         """Every bisector keeps the query side, so q's cell survives."""
         region = build(n, 1, q, others)
@@ -56,14 +56,14 @@ class TestRegionInvariants:
         assert region.point_alive(q)
 
     @given(grid_sizes, point, sites)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_alive_cells_subset_of_is_alive(self, n, q, others):
         region = build(n, 1, q, others)
         for key in region.alive_cells():
             assert region.is_alive(key)
 
     @given(grid_sizes, point, sites, point)
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_point_alive_points_are_enumerated(self, n, q, others, p):
         """Completeness of enumeration: any surviving point's cell is
         yielded by alive_cells()."""
@@ -74,7 +74,7 @@ class TestRegionInvariants:
         assert cell_key_of(region.extent, n, p) in set(region.alive_cells())
 
     @given(grid_sizes, point, sites)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_adding_planes_never_enlarges(self, n, q, others):
         region = AliveCellGrid(n)
         previous = n * n
@@ -92,7 +92,7 @@ class TestRegionInvariants:
             previous = count
 
     @given(grid_sizes, point, sites)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_add_remove_roundtrip(self, n, q, others):
         others = [o for o in others if o != q]
         assume(others)
@@ -107,7 +107,7 @@ class TestRegionInvariants:
 
 class TestRedundancyInvariant:
     @given(point, sites)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_removing_non_unique_plane_keeps_exact_region(self, q, others):
         others = [o for o in others if o != q]
         assume(len(others) >= 2)

@@ -5,6 +5,8 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.geometry.point import Point
 from repro.grid.delta import TickDelta
@@ -106,6 +108,95 @@ class TestApplyUpdates:
         grid = GridIndex(4)
         with pytest.raises(KeyError):
             grid.apply_updates([("ghost", (0.5, 0.5))])
+
+
+_coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+_pos = st.tuples(_coord, _coord)
+
+
+@st.composite
+def _batch_ticks(draw):
+    """An initial population plus one tick of removes/inserts/moves.
+
+    Move targets are surviving initial ids only and insert ids are fresh,
+    so every enter/leave is attributable to exactly one batched change
+    (``apply_updates`` itself also supports reuse and insert-then-move;
+    those orderings are pinned by the example-based tests above).
+    """
+    size = draw(st.sampled_from([1, 2, 4, 8]))
+    n = draw(st.integers(min_value=0, max_value=25))
+    initial = [
+        (i, draw(_pos), draw(st.sampled_from(["A", "B"]))) for i in range(n)
+    ]
+    removes = draw(st.lists(st.sampled_from(range(n)), unique=True) if n else st.just([]))
+    survivors = [i for i in range(n) if i not in set(removes)]
+    move_ids = draw(
+        st.lists(st.sampled_from(survivors), unique=True)
+        if survivors
+        else st.just([])
+    )
+    moves = [(i, draw(_pos)) for i in move_ids]
+    n_inserts = draw(st.integers(min_value=0, max_value=5))
+    inserts = [
+        (n + j, Point(*draw(_pos)), draw(st.sampled_from(["A", "B"])))
+        for j in range(n_inserts)
+    ]
+    return size, initial, moves, inserts, removes
+
+
+def _cell_contents(grid):
+    out = {}
+    for oid in grid.objects():
+        out.setdefault(grid.cell_of(oid), set()).add(oid)
+    return out
+
+
+class TestApplyUpdatesProperties:
+    @given(_batch_ticks())
+    def test_equivalent_to_serial_operations(self, tick):
+        """apply_updates == remove-by-one, insert-by-one, move-by-one."""
+        size, initial, moves, inserts, removes = tick
+        batched = GridIndex(size)
+        serial = GridIndex(size)
+        for oid, pos, cat in initial:
+            batched.insert(oid, pos, category=cat)
+            serial.insert(oid, pos, category=cat)
+        batched.apply_updates(moves, inserts=inserts, removes=removes)
+        for oid in removes:
+            serial.remove(oid)
+        for oid, pos, cat in inserts:
+            serial.insert(oid, pos, category=cat)
+        for oid, pos in moves:
+            serial.move(oid, pos)
+        assert batched.positions_snapshot() == serial.positions_snapshot()
+        for oid in serial.objects():
+            assert batched.cell_of(oid) == serial.cell_of(oid)
+            assert batched.category(oid) == serial.category(oid)
+        for cat in ("A", "B"):
+            assert set(batched.objects(cat)) == set(serial.objects(cat))
+
+    @given(_batch_ticks())
+    def test_delta_enters_and_leaves_match_cell_contents(self, tick):
+        """Per cell, enter/leave sets are exactly the membership diff."""
+        size, initial, moves, inserts, removes = tick
+        grid = GridIndex(size)
+        for oid, pos, cat in initial:
+            grid.insert(oid, pos, category=cat)
+        before = _cell_contents(grid)
+        delta = grid.apply_updates(moves, inserts=inserts, removes=removes)
+        after = _cell_contents(grid)
+        for key in set(before) | set(after):
+            gained = after.get(key, set()) - before.get(key, set())
+            lost = before.get(key, set()) - after.get(key, set())
+            assert delta.cell_enters.get(key, set()) == gained, key
+            assert delta.cell_leaves.get(key, set()) == lost, key
+        assert set(delta.cell_enters) | set(delta.cell_leaves) == delta.dirty_cells
+        assert delta.dirty_cells <= delta.touched_cells
+        assert delta.inserted == {oid for oid, _, _ in inserts}
+        assert delta.removed == set(removes)
+        initial_pos = {oid: pos for oid, pos, _ in initial}
+        moved_truly = {oid for oid, pos in moves if pos != initial_pos[oid]}
+        assert delta.moved == moved_truly
 
 
 class TestCategorySets:

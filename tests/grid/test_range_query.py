@@ -53,7 +53,7 @@ class TestObjectsWithin:
             assert skip not in {oid for oid, _ in without}
 
     @given(points, unit, unit, unit)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_matches_brute_force(self, pts, qx, qy, radius):
         grid = GridIndex(9)
         for i, p in enumerate(pts):

@@ -23,7 +23,7 @@ def build(grid_size, pts):
 
 class TestNearestProperties:
     @given(grid_sizes, points, unit, unit)
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_nearest_is_global_minimum(self, n, pts, qx, qy):
         grid, search = build(n, pts)
         got = search.nearest((qx, qy))
@@ -33,7 +33,7 @@ class TestNearestProperties:
         assert math.isclose(d, best, rel_tol=1e-9, abs_tol=1e-12)
 
     @given(grid_sizes, points, unit, unit)
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_radius_semantics(self, n, pts, qx, qy):
         grid, search = build(n, pts)
         best = min(dist(p, (qx, qy)) for p in pts)
@@ -44,7 +44,7 @@ class TestNearestProperties:
         assert above is not None
 
     @given(grid_sizes, points, unit, unit, st.integers(min_value=1, max_value=8))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_k_nearest_matches_sort(self, n, pts, qx, qy, k):
         grid, search = build(n, pts)
         got = [d for _, d in search.k_nearest((qx, qy), k)]
@@ -54,14 +54,14 @@ class TestNearestProperties:
             assert math.isclose(g, e, rel_tol=1e-9, abs_tol=1e-12)
 
     @given(grid_sizes, points, unit, unit, unit)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_count_closer_than_matches(self, n, pts, qx, qy, threshold):
         grid, search = build(n, pts)
         expected = sum(1 for p in pts if dist(p, (qx, qy)) < threshold)
         assert search.count_closer_than((qx, qy), threshold) == expected
 
     @given(grid_sizes, points, unit, unit)
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_iter_nearest_is_monotone_and_complete(self, n, pts, qx, qy):
         grid, search = build(n, pts)
         stream = list(search.iter_nearest((qx, qy)))

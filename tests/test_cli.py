@@ -143,3 +143,67 @@ class TestWatch:
         out = capsys.readouterr().out
         assert out.count("--- t=") == 3  # initial + 2 ticks
         assert "Q" in out
+
+
+class TestFuzz:
+    def test_run_clean_batch(self, capsys):
+        rc = main(["fuzz", "run", "--scenarios", "4", "--seed", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 scenarios" in out
+        assert "0 divergences" in out
+
+    def test_run_needs_a_budget(self):
+        import pytest
+
+        with pytest.raises(SystemExit, match="--budget"):
+            main(["fuzz", "run"])
+
+    def test_week_number_seed(self):
+        from repro.cli import _parse_fuzz_seed
+
+        assert _parse_fuzz_seed("7") == 7
+        derived = _parse_fuzz_seed("from-week-number")
+        assert isinstance(derived, int)
+        assert derived > 2000_00  # year * 100 + ISO week
+
+    def test_corpus_replays_committed_entries(self, capsys):
+        rc = main(["fuzz", "corpus"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "regression.json: ok" in out
+
+    def test_replay_of_corpus_entry(self, capsys):
+        from repro.fuzz import corpus_entries
+
+        entry = corpus_entries()[0]
+        rc = main(["fuzz", "replay", str(entry)])
+        assert rc == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_run_reports_shrinks_and_saves_artifacts(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.grid.search import GridSearch
+
+        from tests.fuzz.conftest import leq_count_closer_than
+
+        monkeypatch.setattr(
+            GridSearch, "count_closer_than", leq_count_closer_than
+        )
+        rc = main(
+            [
+                "fuzz",
+                "run",
+                "--scenarios",
+                "12",
+                "--seed",
+                "0",
+                "--artifacts",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "shrunk" in out and "artifact:" in out
+        assert list(tmp_path.glob("*.json"))

@@ -35,7 +35,7 @@ class TestMonoSnapshot:
         assert mono_rnn(positions, q) == brute_mono_rnn(positions, q)
 
     @given(point_lists, point, st.integers(min_value=1, max_value=3))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_matches_brute(self, pts, q, k):
         positions = {i: p for i, p in enumerate(pts)}
         assert mono_rnn(positions, q, k=k) == brute_mono_rnn(positions, q, k=k)
@@ -56,14 +56,14 @@ class TestBiSnapshot:
         assert bi_rnn(a, b, (0.1, 0.1)) == {1}
 
     @given(point_lists, point_lists, point)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_matches_brute(self, a_pts, b_pts, q):
         a = {i: p for i, p in enumerate(a_pts)}
         b = {i: p for i, p in enumerate(b_pts)}
         assert bi_rnn(a, b, q) == brute_bi_rnn(a, b, q)
 
     @given(point_lists, point_lists, point, st.integers(min_value=1, max_value=3))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_k_matches_brute(self, a_pts, b_pts, q, k):
         a = {i: p for i, p in enumerate(a_pts)}
         b = {i: p for i, p in enumerate(b_pts)}

@@ -1,13 +1,17 @@
 """Hypothesis stateful tests: random operation sequences, exact answers.
 
-Two state machines:
+Three state machines:
 
 - :class:`GridIndexMachine` drives the grid index with random inserts,
   moves and removals and checks it against a dictionary model;
 - :class:`ContinuousRNNMachine` interleaves arbitrary data mutations with
   incremental IGERN executions (mono and bi simultaneously) and checks
   both answers against the brute-force oracle after every step — the
-  operational form of Theorems 1-4 under adversarial update sequences.
+  operational form of Theorems 1-4 under adversarial update sequences;
+- :class:`SchedulerLockstepMachine` runs a scheduler-on simulator against
+  the scheduler-off oracle configuration over identical random ticks
+  (movement, churn, pause/resume) and asserts the answers never differ —
+  the footprint skip test must be conservative under any event sequence.
 """
 
 import math
@@ -24,9 +28,12 @@ from hypothesis.stateful import (
 
 from repro.core.bi import BiIGERN
 from repro.core.mono import MonoIGERN
+from repro.engine.simulation import Simulator
 from repro.grid.cell import cell_key_of
 from repro.grid.index import GridIndex
-from repro.queries.brute import brute_bi_rnn, brute_mono_rnn
+from repro.motion.churn import TickEvents
+from repro.queries import IGERNMonoQuery, QueryPosition
+from repro.queries.brute import BruteForceMonoQuery, brute_bi_rnn, brute_mono_rnn
 
 coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False).map(
     lambda v: round(v, 6)
@@ -147,12 +154,156 @@ class ContinuousRNNMachine(RuleBasedStateMachine):
         assert set(self.bi_state.answer) == expected
 
 
+class _EventFeed:
+    """Generator stub whose per-tick events are pushed by the machine.
+
+    Implements the generator protocol the :class:`Simulator` expects
+    (``initial`` plus ``step_events``), so one machine step can feed the
+    exact same tick to the scheduler-on and scheduler-off simulators.
+    """
+
+    def __init__(self, initial):
+        self._initial = list(initial)
+        self.pending = TickEvents([], [], [])
+
+    def initial(self):
+        return list(self._initial)
+
+    def step_events(self, dt: float = 1.0) -> TickEvents:
+        events, self.pending = self.pending, TickEvents([], [], [])
+        return events
+
+
+class SchedulerLockstepMachine(RuleBasedStateMachine):
+    """Scheduler-on must equal scheduler-off under any event sequence.
+
+    Random ticks mix boundary-crossing moves, within-cell jitter, churn
+    and empty ticks (the pure skip path), plus pause/resume of the
+    monitored query (the resume-forces-reevaluation path).  After every
+    tick both simulators' IGERN answers must be identical, and equal to
+    the brute-force answer computed on the oracle side.
+    """
+
+    _INITIAL = [
+        (0, (0.52, 0.48), 0),
+        (1, (0.25, 0.70), 0),
+        (2, (0.80, 0.20), 0),
+        (3, (0.10, 0.10), 0),
+        (4, (0.65, 0.85), 0),
+    ]
+    _QPOS = (0.5, 0.5)
+
+    def __init__(self):
+        super().__init__()
+        self.feed_on = _EventFeed(self._INITIAL)
+        self.feed_off = _EventFeed(self._INITIAL)
+        self.sim_on = Simulator(self.feed_on, grid_size=6, scheduler=True)
+        self.sim_off = Simulator(self.feed_off, grid_size=6, scheduler=False)
+        for sim in (self.sim_on, self.sim_off):
+            sim.add_query(
+                "mono",
+                IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=self._QPOS)),
+            )
+        self.sim_off.add_query(
+            "brute",
+            BruteForceMonoQuery(
+                self.sim_off.grid, QueryPosition(self.sim_off.grid, fixed=self._QPOS)
+            ),
+        )
+        self.sim_on.execute_queries()
+        self.sim_off.execute_queries()
+        self.alive = {oid for oid, _, _ in self._INITIAL}
+        self.next_id = 10
+        self.moves = {}
+        self.inserts = []
+        self.removes = set()
+        self.paused = False
+        #: Answers go stale at pause and stay stale until the first tick
+        #: after resume (which ``_force_eval`` guarantees is evaluated).
+        self.stale = False
+
+    def _movable(self):
+        return sorted(self.alive - self.removes)
+
+    @precondition(lambda self: self._movable())
+    @rule(data=st.data(), pos=point)
+    def queue_move(self, data, pos):
+        oid = data.draw(st.sampled_from(self._movable()))
+        self.moves[oid] = pos
+
+    @rule(pos=point)
+    def queue_insert(self, pos):
+        self.inserts.append((self.next_id, pos, 0))
+        self.next_id += 1
+
+    @precondition(lambda self: self._movable())
+    @rule(data=st.data())
+    def queue_remove(self, data):
+        oid = data.draw(st.sampled_from(self._movable()))
+        self.removes.add(oid)
+        self.moves.pop(oid, None)
+
+    @precondition(lambda self: not self.paused)
+    @rule()
+    def pause(self):
+        self.sim_on.pause_query("mono")
+        self.sim_off.pause_query("mono")
+        self.paused = True
+        self.stale = True
+
+    @precondition(lambda self: self.paused)
+    @rule()
+    def resume(self):
+        self.sim_on.resume_query("mono")
+        self.sim_off.resume_query("mono")
+        self.paused = False
+
+    @rule()
+    def tick(self):
+        events = TickEvents(
+            moves=sorted(self.moves.items()),
+            inserts=list(self.inserts),
+            removes=sorted(self.removes),
+        )
+        self.alive -= self.removes
+        self.alive.update(oid for oid, _, _ in self.inserts)
+        self.moves, self.inserts, self.removes = {}, [], set()
+        self.feed_on.pending = events
+        self.feed_off.pending = events
+        self.sim_on.step()
+        self.sim_off.step()
+        if not self.paused:
+            self.stale = False
+
+    @invariant()
+    def grids_in_sync(self):
+        snap_on = self.sim_on.grid.positions_snapshot()
+        assert snap_on == self.sim_off.grid.positions_snapshot()
+
+    @invariant()
+    def answers_identical(self):
+        on = self.sim_on.query("mono").answer
+        off = self.sim_off.query("mono").answer
+        assert on == off
+        if self.paused or self.stale:
+            return
+        expected = brute_mono_rnn(
+            self.sim_off.grid.positions_snapshot(), self._QPOS
+        )
+        assert set(off) == expected
+
+
 TestGridIndexStateful = GridIndexMachine.TestCase
 TestGridIndexStateful.settings = settings(
-    max_examples=30, stateful_step_count=30, deadline=None
+    max_examples=30, stateful_step_count=30
 )
 
 TestContinuousRNNStateful = ContinuousRNNMachine.TestCase
 TestContinuousRNNStateful.settings = settings(
-    max_examples=25, stateful_step_count=25, deadline=None
+    max_examples=25, stateful_step_count=25
+)
+
+TestSchedulerLockstep = SchedulerLockstepMachine.TestCase
+TestSchedulerLockstep.settings = settings(
+    max_examples=20, stateful_step_count=30
 )
