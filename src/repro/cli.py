@@ -27,7 +27,13 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import obs
-from repro.engine.workload import WorkloadSpec, build_generator, build_simulator, central_object
+from repro.engine.workload import (
+    WorkloadSpec,
+    build_generator,
+    build_simulator,
+    central_object,
+    set_default_batch,
+)
 from repro.experiments.figures import ALL_EXPERIMENTS
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.report import experiment_table, write_csv
@@ -60,6 +66,13 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--check", action="store_true", help="verify each tick against brute force"
     )
+    demo.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share grid work across co-evaluated queries (--no-batch for"
+        " the pre-batching execution path; answers are identical)",
+    )
     _add_obs_flags(demo)
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure")
@@ -69,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--csv", type=Path, default=None, help="directory for CSV output")
     exp.add_argument(
         "--markdown", type=Path, default=None, help="write a markdown report here"
+    )
+    exp.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share grid work across co-evaluated queries (--no-batch for"
+        " the pre-batching execution path; answers are identical)",
     )
     _add_obs_flags(exp)
 
@@ -247,7 +267,7 @@ def _run_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
         bichromatic=args.bi,
     )
-    sim = build_simulator(spec)
+    sim = build_simulator(spec, batch=args.batch)
     if args.bi:
         qid = central_object(sim, "A")
         pos = QueryPosition(sim.grid, query_id=qid)
@@ -300,6 +320,9 @@ def _run_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    # Experiments build their simulators internally; the flag threads
+    # through the workload module's process-wide default.
+    set_default_batch(args.batch)
     session = _ObsSession(args)
     if args.markdown is not None:
         from repro.experiments.summary import write_report

@@ -68,6 +68,12 @@ class BiIGERN:
         :class:`repro.core.mono.MonoIGERN`.
     search:
         Optional shared :class:`GridSearch` for operation accounting.
+    shared_context:
+        Optional per-tick :class:`repro.grid.context.SharedTickContext`
+        (normally bound by the batch executor).  Verification probes and
+        nearest-A absorption searches then run through the tick-wide
+        memos — answers stay bit-identical to the cold path; only
+        redundant searches are skipped.
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class BiIGERN:
         k: int = 1,
         prune: "str | bool" = "guarded",
         search: Optional[GridSearch] = None,
+        shared_context=None,
     ):
         if cat_a == cat_b:
             raise ValueError("bichromatic query needs two distinct categories")
@@ -91,6 +98,7 @@ class BiIGERN:
         self.k = k
         self.prune = normalize_prune_mode(prune)
         self.search = search if search is not None else GridSearch(grid)
+        self.shared_context = shared_context
 
     # ------------------------------------------------------------------
     # Step 1: initial answer (Algorithm 3)
@@ -104,6 +112,7 @@ class BiIGERN:
             qpos=q,
             alive=AliveCellGrid(self.grid.size, self.grid.extent, k=self.k),
         )
+        self._bind_context(state)
         tracer = self.search.tracer
         with tracer.span("bi.initial"):
             # Phase I: clip the region toward the nearest A objects.
@@ -127,6 +136,7 @@ class BiIGERN:
         """Maintain the answer for the current tick, updating ``state``."""
         qx, qy = qpos
         q = Point(qx, qy)
+        self._bind_context(state)
         tracer = self.search.tracer
         with tracer.span("bi.incremental") as root:
             movement = self._refresh_moved(state, q)
@@ -210,6 +220,16 @@ class BiIGERN:
             tightened=tightened,
             pruned=pruned,
         )
+
+    def _bind_context(self, state: BiState) -> None:
+        """Attach (or detach) the tick's shared context to this query's
+        alive grid and search (see :meth:`MonoIGERN._bind_context`)."""
+        ctx = self.shared_context
+        if ctx is not None:
+            ctx.adopt_alive(state.alive)
+        else:
+            state.alive.shared_classify = None
+        self.search.shared_context = ctx
 
     def _prune(self, state: BiState) -> int:
         """Clean ``NN_A`` according to the configured policy."""
@@ -321,6 +341,8 @@ class BiIGERN:
         answer: Set[ObjectId] = set()
         extra = 0
         exclude_nn = {self.query_id} if self.query_id is not None else set()
+        ctx = self.shared_context
+        sig = frozenset(exclude_nn)
         # Snapshot: the alive region only shrinks during the scan, and B
         # objects falling into freshly dead cells are provably non-answers,
         # so they are simply re-checked for aliveness before the NN test.
@@ -342,23 +364,33 @@ class BiIGERN:
             # RkNN semantics: o_B answers when fewer than k A objects are
             # strictly closer to it than the query (k = 1: the nearest-A
             # test of the paper).  Squared-space comparisons throughout.
-            witnesses = search.count_closer_than(
-                pos,
-                threshold_sq=dq2,
-                exclude=exclude_nn,
-                category=self.cat_a,
-                stop_at=self.k,
-                kind=SearchKind.UNCONSTRAINED,
-            )
+            if ctx is not None:
+                # Tick-shared probes: B objects sitting in several queries'
+                # regions are tested against the A population once.
+                witnesses = ctx.witness_count(
+                    search, ob, pos, dq2, sig, self.cat_a, self.k
+                )
+            else:
+                witnesses = search.count_closer_than(
+                    pos,
+                    threshold_sq=dq2,
+                    exclude=exclude_nn,
+                    category=self.cat_a,
+                    stop_at=self.k,
+                    kind=SearchKind.UNCONSTRAINED,
+                )
             if witnesses < self.k:
                 answer.add(ob)
                 continue
-            hit = search.nearest(
-                pos,
-                exclude=exclude_nn,
-                category=self.cat_a,
-                kind=SearchKind.UNCONSTRAINED,
-            )
+            if ctx is not None:
+                hit = ctx.nearest_excluding(search, ob, pos, sig, self.cat_a)
+            else:
+                hit = search.nearest(
+                    pos,
+                    exclude=exclude_nn,
+                    category=self.cat_a,
+                    kind=SearchKind.UNCONSTRAINED,
+                )
             oa = hit[0] if hit is not None else None
             if oa is not None and oa not in state.nn_a:
                 self._absorb(state, oa)

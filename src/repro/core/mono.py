@@ -77,6 +77,12 @@ class MonoIGERN:
         Optional :class:`repro.core.shared.SharedVerificationCache` for
         co-located queries to share their verification searches (k = 1
         only; larger k falls back to private searches).
+    shared_context:
+        Optional per-tick :class:`repro.grid.context.SharedTickContext`
+        (normally bound by the batch executor).  Verification probes then
+        run through the tick-wide witness memo — answers stay bit-identical
+        to the cold path; only redundant searches are skipped.  Takes
+        precedence over ``shared_cache`` when both are set.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class MonoIGERN:
         prune: "str | bool" = "guarded",
         search: Optional[GridSearch] = None,
         shared_cache=None,
+        shared_context=None,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -96,6 +103,7 @@ class MonoIGERN:
         self.prune = normalize_prune_mode(prune)
         self.search = search if search is not None else GridSearch(grid)
         self.shared_cache = shared_cache
+        self.shared_context = shared_context
 
     # ------------------------------------------------------------------
     # Step 1: initial answer (Algorithm 1)
@@ -109,6 +117,7 @@ class MonoIGERN:
             qpos=q,
             alive=AliveCellGrid(self.grid.size, self.grid.extent, self.k),
         )
+        self._bind_context(state)
         tracer = self.search.tracer
         with tracer.span("mono.initial"):
             # Phase I: bounded region.
@@ -132,6 +141,7 @@ class MonoIGERN:
         """Maintain the answer for the current tick, updating ``state``."""
         qx, qy = qpos
         q = Point(qx, qy)
+        self._bind_context(state)
         tracer = self.search.tracer
         with tracer.span("mono.incremental") as root:
             movement = self._refresh_moved(state, q)
@@ -186,6 +196,17 @@ class MonoIGERN:
             tightened=tightened,
             pruned=pruned,
         )
+
+    def _bind_context(self, state: MonoState) -> None:
+        """Attach (or detach) the tick's shared context to this query's
+        alive grid and search, so half-plane classifications and region
+        scans route through the tick-wide memos."""
+        ctx = self.shared_context
+        if ctx is not None:
+            ctx.adopt_alive(state.alive)
+        else:
+            state.alive.shared_classify = None
+        self.search.shared_context = ctx
 
     def _prune(self, state: MonoState) -> int:
         """Clean the candidate set according to the configured policy."""
@@ -293,13 +314,30 @@ class MonoIGERN:
         q = state.qpos
         answer: Set[ObjectId] = set()
         exclude_base = {self.query_id} if self.query_id is not None else set()
-        cache = self.shared_cache if self.k == 1 else None
+        ctx = self.shared_context
+        cache = self.shared_cache if self.k == 1 and ctx is None else None
         for oid, pos in state.candidates.items():
             # Squared-space comparison: an exactly equidistant witness must
             # not disqualify the candidate (the paper's strict inequality).
             dq2 = dist_sq(pos, q)
             if cache is not None:
                 if not cache.has_witness(oid, dq2, self.query_id):
+                    answer.add(oid)
+                continue
+            if ctx is not None:
+                # Tick-shared probe: same min(k, count) semantics as the
+                # cold call below, with witnesses banked for other queries
+                # verifying the same candidate this tick.
+                witnesses = ctx.witness_count(
+                    self.search,
+                    oid,
+                    pos,
+                    dq2,
+                    frozenset(exclude_base | {oid}),
+                    None,
+                    self.k,
+                )
+                if witnesses < self.k:
                     answer.add(oid)
                 continue
             witnesses = self.search.count_closer_than(

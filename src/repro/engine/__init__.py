@@ -8,11 +8,12 @@ time, operation counts, monitored objects, answer) that the experiment
 harness turns into the paper's figures.
 """
 
+from repro.engine.batch import BatchExecutor
 from repro.engine.manager import AnswerChange, ContinuousQueryManager
 from repro.engine.metrics import QueryLog, SimulationResult, TickMetrics
 from repro.engine.scheduler import TickScheduler
 from repro.engine.simulation import Simulator
-from repro.engine.workload import WorkloadSpec, build_simulator
+from repro.engine.workload import WorkloadSpec, build_simulator, set_default_batch
 
 __all__ = [
     "TickMetrics",
@@ -20,8 +21,10 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "TickScheduler",
+    "BatchExecutor",
     "WorkloadSpec",
     "build_simulator",
+    "set_default_batch",
     "AnswerChange",
     "ContinuousQueryManager",
 ]

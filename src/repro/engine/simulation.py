@@ -14,6 +14,7 @@ import logging
 import time
 from typing import Callable, Dict, Optional, Set
 
+from repro.engine.batch import BatchExecutor
 from repro.engine.metrics import QueryLog, SimulationResult, TickMetrics, diff_ops
 from repro.engine.scheduler import TickScheduler
 from repro.grid.delta import TickDelta
@@ -59,6 +60,17 @@ class Simulator:
         forward at zero cost.  Answers are identical either way — the
         skip test is conservative — so ``False`` exists for A/B
         measurements and as the oracle in the correctness suite.
+    batch:
+        When ``True`` (the default), the queries evaluated in one tick
+        share their grid-level work through a per-tick
+        :class:`~repro.grid.context.SharedTickContext`, grouped and
+        ordered by footprint overlap (:class:`BatchExecutor`).  Answers
+        are bit-identical to ``batch=False`` — memo reuse only skips
+        provably redundant searches — so ``False`` preserves the pre-batch
+        execution path for A/B measurements and lockstep checks.
+        Requires the scheduler (silently off when ``scheduler=False``, so
+        the oracle configurations of the correctness suite stay fully
+        cold).
     """
 
     def __init__(
@@ -70,6 +82,7 @@ class Simulator:
         extent=None,
         registry: Optional[MetricsRegistry] = None,
         scheduler: bool = True,
+        batch: bool = True,
     ):
         self.generator = generator
         self.dt = dt
@@ -85,6 +98,13 @@ class Simulator:
         self.scheduler: Optional[TickScheduler] = (
             TickScheduler() if scheduler else None
         )
+        self.batch: Optional[BatchExecutor] = (
+            BatchExecutor(self.grid) if batch and scheduler else None
+        )
+        #: Running shared-probe totals (mirrored into the registry as
+        #: ``batch_probe_hits_total`` / ``batch_probe_misses_total``).
+        self.batch_probe_hits = 0
+        self.batch_probe_misses = 0
         #: Names that must be evaluated at their next tick regardless of
         #: the delta (freshly resumed queries missed triggers while
         #: paused, so their footprints are stale).
@@ -267,12 +287,22 @@ class Simulator:
         outside it that have already started *and* hold a registered
         footprint carry their previous answer forward without executing.
         ``None`` (scheduler off, or the initial step) evaluates everyone.
+
+        With batching enabled, the to-evaluate set is decided first, then
+        evaluated in footprint-overlap group order against one fresh
+        :class:`~repro.grid.context.SharedTickContext`.  Reordering is
+        answer-neutral (evaluations never mutate the grid), and skipped
+        queries are unaffected — they never probe.
         """
         out: Dict[str, TickMetrics] = {}
         tracer = self.tracer
         registry = self.registry
         scheduler = self.scheduler
-        for name, query in self._queries.items():
+        batch = self.batch
+
+        skipped: list = []
+        evaluated: list = []
+        for name in self._queries:
             if name in self._paused:
                 continue
             if (
@@ -283,23 +313,41 @@ class Simulator:
                 and scheduler is not None
                 and scheduler.footprint(name) is not None
             ):
-                last = self._last_metrics.get(name)
-                answer = query.skip_tick()
-                metrics = TickMetrics(
-                    tick=self.current_tick,
-                    wall_time=0.0,
-                    answer=frozenset(answer),
-                    monitored=last.monitored if last is not None else 0,
-                    region_cells=last.region_cells if last is not None else 0,
-                    ops={},
-                    skipped=True,
-                )
-                out[name] = metrics
-                self._last_metrics[name] = metrics
-                self.ticks_skipped += 1
-                if registry is not None:
-                    registry.counter("ticks_skipped_total", query=name).inc()
-                continue
+                skipped.append(name)
+            else:
+                evaluated.append(name)
+
+        if batch is not None and evaluated:
+            batch.begin_tick()
+            footprints = {
+                name: scheduler.footprint(name) if scheduler is not None else None
+                for name in evaluated
+            }
+            evaluated = batch.order(evaluated, footprints)
+
+        for name in skipped:
+            query = self._queries[name]
+            last = self._last_metrics.get(name)
+            answer = query.skip_tick()
+            metrics = TickMetrics(
+                tick=self.current_tick,
+                wall_time=0.0,
+                answer=frozenset(answer),
+                monitored=last.monitored if last is not None else 0,
+                region_cells=last.region_cells if last is not None else 0,
+                ops={},
+                skipped=True,
+            )
+            out[name] = metrics
+            self._last_metrics[name] = metrics
+            self.ticks_skipped += 1
+            if registry is not None:
+                registry.counter("ticks_skipped_total", query=name).inc()
+
+        for name in evaluated:
+            query = self._queries[name]
+            if batch is not None:
+                query.bind_shared_context(batch.context)
             span = (
                 tracer.begin(f"engine.query.{name}", algo=query.name)
                 if tracer.enabled
@@ -333,6 +381,18 @@ class Simulator:
             if registry is not None:
                 registry.counter("queries_evaluated_total", query=name).inc()
                 self._publish(registry, name, query, metrics)
+
+        if batch is not None and evaluated:
+            hits, misses = batch.finish_tick()
+            self.batch_probe_hits += hits
+            self.batch_probe_misses += misses
+            if registry is not None:
+                if hits:
+                    registry.counter("batch_probe_hits_total").inc(hits)
+                if misses:
+                    registry.counter("batch_probe_misses_total").inc(misses)
+                registry.gauge("batch_sharing_ratio").set(batch.sharing_ratio)
+                registry.gauge("batch_groups").set(batch.groups)
         return out
 
     def _publish(

@@ -88,17 +88,37 @@ def build_generator(spec: WorkloadSpec):
     )
 
 
-def build_simulator(spec: WorkloadSpec, scheduler: bool = True) -> Simulator:
+#: Process-wide default for the shared-execution batch layer.  Experiments
+#: construct their simulators internally (without a ``batch`` argument),
+#: so the CLI's ``--batch/--no-batch`` flag threads through this module
+#: default; :func:`build_simulator` resolves ``batch=None`` against it.
+DEFAULT_BATCH = True
+
+
+def set_default_batch(enabled: bool) -> None:
+    """Set the process-wide batching default (see :data:`DEFAULT_BATCH`)."""
+    global DEFAULT_BATCH
+    DEFAULT_BATCH = bool(enabled)
+
+
+def build_simulator(
+    spec: WorkloadSpec, scheduler: bool = True, batch: Optional[bool] = None
+) -> Simulator:
     """A simulator loaded with the spec's objects (no queries yet).
 
     ``scheduler=False`` builds the oracle configuration: every query is
-    evaluated every tick, with per-update grid maintenance.
+    evaluated every tick, with per-update grid maintenance.  ``batch``
+    defaults to the module-wide :data:`DEFAULT_BATCH` (set by the CLI's
+    ``--batch/--no-batch``).
     """
+    if batch is None:
+        batch = DEFAULT_BATCH
     return Simulator(
         build_generator(spec),
         grid_size=spec.grid_size,
         dt=spec.dt,
         scheduler=scheduler,
+        batch=batch,
     )
 
 

@@ -1,22 +1,32 @@
 """Lockstep differential execution of one scenario, and the fuzz loop.
 
-For every scenario the runner builds **two simulators over the identical
-frozen event script** — scheduler on and scheduler off (the
-evaluate-everything oracle configuration) — registers the same executors
-in both (IGERN plus, per scenario, one baseline), and advances them tick
-by tick in lockstep.  After every tick it checks three layers:
+For every scenario the runner builds **three simulators over the
+identical frozen event script** — scheduler+batch on, scheduler on with
+batching off, and scheduler off (the evaluate-everything oracle
+configuration) — registers the same executors in all of them (IGERN
+plus, per scenario, one baseline and up to three extra fixed IGERN
+queries clustered near the main one so the batch layer actually
+shares), and advances them tick by tick in lockstep.  After every tick
+it checks four layers:
 
 1. **oracle** — each executor's answer in the scheduler-off simulator
    must equal the quadratic brute-force answer recomputed from the raw
    positions (Theorems 1-4, operationally);
 2. **scheduler** — each executor's answer with the scheduler on must be
    bit-identical to its answer with the scheduler off (the skip decision
-   is conservative), and the two grids must hold identical positions;
-3. **invariants** — the IGERN monitored state passes
+   is conservative), and the paired grids must hold identical positions;
+3. **batch** — each executor's answer with the shared-execution batch
+   layer on must be bit-identical to the fully cold scheduler-off
+   answer, and each IGERN executor's *monitored set* must be
+   bit-identical to the scheduler-on/batch-off simulator's (same
+   scheduling decisions, so memoization is the only variable — a probe
+   served from a corrupt memo shows up in the monitored state even when
+   the answer survives);
+4. **invariants** — every IGERN monitored state passes
    :meth:`~repro.core.state.MonoState.check_invariants` /
-   :meth:`~repro.core.state.BiState.check_invariants` in *both*
+   :meth:`~repro.core.state.BiState.check_invariants` in *all three*
    simulators (in particular after skipped ticks), and the registered
-   footprint covers the alive region and the monitored/answer objects.
+   footprints cover the alive region and the monitored/answer objects.
 
 Any violation becomes a :class:`Divergence`; the scenario (already in
 scripted form) plus its divergences is the replayable failure artifact.
@@ -61,7 +71,7 @@ CAT_A, CAT_B = "A", "B"
 class Divergence:
     """One observed disagreement or invariant violation."""
 
-    kind: str  # "oracle" | "scheduler" | "invariant" | "grid-sync"
+    kind: str  # "oracle" | "scheduler" | "batch" | "invariant" | "grid-sync"
     tick: int
     name: str  # executor name or invariant site
     expected: list
@@ -112,19 +122,29 @@ class ScenarioResult:
 
 
 class _Lockstep:
-    """The paired simulators plus per-tick checking for one scenario."""
+    """The lockstepped simulators plus per-tick checking for one scenario."""
 
     def __init__(self, scenario: Scenario, check_invariants: bool = True):
         self.scenario = scenario
         self.check_invariants = check_invariants
         self.qid = query_id_of(scenario)
         self.divergences: List[Divergence] = []
+        extras = scenario.extra_query_points or []
+        self.extra_names = [f"extra{i}" for i in range(len(extras))]
         extent = Rect(*scenario.extent)
         self.sim_on = Simulator(
             ScriptedWorkload(scenario.script),
             grid_size=scenario.grid_size,
             extent=extent,
             scheduler=True,
+            batch=False,
+        )
+        self.sim_batch = Simulator(
+            ScriptedWorkload(scenario.script),
+            grid_size=scenario.grid_size,
+            extent=extent,
+            scheduler=True,
+            batch=True,
         )
         self.sim_off = Simulator(
             ScriptedWorkload(scenario.script),
@@ -133,6 +153,7 @@ class _Lockstep:
             scheduler=False,
         )
         self._register(self.sim_on)
+        self._register(self.sim_batch)
         self._register(self.sim_off)
 
     def _position(self, sim: Simulator) -> QueryPosition:
@@ -140,12 +161,18 @@ class _Lockstep:
             return QueryPosition(sim.grid, query_id=self.qid)
         return QueryPosition(sim.grid, fixed=self.scenario.query_point)
 
+    def _igern(self, grid, position) -> "IGERNMonoQuery | IGERNBiQuery":
+        sc = self.scenario
+        if sc.mode == "mono":
+            return IGERNMonoQuery(grid, position, k=sc.k)
+        return IGERNBiQuery(grid, position, k=sc.k)
+
     def _register(self, sim: Simulator) -> None:
         sc = self.scenario
         k = sc.k
         grid = sim.grid
+        sim.add_query("igern", self._igern(grid, self._position(sim)))
         if sc.mode == "mono":
-            sim.add_query("igern", IGERNMonoQuery(grid, self._position(sim), k=k))
             if sc.baseline == "crnn":
                 sim.add_query("crnn", CRNNQuery(grid, self._position(sim)))
             elif sc.baseline == "tpl":
@@ -153,9 +180,12 @@ class _Lockstep:
             elif sc.baseline == "sixpie":
                 sim.add_query("sixpie", SixPieSnapshotQuery(grid, self._position(sim)))
         else:
-            sim.add_query("igern", IGERNBiQuery(grid, self._position(sim), k=k))
             if sc.baseline == "voronoi":
                 sim.add_query("voronoi", VoronoiRepeatQuery(grid, self._position(sim)))
+        # Extra fixed IGERN queries with overlapping footprints: the
+        # workload where the shared tick context memoizes across queries.
+        for name, point in zip(self.extra_names, sc.extra_query_points or []):
+            sim.add_query(name, self._igern(grid, QueryPosition(grid, fixed=point)))
 
     # ------------------------------------------------------------------
     # Execution
@@ -163,54 +193,83 @@ class _Lockstep:
 
     def run(self) -> ScenarioResult:
         metrics_on = self.sim_on.execute_queries()
+        metrics_batch = self.sim_batch.execute_queries()
         metrics_off = self.sim_off.execute_queries()
-        self._check_tick(0, metrics_on, metrics_off)
+        self._check_tick(0, metrics_on, metrics_off, metrics_batch)
         for t in range(1, self.scenario.n_ticks + 1):
             metrics_on = self.sim_on.step()
+            metrics_batch = self.sim_batch.step()
             metrics_off = self.sim_off.step()
-            self._check_tick(t, metrics_on, metrics_off)
+            self._check_tick(t, metrics_on, metrics_off, metrics_batch)
         return ScenarioResult(
             scenario=self.scenario,
             ticks=self.scenario.n_ticks,
             divergences=self.divergences,
         )
 
-    def _oracle(self) -> set:
+    def _oracle(self, qpos, query_id) -> set:
         sc = self.scenario
         grid = self.sim_off.grid
-        if self.qid is not None:
-            qpos = grid.position(self.qid)
-        else:
-            qpos = sc.query_point
         if sc.mode == "mono":
             return brute_mono_rnn(
-                grid.positions_snapshot(), qpos, query_id=self.qid, k=sc.k
+                grid.positions_snapshot(), qpos, query_id=query_id, k=sc.k
             )
         return brute_bi_rnn(
             grid.positions_snapshot(CAT_A),
             grid.positions_snapshot(CAT_B),
             qpos,
-            query_id=self.qid,
+            query_id=query_id,
             k=sc.k,
         )
 
-    def _check_tick(self, tick: int, metrics_on: Dict, metrics_off: Dict) -> None:
+    def _expectations(self) -> Dict[str, set]:
+        """Per-executor brute-force expected answers (the extra fixed
+        queries sit at different points than the main query, so each gets
+        its own oracle; baselines share the main query's)."""
+        grid = self.sim_off.grid
+        if self.qid is not None:
+            qpos = grid.position(self.qid)
+        else:
+            qpos = self.scenario.query_point
+        main = self._oracle(qpos, self.qid)
+        expected = {
+            name: main
+            for name in self.sim_off.query_names()
+            if name not in self.extra_names
+        }
+        for name, point in zip(
+            self.extra_names, self.scenario.extra_query_points or []
+        ):
+            expected[name] = self._oracle(point, None)
+        return expected
+
+    def _check_tick(
+        self,
+        tick: int,
+        metrics_on: Dict,
+        metrics_off: Dict,
+        metrics_batch: Dict,
+    ) -> None:
         report = self.divergences
-        if self.sim_on.grid.positions_snapshot() != self.sim_off.grid.positions_snapshot():
-            report.append(
-                Divergence(
-                    kind="grid-sync",
-                    tick=tick,
-                    name="grid",
-                    expected=[],
-                    actual=[],
-                    detail="paired grids hold different positions",
+        off_positions = self.sim_off.grid.positions_snapshot()
+        for side, sim in (("on", self.sim_on), ("batch", self.sim_batch)):
+            if sim.grid.positions_snapshot() != off_positions:
+                report.append(
+                    Divergence(
+                        kind="grid-sync",
+                        tick=tick,
+                        name=f"grid[{side}]",
+                        expected=[],
+                        actual=[],
+                        detail="paired grids hold different positions",
+                    )
                 )
-            )
-        expected = self._oracle()
+        expectations = self._expectations()
         for name in self.sim_off.query_names():
+            expected = expectations[name]
             off_answer = set(metrics_off[name].answer)
             on_answer = set(metrics_on[name].answer)
+            batch_answer = set(metrics_batch[name].answer)
             if off_answer != expected:
                 report.append(
                     Divergence(
@@ -232,52 +291,102 @@ class _Lockstep:
                         detail="scheduler=True answer differs from scheduler=False",
                     )
                 )
-        if self.check_invariants:
-            for side, sim in (("on", self.sim_on), ("off", self.sim_off)):
-                for violation in self._state_violations(sim):
-                    report.append(
-                        Divergence(
-                            kind="invariant",
-                            tick=tick,
-                            name=f"igern[scheduler-{side}]",
-                            expected=[],
-                            actual=[],
-                            detail=violation,
-                        )
-                    )
-            for violation in self._footprint_violations(self.sim_on):
+            if batch_answer != off_answer:
                 report.append(
                     Divergence(
-                        kind="invariant",
+                        kind="batch",
                         tick=tick,
-                        name="footprint",
-                        expected=[],
-                        actual=[],
-                        detail=violation,
+                        name=name,
+                        expected=sorted(off_answer, key=repr),
+                        actual=sorted(batch_answer, key=repr),
+                        detail="batch=True answer differs from the cold path",
                     )
                 )
+        # Memoization soundness, one level below answers: sim_on and
+        # sim_batch make identical scheduling decisions, so their IGERN
+        # monitored sets must match exactly.  (sim_off is not comparable
+        # here — a skipped tick may legitimately leave monitored state
+        # behind the evaluate-everything configuration.)
+        for name in ["igern", *self.extra_names]:
+            mon_batch = self._monitored(self.sim_batch, name)
+            mon_on = self._monitored(self.sim_on, name)
+            if mon_batch != mon_on:
+                report.append(
+                    Divergence(
+                        kind="batch",
+                        tick=tick,
+                        name=name,
+                        expected=sorted(mon_on, key=repr),
+                        actual=sorted(mon_batch, key=repr),
+                        detail="batched monitored set differs from unbatched",
+                    )
+                )
+        if self.check_invariants:
+            igern_names = ["igern", *self.extra_names]
+            for side, sim in (
+                ("on", self.sim_on),
+                ("batch", self.sim_batch),
+                ("off", self.sim_off),
+            ):
+                for name in igern_names:
+                    for violation in self._state_violations(sim, name):
+                        report.append(
+                            Divergence(
+                                kind="invariant",
+                                tick=tick,
+                                name=f"{name}[{side}]",
+                                expected=[],
+                                actual=[],
+                                detail=violation,
+                            )
+                        )
+            for side, sim in (("on", self.sim_on), ("batch", self.sim_batch)):
+                for name in igern_names:
+                    for violation in self._footprint_violations(sim, name):
+                        report.append(
+                            Divergence(
+                                kind="invariant",
+                                tick=tick,
+                                name=f"footprint:{name}[{side}]",
+                                expected=[],
+                                actual=[],
+                                detail=violation,
+                            )
+                        )
 
-    def _state_violations(self, sim: Simulator) -> List[str]:
-        query = sim.query("igern")
+    def _query_id(self, name: str):
+        return self.qid if name == "igern" else None
+
+    def _monitored(self, sim: Simulator, name: str) -> set:
+        state = sim.query(name)._state
+        if state is None:
+            return set()
+        if self.scenario.mode == "mono":
+            return set(state.candidates)
+        return set(state.nn_a)
+
+    def _state_violations(self, sim: Simulator, name: str = "igern") -> List[str]:
+        query = sim.query(name)
         state = query._state
         if state is None:
             return []
+        qid = self._query_id(name)
         if self.scenario.mode == "mono":
-            return state.check_invariants(sim.grid, k=self.scenario.k, query_id=self.qid)
+            return state.check_invariants(sim.grid, k=self.scenario.k, query_id=qid)
         return state.check_invariants(
-            sim.grid, CAT_A, CAT_B, k=self.scenario.k, query_id=self.qid
+            sim.grid, CAT_A, CAT_B, k=self.scenario.k, query_id=qid
         )
 
-    def _footprint_violations(self, sim: Simulator) -> List[str]:
+    def _footprint_violations(self, sim: Simulator, name: str = "igern") -> List[str]:
         """The registered footprint must cover everything the scheduler
         relies on: the alive region (at cell granularity), the monitored
         object set, the query object, and every answer object's cell."""
         if sim.scheduler is None:
             return []
-        fp = sim.scheduler.footprint("igern")
+        fp = sim.scheduler.footprint(name)
         if fp is None:
             return []
-        query = sim.query("igern")
+        query = sim.query(name)
         state = query._state
         if state is None:
             return []
@@ -291,8 +400,9 @@ class _Lockstep:
         for oid in monitored:
             if oid not in fp.objects:
                 out.append(f"footprint misses monitored object {oid!r}")
-        if self.qid is not None and self.qid not in fp.objects:
-            out.append(f"footprint misses query object {self.qid!r}")
+        qid = self._query_id(name)
+        if qid is not None and qid not in fp.objects:
+            out.append(f"footprint misses query object {qid!r}")
         grid = sim.grid
         for oid in state.answer:
             if oid in grid and grid.cell_of(oid) not in fp.cells:
@@ -349,6 +459,7 @@ class FuzzReport:
             ("moving_query", sc.moving_query),
             ("baseline", sc.baseline or "none"),
             ("move_fraction", sc.move_fraction),
+            ("extra_queries", len(sc.extra_query_points or [])),
         ):
             self._cover(dimension, value)
         if not result.ok:
@@ -360,7 +471,7 @@ class FuzzReport:
             f" {self.ticks} ticks, {self.divergences} divergences"
             f" in {self.elapsed:.1f}s"
         ]
-        for dimension in ("mode", "motion", "k", "baseline"):
+        for dimension in ("mode", "motion", "k", "baseline", "extra_queries"):
             bucket = self.coverage.get(dimension, {})
             parts = ", ".join(f"{k}={v}" for k, v in sorted(bucket.items()))
             lines.append(f"  {dimension}: {parts}")

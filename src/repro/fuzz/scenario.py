@@ -76,14 +76,25 @@ class Scenario:
     query_point: Optional[Tuple[float, float]]
     baseline: Optional[str]  # extra executor: crnn/tpl/sixpie/voronoi
     script: Optional[dict] = field(default=None, repr=False)
+    #: Fixed query points of additional IGERN executors riding along in
+    #: every lockstep participant.  Drawn near the main query so their
+    #: footprints overlap heavily — the workload where the shared-execution
+    #: batch layer actually shares, and where a bad memo key would corrupt
+    #: one query with another's probe.  ``None`` (the default, and the
+    #: value of every pre-batching artifact) means no extra queries.
+    extra_query_points: Optional[List[Tuple[float, float]]] = None
 
     @property
     def label(self) -> str:
         q = "moving-q" if self.moving_query else "fixed-q"
+        extra = (
+            f" +{len(self.extra_query_points)}q" if self.extra_query_points else ""
+        )
         return (
             f"s{self.seed}.{self.index} {self.mode} k={self.k} {self.motion} "
             f"n={self.n_objects} t={self.n_ticks} grid={self.grid_size} {q}"
             + (f" +{self.baseline}" if self.baseline else "")
+            + extra
         )
 
     def to_dict(self) -> dict:
@@ -95,6 +106,10 @@ class Scenario:
         data["extent"] = tuple(data["extent"])
         if data.get("query_point") is not None:
             data["query_point"] = tuple(data["query_point"])
+        if data.get("extra_query_points") is not None:
+            data["extra_query_points"] = [
+                tuple(pt) for pt in data["extra_query_points"]
+            ]
         return Scenario(**data)
 
 
@@ -377,7 +392,7 @@ def make_scenario(seed: int, index: int) -> Scenario:
                 rng.uniform(xmin + 0.25 * (xmax - xmin), xmax - 0.25 * (xmax - xmin)),
                 rng.uniform(ymin + 0.25 * (ymax - ymin), ymax - 0.25 * (ymax - ymin)),
             )
-    return Scenario(
+    scenario = Scenario(
         seed=seed,
         index=index,
         mode=mode,
@@ -393,6 +408,27 @@ def make_scenario(seed: int, index: int) -> Scenario:
         query_point=query_point,
         baseline=baseline,
     )
+    # Extra fixed IGERN queries clustered around the main query point so
+    # their footprints overlap: the batch layer only shares under overlap,
+    # and a bad memo key only misfires across overlapping queries.  Drawn
+    # last so the draws above keep their pre-batching values for any seed.
+    if rng.random() < 0.35:
+        xmin, ymin, xmax, ymax = extent
+        if query_point is not None:
+            ax, ay = query_point
+        else:
+            ax, ay = (xmin + xmax) / 2.0, (ymin + ymax) / 2.0
+        span = max(xmax - xmin, ymax - ymin)
+        extras = []
+        for _ in range(rng.randint(1, 3)):
+            extras.append(
+                (
+                    min(max(ax + rng.uniform(-0.08, 0.08) * span, xmin), xmax),
+                    min(max(ay + rng.uniform(-0.08, 0.08) * span, ymin), ymax),
+                )
+            )
+        scenario.extra_query_points = extras
+    return scenario
 
 
 def generate_scenarios(seed: int, start: int = 0):

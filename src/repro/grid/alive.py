@@ -67,6 +67,14 @@ class AliveCellGrid:
     A cell is alive while fewer than ``k`` half-planes fully cover it.
     """
 
+    #: Optional shared classification hook ``(alive, hp, key) -> bool``,
+    #: bound by a per-tick :class:`~repro.grid.context.SharedTickContext`
+    #: so co-evaluated queries share half-plane/cell coverage decisions.
+    #: The hook memoizes :meth:`covers`, so classifications are
+    #: bit-identical to the inline path; ``None`` (the default) keeps the
+    #: original private evaluation.
+    shared_classify = None
+
     def __init__(self, size: int, extent: Optional[Rect] = None, k: int = 1):
         if size < 1:
             raise ValueError(f"grid size must be positive, got {size}")
@@ -160,13 +168,37 @@ class AliveCellGrid:
             self._memo[key] = cached
         return cached
 
-    def _compute_alive(self, key: CellKey) -> bool:
+    def covers(self, hp: HalfPlane, key: CellKey) -> bool:
+        """Whether ``hp`` fully covers cell ``key`` (the corner test).
+
+        The exact decision :meth:`_compute_alive` makes per half-plane,
+        exposed so the shared tick context can memoize it across queries;
+        the float expression is identical to the inline loop, so hook and
+        inline paths cannot disagree.
+        """
         xmin = self._xmin + key[0] * self._cw
         ymin = self._ymin + key[1] * self._ch
         xmax = xmin + self._cw
         ymax = ymin + self._ch
+        mx = xmax if hp.a >= 0.0 else xmin
+        my = ymax if hp.b >= 0.0 else ymin
+        return hp.a * mx + hp.b * my + hp.c < -self._cover_tol(hp)
+
+    def _compute_alive(self, key: CellKey) -> bool:
         needed = self.k
         covered = 0
+        classify = self.shared_classify
+        if classify is not None:
+            for hp in self._halfplanes:
+                if classify(self, hp, key):
+                    covered += 1
+                    if covered >= needed:
+                        return False
+            return True
+        xmin = self._xmin + key[0] * self._cw
+        ymin = self._ymin + key[1] * self._ch
+        xmax = xmin + self._cw
+        ymax = ymin + self._ch
         for hp in self._halfplanes:
             # Corner of the cell maximizing the plane's linear function; the
             # whole cell is outside iff even that corner clearly is.
@@ -193,12 +225,21 @@ class AliveCellGrid:
         return covered
 
     def point_alive(self, p: Iterable[float]) -> bool:
-        """Exact, point-level survival: fewer than ``k`` half-planes
-        strictly exclude the point."""
+        """Point-level survival: fewer than ``k`` half-planes strictly
+        exclude the point.
+
+        Exclusion is margin-guarded like the cell corner test: a point
+        exactly *on* a bisector (an equidistant object, which the paper's
+        strict inequality keeps) can evaluate a hair negative through the
+        half-plane's rounded coefficients, and callers use this test to
+        *discard* work — so only points clearly past the boundary count
+        as excluded.  Boundary points staying alive is conservative: it
+        costs a verification search, never an answer.
+        """
         x, y = p
         excluded = 0
         for hp in self._halfplanes:
-            if hp.a * x + hp.b * y + hp.c < 0.0:
+            if hp.a * x + hp.b * y + hp.c < -self._cover_tol(hp):
                 excluded += 1
                 if excluded >= self.k:
                     return False

@@ -1,0 +1,329 @@
+"""Per-tick shared-execution context for co-evaluated queries.
+
+When many continuous queries are evaluated against the *same* grid state
+in the *same* tick, their work decomposes into grid-level primitives that
+repeat across queries: enumerating the objects of a cell, probing how many
+objects lie strictly within a candidate's verification threshold, finding
+the nearest object of a category around a point, and classifying a cell
+against a bisector half-plane.  :class:`SharedTickContext` memoizes those
+primitives for the duration of one tick, so that a batch of overlapping
+queries pays for each primitive once instead of once per query.
+
+Soundness rests on two properties:
+
+1. **Queries never mutate the grid.**  Within one tick the grid is
+   constant during query evaluation, so a primitive's result is a pure
+   function of its arguments — any query may reuse any other query's
+   result, and evaluation *order* cannot change answers.
+2. **Every memo key carries the full argument set.**  Witness probes and
+   nearest searches are keyed by ``(center object, witness category,
+   exclusion signature)`` — the exclusion signature (the ids a probe must
+   ignore: the probing query's own object, the candidate itself) is part
+   of the key, because two probes around the same center with different
+   exclusions are *different* questions.  A curiosity worth recording:
+   with the call sites that exist today, dropping the signature from the
+   *key alone* is provably masked — every in-tree signature is
+   ``{query object} ∪ {candidate}``, the candidate is the probe's own
+   center (already in the key), and the query object always sits at
+   exactly its own threshold distance, where the strict ``<`` of the
+   paper's semantics never counts it.  The keying is kept full anyway:
+   the masking is an accident of the current callers, not a property of
+   the primitive, and the planted-mutant smoke test exercises the
+   realistic form of the bug (signature dropped from the key *and* the
+   dispatched probe, so candidates self-witness).
+
+Staleness is handled twice over: the engine calls :meth:`begin_tick`
+before each batch of evaluations, and every read re-checks the grid's
+monotonic ``mutations`` counter, which every insert, remove and move
+bumps — a within-cell move counts even though no cell membership
+changed, so a tick that only jitters objects inside their cells still
+invalidates every cached probe, and an insert+remove pair that restores
+the population cannot slip past the guard.
+
+Cache-hit accounting feeds ``batch_probe_hits_total`` /
+``batch_probe_misses_total`` and the per-tick sharing-ratio gauge (see
+``docs/OBSERVABILITY.md``); the memoized-vs-cold equivalence is pinned by
+the Hypothesis property suite in ``tests/engine/test_shared_context.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.geometry.halfplane import HalfPlane
+from repro.geometry.point import Point
+from repro.grid.alive import AliveCellGrid
+from repro.grid.cell import CellKey
+from repro.grid.index import Category, GridIndex, ObjectId
+
+#: Memo kinds, for per-kind hit/miss introspection.
+KINDS = ("witness", "nearest", "cells", "classify")
+
+
+class _WitnessEntry:
+    """Accumulated witness knowledge for one probe key within one tick.
+
+    ``known`` maps witness id -> exact squared distance from the center;
+    every entry is a genuine witness for this key's exclusion signature.
+    ``complete_t2`` is the largest threshold for which ``known`` provably
+    holds *every* witness strictly below it (established by a cold probe
+    that exhausted its threshold without hitting its ``stop_at`` cutoff).
+    """
+
+    __slots__ = ("center", "known", "complete_t2")
+
+    def __init__(self, center: Point):
+        self.center = center
+        self.known: Dict[ObjectId, float] = {}
+        self.complete_t2: float = 0.0
+
+
+class SharedTickContext:
+    """Memoized grid primitives shared by all queries of one tick."""
+
+    def __init__(self, grid: GridIndex):
+        self.grid = grid
+        self._version: Tuple[int, int] = (-1, -1)
+        self._witness: Dict[tuple, _WitnessEntry] = {}
+        self._nearest: Dict[tuple, tuple] = {}
+        self._cells: Dict[Tuple[CellKey, Optional[Category]], tuple] = {}
+        self._classify: Dict[tuple, bool] = {}
+        #: Aggregate probe accounting (all kinds).
+        self.hits = 0
+        self.misses = 0
+        self.hits_by_kind: Dict[str, int] = {kind: 0 for kind in KINDS}
+        self.misses_by_kind: Dict[str, int] = {kind: 0 for kind in KINDS}
+        #: How many times the memos were dropped (tick resets + version
+        #: guard trips); the stale-cache regression tests assert on this.
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _current_version(self) -> Tuple[int, int]:
+        # ``mutations`` is monotonic and bumped by every insert/remove/move
+        # (``updates``/``cell_changes`` are not: they miss inserts and
+        # removes, so an insert+remove pair restoring the population would
+        # slip past a guard built on them).  Population is kept in the
+        # stamp as a cheap belt-and-braces second witness.
+        grid = self.grid
+        return (grid.mutations, len(grid))
+
+    def begin_tick(self) -> None:
+        """Drop every memo; called by the engine before each evaluation
+        batch.  The version guard below would catch grid changes anyway
+        (within-cell moves included), but an explicit per-tick reset keeps
+        the context's lifetime — and its memory — bounded by one tick."""
+        self._clear()
+        self._version = self._current_version()
+
+    def _clear(self) -> None:
+        self._witness.clear()
+        self._nearest.clear()
+        self._cells.clear()
+        self._classify.clear()
+        self.invalidations += 1
+
+    def _ensure_fresh(self) -> None:
+        version = self._current_version()
+        if version != self._version:
+            self._clear()
+            self._version = version
+
+    def _account(self, kind: str, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+            self.hits_by_kind[kind] += 1
+        else:
+            self.misses += 1
+            self.misses_by_kind[kind] += 1
+
+    @property
+    def sharing_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Probe keys
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def probe_key(
+        oid: ObjectId,
+        category: Optional[Category],
+        signature: FrozenSet[ObjectId],
+    ) -> tuple:
+        """Identity of a probe: center object, witness category, and the
+        exclusion signature.  The signature MUST be part of the key — a
+        probe that ignores ``{q, o}`` and a probe that ignores ``{o}``
+        around the same center are different questions with different
+        answers (see the module docstring for why today's callers happen
+        to mask a key-only drop, and why that is no license to drop it)."""
+        return (oid, category, signature)
+
+    # ------------------------------------------------------------------
+    # Witness probes (verification)
+    # ------------------------------------------------------------------
+
+    def witness_count(
+        self,
+        search,
+        oid: ObjectId,
+        center: Point,
+        threshold_sq: float,
+        signature: FrozenSet[ObjectId],
+        category: Optional[Category],
+        k: int,
+    ) -> int:
+        """``min(k, #objects strictly closer than sqrt(threshold_sq)))``
+        around ``center``, ignoring the signature ids — the verification
+        primitive of Algorithms 1-4, shared across the tick's queries.
+
+        Cold probes run through the *caller's* ``search`` (so per-query
+        operation counters stay attributable) via
+        :meth:`~repro.grid.search.GridSearch.witnesses_closer_than`, whose
+        traversal, threshold semantics and short-circuiting are identical
+        to the uncached ``count_closer_than`` path; memo reuse returns the
+        same value the cold probe would compute on this grid state.
+        """
+        self._ensure_fresh()
+        key = self.probe_key(oid, category, signature)
+        entry = self._witness.get(key)
+        if entry is not None and entry.center == center:
+            # YES reuse: enough already-known witnesses below the
+            # threshold settle the (capped) count without a search.
+            count = 0
+            for d2 in entry.known.values():
+                if d2 < threshold_sq:
+                    count += 1
+                    if count >= k:
+                        self._account("witness", hit=True)
+                        return k
+            # NO reuse: a previous probe exhausted a threshold at least
+            # as large, so ``known`` holds every witness below ours.
+            if threshold_sq <= entry.complete_t2:
+                self._account("witness", hit=True)
+                return count
+        if entry is None or entry.center != center:
+            entry = _WitnessEntry(center)
+            self._witness[key] = entry
+        self._account("witness", hit=False)
+        rows = search.witnesses_closer_than(
+            center,
+            threshold_sq,
+            exclude=signature,
+            category=category,
+            stop_at=k,
+        )
+        for wid, d2 in rows:
+            entry.known[wid] = d2
+        if len(rows) < k and threshold_sq > entry.complete_t2:
+            # The probe ran dry before its cutoff: it enumerated every
+            # witness below the threshold, so ``known`` is now complete
+            # up to it.
+            entry.complete_t2 = threshold_sq
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # Nearest probes (bichromatic absorption)
+    # ------------------------------------------------------------------
+
+    def nearest_excluding(
+        self,
+        search,
+        oid: ObjectId,
+        center: Point,
+        signature: FrozenSet[ObjectId],
+        category: Optional[Category],
+    ) -> Optional[Tuple[ObjectId, float]]:
+        """The object of ``category`` nearest to ``center`` ignoring the
+        signature ids — memoized exactly (nearest search on a fixed grid
+        is deterministic, so the first query's result *is* every later
+        query's result)."""
+        self._ensure_fresh()
+        key = self.probe_key(oid, category, signature)
+        if key in self._nearest:
+            cached_center, result = self._nearest[key]
+            if cached_center == center:
+                self._account("nearest", hit=True)
+                return result
+        self._account("nearest", hit=False)
+        result = search.nearest(center, exclude=signature, category=category)
+        self._nearest[key] = (center, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Cell snapshots (region scans)
+    # ------------------------------------------------------------------
+
+    def cell_objects(
+        self, key: CellKey, category: Optional[Category]
+    ) -> Tuple[Tuple[ObjectId, Point], ...]:
+        """The objects of one cell with their positions, snapshotted once
+        per tick.  The snapshot preserves the grid's own iteration order,
+        so a scan through it examines objects in exactly the order the
+        cold enumeration would — distance ties downstream break
+        identically."""
+        self._ensure_fresh()
+        memo_key = (key, category)
+        cached = self._cells.get(memo_key)
+        if cached is not None:
+            self._account("cells", hit=True)
+            return cached
+        self._account("cells", hit=False)
+        grid = self.grid
+        positions = grid._positions
+        snapshot = tuple(
+            (oid, positions[oid]) for oid in grid.objects_in_cell(key, category)
+        )
+        self._cells[memo_key] = snapshot
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Half-plane cell classification (region maintenance)
+    # ------------------------------------------------------------------
+
+    def adopt_alive(self, alive: AliveCellGrid) -> None:
+        """Route an alive-cell grid's half-plane coverage tests through
+        the shared classification memo.
+
+        Whether a half-plane fully covers a cell depends only on the
+        half-plane and the cell rectangle — not on ``k`` or on which query
+        owns the region — so all alive grids over the same geometry share
+        one memo.  Grids with a different size or extent (none exist
+        in-tree) are left on their private inline path.
+        """
+        grid = self.grid
+        if alive.size == grid.size and alive.extent == grid.extent:
+            alive.shared_classify = self.cell_covered
+        else:
+            alive.shared_classify = None
+
+    def cell_covered(self, alive: AliveCellGrid, hp: HalfPlane, key: CellKey) -> bool:
+        """Memoized :meth:`AliveCellGrid.covers`: does ``hp`` fully cover
+        cell ``key``?  Cold evaluations delegate to the alive grid itself,
+        so the decision is bit-identical to the inline path."""
+        memo_key = (hp.a, hp.b, hp.c, key)
+        cached = self._classify.get(memo_key)
+        if cached is not None:
+            self._account("classify", hit=True)
+            return cached
+        self._account("classify", hit=False)
+        covered = alive.covers(hp, key)
+        self._classify[memo_key] = covered
+        return covered
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        out: Dict[str, int] = {"hits": self.hits, "misses": self.misses}
+        for kind in KINDS:
+            out[f"hits_{kind}"] = self.hits_by_kind[kind]
+            out[f"misses_{kind}"] = self.misses_by_kind[kind]
+        return out
+
+
+__all__: List[str] = ["SharedTickContext", "KINDS"]

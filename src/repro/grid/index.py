@@ -57,6 +57,12 @@ class GridIndex:
         self._by_category: Dict[Category, Set[ObjectId]] = {}
         self.cell_changes = 0
         self.updates = 0
+        # Monotonic count of every structural change (insert/remove/move),
+        # never reset: version-stamped cache layers key their freshness on
+        # it.  ``updates``/``cell_changes`` cannot serve that role — they
+        # carry the paper's Figure-5a semantics, miss inserts/removes, and
+        # are zeroed by :meth:`reset_counters`.
+        self.mutations = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -74,6 +80,7 @@ class GridIndex:
         self._cell_of[oid] = key
         self._cells.setdefault(key, {}).setdefault(category, set()).add(oid)
         self._by_category.setdefault(category, set()).add(oid)
+        self.mutations += 1
 
     def remove(self, oid: ObjectId) -> Point:
         """Remove an object and return its last position."""
@@ -90,6 +97,7 @@ class GridIndex:
         ids.discard(oid)
         if not ids:
             del self._by_category[category]
+        self.mutations += 1
         return pos
 
     def move(self, oid: ObjectId, pos: Iterable[float]) -> bool:
@@ -118,6 +126,7 @@ class GridIndex:
         old_key = self._cell_of[oid]
         self._positions[oid] = p
         self.updates += 1
+        self.mutations += 1
         if new_key == old_key:
             return False
         category = self._categories[oid]
@@ -225,6 +234,7 @@ class GridIndex:
             leaves.setdefault(old_key, set()).add(oid)
             enters.setdefault(new_key, set()).add(oid)
         self.updates += n_moves
+        self.mutations += n_moves
         return delta
 
     # ------------------------------------------------------------------

@@ -154,6 +154,12 @@ class GridSearch:
         self.grid = grid
         self.stats = SearchStats()
         self.tracer = tracer if tracer is not None else get_tracer()
+        # Per-tick shared-execution context (see repro.grid.context).  When
+        # bound by the batch executor, region scans read memoized per-cell
+        # snapshots instead of re-enumerating the live cell directory; when
+        # None (the default), every path below is byte-for-byte the
+        # pre-batching behavior.
+        self.shared_context = None
         # Cached cell geometry for the heap priority computation.
         extent = grid.extent
         self._xmin = extent.xmin
@@ -367,9 +373,13 @@ class GridSearch:
         if (threshold is None) == (threshold_sq is None):
             raise ValueError("provide exactly one of threshold or threshold_sq")
         t2 = threshold * threshold if threshold is not None else threshold_sq
-        if threshold is not None and threshold > 0.0 and t2 == 0.0:
-            # Squaring a tiny positive threshold underflowed; keep the
-            # predicate satisfiable for coincident points (d = 0 < threshold).
+        tiny = threshold is not None and threshold > 0.0 and t2 == 0.0
+        if tiny:
+            # Squaring a tiny positive threshold underflowed: squared
+            # distances can no longer discriminate (an object at exactly
+            # the threshold also squares to 0.0), so objects are compared
+            # unsquared below.  The nonzero t2 keeps the center's own cell
+            # traversable for the coincident-point case (d = 0 < threshold).
             t2 = 5e-324
         count = 0
         start = cell_key_of(extent, n, (cx, cy))
@@ -389,7 +399,12 @@ class GridSearch:
                 p = positions[oid]
                 dx = p.x - cx
                 dy = p.y - cy
-                if dx * dx + dy * dy < t2:
+                closer = (
+                    math.hypot(dx, dy) < threshold
+                    if tiny
+                    else dx * dx + dy * dy < t2
+                )
+                if closer:
                     count += 1
                     if stop_at is not None and count >= stop_at:
                         return count
@@ -402,6 +417,67 @@ class GridSearch:
                     if nd2 < t2:
                         heapq.heappush(heap, (nd2, nkey))
         return count
+
+    @_traced("grid.search.witnesses_closer_than")
+    def witnesses_closer_than(
+        self,
+        center: Iterable[float],
+        threshold_sq: float,
+        exclude: Iterable[ObjectId] = (),
+        category: Optional[Category] = None,
+        stop_at: Optional[int] = None,
+        kind: SearchKind = SearchKind.UNCONSTRAINED,
+    ) -> List[Tuple[ObjectId, float]]:
+        """The witnesses strictly closer than ``sqrt(threshold_sq)``.
+
+        Identical traversal, threshold semantics, short-circuiting and
+        operation accounting as :meth:`count_closer_than` with
+        ``threshold_sq`` — but it returns ``(oid, squared_distance)`` rows
+        instead of a bare count, so the shared tick context can bank the
+        witnesses it discovers for reuse by later probes of the same tick
+        (``len(result)`` equals what ``count_closer_than`` would return).
+        """
+        cx, cy = center
+        excluded = _as_excluded(exclude)
+        grid = self.grid
+        n = grid.size
+        extent = grid.extent
+        stats = self.stats
+        stats.calls[kind] += 1
+
+        t2 = threshold_sq
+        out: List[Tuple[ObjectId, float]] = []
+        start = cell_key_of(extent, n, (cx, cy))
+        heap: List[Tuple[float, CellKey]] = [(self._cell_d2(start, cx, cy), start)]
+        seen: Set[CellKey] = {start}
+        positions = grid._positions
+
+        while heap:
+            d2, key = heapq.heappop(heap)
+            if d2 >= t2:
+                break
+            stats.cells_visited[kind] += 1
+            for oid in grid.objects_in_cell(key, category):
+                if oid in excluded:
+                    continue
+                stats.objects_examined[kind] += 1
+                p = positions[oid]
+                dx = p.x - cx
+                dy = p.y - cy
+                od2 = dx * dx + dy * dy
+                if od2 < t2:
+                    out.append((oid, od2))
+                    if stop_at is not None and len(out) >= stop_at:
+                        return out
+            ix, iy = key
+            for sx, sy in _NEIGHBOR_STEPS:
+                nkey = (ix + sx, iy + sy)
+                if 0 <= nkey[0] < n and 0 <= nkey[1] < n and nkey not in seen:
+                    seen.add(nkey)
+                    nd2 = self._cell_d2(nkey, cx, cy)
+                    if nd2 < t2:
+                        heapq.heappush(heap, (nd2, nkey))
+        return out
 
     @_traced("grid.search.first_closer_than")
     def first_closer_than(
@@ -602,18 +678,35 @@ class GridSearch:
         stats = self.stats
         stats.calls[kind] += 1
         grid = self.grid
-        positions = grid._positions
         excluded = _as_excluded(exclude)
         out: List[Tuple[float, ObjectId]] = []
-        for key in alive.alive_cells():
-            for oid in grid.objects_in_cell(key, category):
-                if oid in excluded:
-                    continue
-                stats.objects_examined[kind] += 1
-                p = positions[oid]
-                dx = p.x - qx
-                dy = p.y - qy
-                out.append((dx * dx + dy * dy, oid))
+        ctx = self.shared_context
+        if ctx is not None:
+            # Shared path: read the context's per-cell snapshots (built
+            # once per tick, in the grid's own iteration order) so cells
+            # scanned by several co-evaluated queries are enumerated once.
+            # Appends happen in the same (cell, object) order as the cold
+            # loop below, so the stable sort breaks distance ties
+            # identically.
+            for key in alive.alive_cells():
+                for oid, p in ctx.cell_objects(key, category):
+                    if oid in excluded:
+                        continue
+                    stats.objects_examined[kind] += 1
+                    dx = p.x - qx
+                    dy = p.y - qy
+                    out.append((dx * dx + dy * dy, oid))
+        else:
+            positions = grid._positions
+            for key in alive.alive_cells():
+                for oid in grid.objects_in_cell(key, category):
+                    if oid in excluded:
+                        continue
+                    stats.objects_examined[kind] += 1
+                    p = positions[oid]
+                    dx = p.x - qx
+                    dy = p.y - qy
+                    out.append((dx * dx + dy * dy, oid))
         stats.cells_visited[kind] += alive.alive_cell_bound()
         out.sort(key=lambda pair: pair[0])
         return out

@@ -97,6 +97,16 @@ class ContinuousQuery(abc.ABC):
     def tick(self) -> FrozenSet[Hashable]:
         """Re-evaluate after one time interval of movement."""
 
+    def bind_shared_context(self, context) -> None:
+        """Attach the tick's shared-execution context (or ``None``).
+
+        Called by the batch executor before evaluating this query so its
+        grid probes route through the per-tick memos of
+        :class:`repro.grid.context.SharedTickContext`.  The default is a
+        no-op: baselines without cache-aware probe paths simply evaluate
+        cold, which is always correct.
+        """
+
     def footprint(self) -> Optional[QueryFootprint]:
         """The cells and objects this query's next answer depends on.
 

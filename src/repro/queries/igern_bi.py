@@ -41,6 +41,10 @@ class IGERNBiQuery(ContinuousQuery):
         self._state: Optional[BiState] = None
         self.last_report: Optional[StepReport] = None
 
+    def bind_shared_context(self, context) -> None:
+        self._algo.shared_context = context
+        self.search.shared_context = context
+
     def initial(self) -> FrozenSet[Hashable]:
         self._state, report = self._algo.initial(self.position.current())
         self.last_report = report

@@ -35,6 +35,10 @@ class IGERNMonoQuery(ContinuousQuery):
         self._state: Optional[MonoState] = None
         self.last_report: Optional[StepReport] = None
 
+    def bind_shared_context(self, context) -> None:
+        self._algo.shared_context = context
+        self.search.shared_context = context
+
     def initial(self) -> FrozenSet[Hashable]:
         self._state, report = self._algo.initial(self.position.current())
         self.last_report = report

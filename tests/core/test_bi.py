@@ -178,3 +178,19 @@ class TestIncrementalStep:
                 qpos = grid.position(0)
                 algo.incremental(state, qpos)
                 check_against_brute(grid, state, qpos, query_id=0)
+
+
+class TestBisectorTieRegression:
+    def test_exact_tie_b_object_is_an_answer(self):
+        """Regression: a B object exactly equidistant from the query and
+        its only A competitor is a reverse nearest neighbor (no A object
+        is *strictly* closer).  The rounded q/A bisector once evaluated
+        the point a hair inside the dead side and the point-level
+        prefilter dropped it before verification could decide the tie."""
+        grid = GridIndex(8)
+        grid.insert("a1", (0.871094, 0.871094), "A")
+        grid.insert("b1", (1.0, 0.871094), "B")
+        algo = BiIGERN(grid)
+        state, report = algo.initial((1.0, 1.0))
+        check_against_brute(grid, state, (1.0, 1.0))
+        assert "b1" in state.answer

@@ -119,6 +119,18 @@ class TestPointAlive:
         assert region.point_alive((0.6, 0.4))  # excluded by one plane only
         assert not region.point_alive((0.6, 0.6))  # excluded by both
 
+    def test_exact_tie_boundary_point_stays_alive(self):
+        """Regression: a point exactly on the bisector can evaluate a
+        hair negative through the rounded half-plane coefficients (here
+        ~-1.1e-16); the tolerance margin must keep boundary points alive
+        — conservative, since verification decides them exactly."""
+        region = AliveCellGrid(8)
+        region.add_halfplane(
+            bisector_halfplane((1.0, 1.0), (0.871094, 0.871094))
+        )
+        # (1.0, 0.871094) is equidistant from both defining points.
+        assert region.point_alive((1.0, 0.871094))
+
 
 class TestRegionEnumeration:
     def test_region_polygon_matches_clipping(self):

@@ -159,6 +159,25 @@ class TestCountCloserThan:
         # Object 0 sits at distance 0 < 0.2 from itself.
         assert with_self == without + 1
 
+    def test_subnormal_threshold_exact_tie_not_counted(self):
+        """Regression: squaring a subnormal threshold underflows to 0.0,
+        at which point squared distances can't discriminate — an object
+        at *exactly* the threshold distance (whose squared distance also
+        underflows to 0.0) was once counted as strictly closer.  The
+        degenerate path must fall back to unsquared comparison."""
+        tiny = 2.225073858507203e-309
+        grid = GridIndex(4)
+        grid.insert(0, (0.0, tiny))
+        search = GridSearch(grid)
+        assert search.count_closer_than((0.0, 0.0), tiny) == 0
+
+    def test_subnormal_threshold_still_counts_strictly_closer(self):
+        tiny = 2.225073858507203e-309
+        grid = GridIndex(4)
+        grid.insert(0, (0.0, tiny / 2.0))
+        search = GridSearch(grid)
+        assert search.count_closer_than((0.0, 0.0), tiny) == 1
+
 
 class TestIterNearest:
     def test_yields_in_distance_order(self, searched):

@@ -11,7 +11,12 @@ Three state machines:
 - :class:`SchedulerLockstepMachine` runs a scheduler-on simulator against
   the scheduler-off oracle configuration over identical random ticks
   (movement, churn, pause/resume) and asserts the answers never differ —
-  the footprint skip test must be conservative under any event sequence.
+  the footprint skip test must be conservative under any event sequence;
+- :class:`BatchLockstepMachine` does the same with a third simulator
+  running the shared-execution batch path, with several overlapping
+  queries registered so the per-tick context genuinely memoizes across
+  them — batching must never change an answer, under any interleaving
+  of movement, churn and pause/resume.
 """
 
 import math
@@ -293,6 +298,127 @@ class SchedulerLockstepMachine(RuleBasedStateMachine):
         assert set(off) == expected
 
 
+class BatchLockstepMachine(RuleBasedStateMachine):
+    """Batch-on must equal batch-off and the oracle under any sequence.
+
+    Three simulators step in lockstep over identical random ticks: the
+    shared-execution batch path, the plain scheduler path, and the
+    scheduler-off oracle configuration.  Three mono queries sit close
+    together so their footprints overlap and the shared tick context
+    actually serves cross-query hits; pause/resume of one of them mixes
+    batched and skipped evaluations within the same tick.
+    """
+
+    _INITIAL = [
+        (0, (0.52, 0.48), 0),
+        (1, (0.47, 0.53), 0),
+        (2, (0.80, 0.20), 0),
+        (3, (0.55, 0.55), 0),
+        (4, (0.30, 0.70), 0),
+    ]
+    _QPOINTS = {"q0": (0.50, 0.50), "q1": (0.53, 0.47), "q2": (0.45, 0.55)}
+
+    def __init__(self):
+        super().__init__()
+        self.feeds = [_EventFeed(self._INITIAL) for _ in range(3)]
+        self.sim_batch = Simulator(
+            self.feeds[0], grid_size=6, scheduler=True, batch=True
+        )
+        self.sim_plain = Simulator(
+            self.feeds[1], grid_size=6, scheduler=True, batch=False
+        )
+        self.sim_off = Simulator(self.feeds[2], grid_size=6, scheduler=False)
+        self.sims = (self.sim_batch, self.sim_plain, self.sim_off)
+        for sim in self.sims:
+            for name, qpos in self._QPOINTS.items():
+                sim.add_query(
+                    name,
+                    IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=qpos)),
+                )
+            sim.execute_queries()
+        self.alive = {oid for oid, _, _ in self._INITIAL}
+        self.next_id = 10
+        self.moves = {}
+        self.inserts = []
+        self.removes = set()
+        self.paused = set()
+        self.stale = set()
+
+    def _movable(self):
+        return sorted(self.alive - self.removes)
+
+    @precondition(lambda self: self._movable())
+    @rule(data=st.data(), pos=point)
+    def queue_move(self, data, pos):
+        oid = data.draw(st.sampled_from(self._movable()))
+        self.moves[oid] = pos
+
+    @rule(pos=point)
+    def queue_insert(self, pos):
+        self.inserts.append((self.next_id, pos, 0))
+        self.next_id += 1
+
+    @precondition(lambda self: self._movable())
+    @rule(data=st.data())
+    def queue_remove(self, data):
+        oid = data.draw(st.sampled_from(self._movable()))
+        self.removes.add(oid)
+        self.moves.pop(oid, None)
+
+    @precondition(lambda self: len(self.paused) < len(self._QPOINTS))
+    @rule(data=st.data())
+    def pause(self, data):
+        name = data.draw(
+            st.sampled_from(sorted(set(self._QPOINTS) - self.paused))
+        )
+        for sim in self.sims:
+            sim.pause_query(name)
+        self.paused.add(name)
+        self.stale.add(name)
+
+    @precondition(lambda self: self.paused)
+    @rule(data=st.data())
+    def resume(self, data):
+        name = data.draw(st.sampled_from(sorted(self.paused)))
+        for sim in self.sims:
+            sim.resume_query(name)
+        self.paused.discard(name)
+
+    @rule()
+    def tick(self):
+        events = TickEvents(
+            moves=sorted(self.moves.items()),
+            inserts=list(self.inserts),
+            removes=sorted(self.removes),
+        )
+        self.alive -= self.removes
+        self.alive.update(oid for oid, _, _ in self.inserts)
+        self.moves, self.inserts, self.removes = {}, [], set()
+        for feed in self.feeds:
+            feed.pending = events
+        for sim in self.sims:
+            sim.step()
+        self.stale &= self.paused
+
+    @invariant()
+    def grids_in_sync(self):
+        snap_off = self.sim_off.grid.positions_snapshot()
+        assert self.sim_batch.grid.positions_snapshot() == snap_off
+        assert self.sim_plain.grid.positions_snapshot() == snap_off
+
+    @invariant()
+    def answers_identical_and_exact(self):
+        snapshot = self.sim_off.grid.positions_snapshot()
+        for name, qpos in self._QPOINTS.items():
+            batch = self.sim_batch.query(name).answer
+            plain = self.sim_plain.query(name).answer
+            off = self.sim_off.query(name).answer
+            assert batch == plain == off
+            if name in self.paused or name in self.stale:
+                continue
+            assert set(off) == brute_mono_rnn(snapshot, qpos)
+
+
 TestGridIndexStateful = GridIndexMachine.TestCase
 TestGridIndexStateful.settings = settings(
     max_examples=30, stateful_step_count=30
@@ -306,4 +432,9 @@ TestContinuousRNNStateful.settings = settings(
 TestSchedulerLockstep = SchedulerLockstepMachine.TestCase
 TestSchedulerLockstep.settings = settings(
     max_examples=20, stateful_step_count=30
+)
+
+TestBatchLockstep = BatchLockstepMachine.TestCase
+TestBatchLockstep.settings = settings(
+    max_examples=15, stateful_step_count=25
 )
