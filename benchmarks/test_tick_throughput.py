@@ -29,6 +29,7 @@ import time
 from pathlib import Path
 
 from repro.engine.simulation import Simulator
+from repro.geometry import predicates
 from repro.geometry.point import Point
 from repro.queries.base import QueryPosition
 from repro.queries.igern_bi import IGERNBiQuery
@@ -43,6 +44,10 @@ N_TICKS = 60 if QUICK else 120
 N_QUERIES = 16
 MOVE_FRACTION = 0.1
 SPEEDUP_FLOOR = 3.0
+#: Ceiling on the adaptive predicates' exact-fallback rate over the whole
+#: benchmark: on non-adversarial workloads the float filters must decide
+#: essentially everything (the ISSUE-5 acceptance bound).
+FALLBACK_RATE_CEILING = 0.01
 #: Timed repeats per configuration; the best run is scored, which
 #: filters scheduler-independent machine noise out of the ratio.
 BEST_OF = 3
@@ -143,8 +148,13 @@ def _best_of(workload, scheduler: bool):
 def test_tick_throughput_and_answer_identity():
     workload = _make_workload()
 
+    hits_before = predicates.STATS.filter_hits
+    fallbacks_before = predicates.STATS.exact_fallbacks
     elapsed_on, answers_on, sim_on = _best_of(workload, scheduler=True)
     elapsed_off, answers_off, sim_off = _best_of(workload, scheduler=False)
+    hits = predicates.STATS.filter_hits - hits_before
+    fallbacks = predicates.STATS.exact_fallbacks - fallbacks_before
+    fallback_rate = fallbacks / (hits + fallbacks) if hits + fallbacks else 0.0
 
     # Bit-identical answers, every query, every tick — fail on divergence.
     for name in answers_off:
@@ -182,6 +192,11 @@ def test_tick_throughput_and_answer_identity():
         },
         "speedup": speedup,
         "answers_identical": True,
+        "predicates": {
+            "filter_hits": hits,
+            "exact_fallbacks": fallbacks,
+            "fallback_rate": fallback_rate,
+        },
     }
     RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(
@@ -197,4 +212,10 @@ def test_tick_throughput_and_answer_identity():
     assert evaluated_on < evaluated_off
     assert speedup >= SPEEDUP_FLOOR, (
         f"expected ≥{SPEEDUP_FLOOR}x, measured {speedup:.2f}x"
+    )
+    # The adaptive predicates must be deciding by float filter on this
+    # non-adversarial workload; a rate spike means a broken error bound.
+    assert fallback_rate < FALLBACK_RATE_CEILING, (
+        f"exact-fallback rate {fallback_rate:.4%} over {hits + fallbacks}"
+        f" predicate calls exceeds {FALLBACK_RATE_CEILING:.0%}"
     )

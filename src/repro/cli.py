@@ -169,6 +169,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="save failing scenarios without minimizing them first",
     )
+    fuzz_run.add_argument(
+        "--exact-oracle",
+        action="store_true",
+        help="run the brute-force oracle in pure rational arithmetic"
+        " (no float filters), the gold standard for the adaptive"
+        " predicates",
+    )
     _add_obs_flags(fuzz_run)
 
     fuzz_replay = fuzz_sub.add_parser(
@@ -455,6 +462,7 @@ def _run_fuzz_cmd(args: argparse.Namespace) -> int:
             max_scenarios=args.scenarios,
             start=args.start,
             check_invariants=not args.no_invariants,
+            exact_oracle=args.exact_oracle,
         )
         print(report.summary())
         for result in report.failures:

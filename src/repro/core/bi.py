@@ -368,7 +368,7 @@ class BiIGERN:
                 # Tick-shared probes: B objects sitting in several queries'
                 # regions are tested against the A population once.
                 witnesses = ctx.witness_count(
-                    search, ob, pos, dq2, sig, self.cat_a, self.k
+                    search, ob, pos, dq2, sig, self.cat_a, self.k, threshold_ref=q
                 )
             else:
                 witnesses = search.count_closer_than(
@@ -378,6 +378,7 @@ class BiIGERN:
                     category=self.cat_a,
                     stop_at=self.k,
                     kind=SearchKind.UNCONSTRAINED,
+                    threshold_point=q,
                 )
             if witnesses < self.k:
                 answer.add(ob)

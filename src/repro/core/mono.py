@@ -321,7 +321,7 @@ class MonoIGERN:
             # not disqualify the candidate (the paper's strict inequality).
             dq2 = dist_sq(pos, q)
             if cache is not None:
-                if not cache.has_witness(oid, dq2, self.query_id):
+                if not cache.has_witness(oid, dq2, self.query_id, qpos=q):
                     answer.add(oid)
                 continue
             if ctx is not None:
@@ -336,6 +336,7 @@ class MonoIGERN:
                     frozenset(exclude_base | {oid}),
                     None,
                     self.k,
+                    threshold_ref=q,
                 )
                 if witnesses < self.k:
                     answer.add(oid)
@@ -346,6 +347,7 @@ class MonoIGERN:
                 exclude=exclude_base | {oid},
                 stop_at=self.k,
                 kind=SearchKind.UNCONSTRAINED,
+                threshold_point=q,
             )
             if witnesses < self.k:
                 answer.add(oid)

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.geometry.point import dist_sq
+from repro.geometry import predicates
+from repro.geometry.point import Point, dist_sq
 from repro.grid.index import GridIndex, ObjectId
 from repro.grid.search import GridSearch, SearchKind
 
@@ -39,13 +40,17 @@ from repro.grid.search import GridSearch, SearchKind
 class _Entry:
     """Per-object knowledge accumulated within one tick."""
 
-    __slots__ = ("witness_id", "witness_d2", "no_t2", "no_excluded")
+    __slots__ = ("witness_id", "witness_d2", "no_t2", "no_excluded", "no_ref")
 
     def __init__(self):
         self.witness_id: Optional[ObjectId] = None
         self.witness_d2: float = 0.0
         self.no_t2: float = 0.0
         self.no_excluded: Optional[ObjectId] = None
+        #: Query position whose threshold the NO record exhausted, kept so
+        #: exact-mode reuse can compare threshold *pairs* through the
+        #: adaptive predicates instead of rounded squared floats.
+        self.no_ref: Optional[Point] = None
 
 
 class SharedVerificationCache:
@@ -71,11 +76,17 @@ class SharedVerificationCache:
         oid: ObjectId,
         dq2: float,
         query_id: Optional[ObjectId],
+        qpos: Optional[Point] = None,
     ) -> bool:
         """Whether some object (other than ``oid`` and ``query_id``) lies
-        at squared distance strictly below ``dq2`` from object ``oid``.
+        strictly closer to object ``oid`` than ``sqrt(dq2)``.
 
         Exactly the k=1 verification predicate of Algorithms 1/2 Phase II.
+        ``qpos``, when given, is the query position defining the threshold
+        (``dq2 == dist_sq(position(oid), qpos)``): probes and every reuse
+        decision then run through the exact adaptive predicates, so a
+        witness exactly at the threshold distance is never miscounted —
+        neither on a cold probe nor through cross-query reuse.
         """
         version = self._current_version()
         if version != self._version:
@@ -83,30 +94,50 @@ class SharedVerificationCache:
             self._version = version
 
         grid = self.grid
+        exact = qpos is not None
+        opos = grid.position(oid)
         entry = self._memo.get(oid)
         if entry is None:
             entry = _Entry()
             self._memo[oid] = entry
         else:
             # YES reuse: a known witness below our threshold that is not
-            # our own query object.
-            if (
-                entry.witness_id is not None
-                and entry.witness_d2 < dq2
-                and entry.witness_id != query_id
-            ):
-                self.hits += 1
-                return True
+            # our own query object.  The memo only survives within one
+            # grid version, so the witness's position is still the one the
+            # recording probe saw.
+            if entry.witness_id is not None and entry.witness_id != query_id:
+                below = (
+                    predicates.closer_than(
+                        opos, grid.position(entry.witness_id), qpos
+                    )
+                    if exact
+                    else entry.witness_d2 < dq2
+                )
+                if below:
+                    self.hits += 1
+                    return True
             # NO reuse: some probe exhausted a threshold at least as large
             # as ours; only its excluded object remains to be checked.
-            if entry.no_t2 >= dq2:
+            if exact and entry.no_ref is not None:
+                no_covers = (
+                    predicates.compare_distance(opos, qpos, entry.no_ref) <= 0
+                )
+            else:
+                no_covers = not exact and entry.no_t2 >= dq2
+            if no_covers:
                 excluded = entry.no_excluded
                 if excluded is None or excluded == query_id or excluded not in grid:
                     self.hits += 1
                     return False
-                wd2 = dist_sq(grid.position(excluded), grid.position(oid))
+                epos = grid.position(excluded)
+                wd2 = dist_sq(epos, opos)
                 self.hits += 1
-                if wd2 < dq2:
+                closer = (
+                    predicates.closer_than(opos, epos, qpos)
+                    if exact
+                    else wd2 < dq2
+                )
+                if closer:
                     # The previously excluded object is our witness; keep it.
                     self._record_witness(entry, excluded, wd2)
                     return True
@@ -116,10 +147,11 @@ class SharedVerificationCache:
         self.misses += 1
         exclude = {oid} if query_id is None else {oid, query_id}
         hit = self.search.first_closer_than(
-            grid.position(oid),
+            opos,
             dq2,
             exclude=exclude,
             kind=SearchKind.UNCONSTRAINED,
+            threshold_point=qpos,
         )
         if hit is not None:
             self._record_witness(entry, hit[0], hit[1])
@@ -127,6 +159,7 @@ class SharedVerificationCache:
         if dq2 > entry.no_t2:
             entry.no_t2 = dq2
             entry.no_excluded = query_id
+            entry.no_ref = qpos
         return False
 
     @staticmethod

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Optional, Set
 from repro.engine.batch import BatchExecutor
 from repro.engine.metrics import QueryLog, SimulationResult, TickMetrics, diff_ops
 from repro.engine.scheduler import TickScheduler
+from repro.geometry import predicates
 from repro.grid.delta import TickDelta
 from repro.grid.index import GridIndex
 from repro.obs.metrics import MetricsRegistry, active_registry, record_ops_delta
@@ -116,6 +117,14 @@ class Simulator:
         self.queries_evaluated = 0
         self.ticks_skipped = 0
         self.current_tick = 0
+        #: Last-seen values of the process-global predicate counters, so
+        #: each tick publishes only this simulator's delta (mirrored into
+        #: the registry as ``predicate_filter_hits_total`` /
+        #: ``predicate_exact_fallbacks_total``).
+        self._predicate_seen = (
+            predicates.STATS.filter_hits,
+            predicates.STATS.exact_fallbacks,
+        )
 
     # ------------------------------------------------------------------
     # Query registration
@@ -393,6 +402,22 @@ class Simulator:
                     registry.counter("batch_probe_misses_total").inc(misses)
                 registry.gauge("batch_sharing_ratio").set(batch.sharing_ratio)
                 registry.gauge("batch_groups").set(batch.groups)
+
+        if registry is not None:
+            hits, fallbacks = (
+                predicates.STATS.filter_hits,
+                predicates.STATS.exact_fallbacks,
+            )
+            seen_hits, seen_fallbacks = self._predicate_seen
+            if hits > seen_hits:
+                registry.counter("predicate_filter_hits_total").inc(
+                    hits - seen_hits
+                )
+            if fallbacks > seen_fallbacks:
+                registry.counter("predicate_exact_fallbacks_total").inc(
+                    fallbacks - seen_fallbacks
+                )
+            self._predicate_seen = (hits, fallbacks)
         return out
 
     def _publish(

@@ -124,9 +124,15 @@ class ScenarioResult:
 class _Lockstep:
     """The lockstepped simulators plus per-tick checking for one scenario."""
 
-    def __init__(self, scenario: Scenario, check_invariants: bool = True):
+    def __init__(
+        self,
+        scenario: Scenario,
+        check_invariants: bool = True,
+        exact_oracle: bool = False,
+    ):
         self.scenario = scenario
         self.check_invariants = check_invariants
+        self.exact_oracle = exact_oracle
         self.qid = query_id_of(scenario)
         self.divergences: List[Divergence] = []
         extras = scenario.extra_query_points or []
@@ -210,9 +216,11 @@ class _Lockstep:
     def _oracle(self, qpos, query_id) -> set:
         sc = self.scenario
         grid = self.sim_off.grid
+        exact = self.exact_oracle
         if sc.mode == "mono":
             return brute_mono_rnn(
-                grid.positions_snapshot(), qpos, query_id=query_id, k=sc.k
+                grid.positions_snapshot(), qpos, query_id=query_id, k=sc.k,
+                exact=exact,
             )
         return brute_bi_rnn(
             grid.positions_snapshot(CAT_A),
@@ -220,6 +228,7 @@ class _Lockstep:
             qpos,
             query_id=query_id,
             k=sc.k,
+            exact=exact,
         )
 
     def _expectations(self) -> Dict[str, set]:
@@ -410,10 +419,22 @@ class _Lockstep:
         return out
 
 
-def run_scenario(scenario: Scenario, check_invariants: bool = True) -> ScenarioResult:
-    """Differentially execute one scenario; returns its scripted result."""
+def run_scenario(
+    scenario: Scenario,
+    check_invariants: bool = True,
+    exact_oracle: bool = False,
+) -> ScenarioResult:
+    """Differentially execute one scenario; returns its scripted result.
+
+    ``exact_oracle`` swaps the brute-force oracle's adaptive comparisons
+    for pure :class:`fractions.Fraction` arithmetic, which shares no code
+    with the filtered predicates — the gold standard against which the
+    whole filtered stack is differentially validated.
+    """
     sc = scripted(scenario)
-    result = _Lockstep(sc, check_invariants=check_invariants).run()
+    result = _Lockstep(
+        sc, check_invariants=check_invariants, exact_oracle=exact_oracle
+    ).run()
     registry = active_registry()
     if registry is not None:
         registry.counter("fuzz_scenarios_total").inc()
@@ -490,6 +511,7 @@ def run_fuzz(
     check_invariants: bool = True,
     clock: Callable[[], float] = time.perf_counter,
     on_result: Optional[Callable[[ScenarioResult], None]] = None,
+    exact_oracle: bool = False,
 ) -> FuzzReport:
     """Run the seeded scenario stream until a budget or count is hit.
 
@@ -507,7 +529,11 @@ def run_fuzz(
             break
         if budget_seconds is not None and clock() - began >= budget_seconds:
             break
-        result = run_scenario(scenario, check_invariants=check_invariants)
+        result = run_scenario(
+            scenario,
+            check_invariants=check_invariants,
+            exact_oracle=exact_oracle,
+        )
         report.record(result)
         if on_result is not None:
             on_result(result)

@@ -9,8 +9,10 @@ provably not an RNN of ``q``, because ``o_j`` is closer to it than ``q``).
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Iterable, Tuple
 
+from repro.geometry import predicates
 from repro.geometry.halfplane import HalfPlane
 
 
@@ -19,10 +21,21 @@ def bisector_halfplane(q: Iterable[float], o: Iterable[float]) -> HalfPlane:
 
     A point ``p`` satisfies ``dist(p, q) <= dist(p, o)`` iff
 
-    ``2*(q - o) . p + (|o|^2 - |q|^2) >= 0``
+    ``2*(q - o) . p - 2*(q - o) . m >= 0``
 
-    which is linear in ``p``; the returned :class:`HalfPlane` keeps the
-    ``q``-side (the *alive* side in IGERN's terminology).
+    with ``m`` the midpoint of ``q`` and ``o`` — linear in ``p``; the
+    returned :class:`HalfPlane` keeps the ``q``-side (the *alive* side in
+    IGERN's terminology).  The constant term is computed in midpoint form,
+    ``c = -(a*mx + b*my)``, rather than the textbook ``|o|**2 - |q|**2``:
+    the difference of squared norms cancels catastrophically when the
+    coordinates sit far from the origin (an offset extent at 1e8 loses
+    *all* significant digits of the textbook form), while the midpoint
+    form keeps the error relative to the bisector's own scale.
+
+    The half-plane carries the exact rational coefficients derived from
+    the generating points, so the adaptive predicates classify points
+    against this bisector with zero error; ``c_err`` certifies the
+    rounding of the float ``c``.
 
     Raises ``ValueError`` when ``q`` and ``o`` coincide, since the bisector
     is then undefined.
@@ -33,8 +46,24 @@ def bisector_halfplane(q: Iterable[float], o: Iterable[float]) -> HalfPlane:
     b = 2.0 * (qy - oy)
     if a == 0.0 and b == 0.0:
         raise ValueError(f"bisector undefined: query and object coincide at {tuple(q)}")
-    c = (ox * ox + oy * oy) - (qx * qx + qy * qy)
-    return HalfPlane(a, b, c)
+    mx = 0.5 * (qx + ox)
+    my = 0.5 * (qy + oy)
+    ta = a * mx
+    tb = b * my
+    c = -(ta + tb)
+
+    def exact() -> Tuple[Fraction, Fraction, Fraction]:
+        # Deferred: bisectors are redrawn every tick for every candidate,
+        # but only the rare filter miss ever needs the rational triple.
+        fqx, fqy = Fraction(qx), Fraction(qy)
+        fox, foy = Fraction(ox), Fraction(oy)
+        ea = 2 * (fqx - fox)
+        eb = 2 * (fqy - foy)
+        ec = -(ea * (fqx + fox) + eb * (fqy + foy)) / 2
+        return (ea, eb, ec)
+
+    c_err = predicates.COEFF_ERR_REL * (abs(ta) + abs(tb)) + predicates.ABS_GUARD
+    return HalfPlane(a, b, c, exact=exact, c_err=c_err, src=(qx, qy, ox, oy))
 
 
 def equidistant_line(

@@ -5,13 +5,25 @@ works at grid-cell granularity: a cell is *dead* with respect to a bisector
 when the whole cell lies on the negative (pruned) side.  Because the
 evaluation function is linear, a rectangle lies entirely on one side iff all
 four corners do, which is what :meth:`HalfPlane.classify_rect` checks.
+
+Every half-plane carries *exact* rational coefficients alongside the float
+``(a, b, c)``: bisectors attach the coefficients derived from their
+generating point pair (see :func:`repro.geometry.bisector.bisector_halfplane`),
+while half-planes built directly from floats treat those floats as exact.
+Membership tests and rectangle classification route through the adaptive
+predicates of :mod:`repro.geometry.predicates`, so a point exactly on a
+bisector is classified exactly — the paper's closed/strict semantics hold
+bit for bit, not up to an epsilon.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from typing import Iterable, Tuple
+from fractions import Fraction
+from typing import Iterable, Optional, Tuple
+
+from repro.geometry import predicates
 
 
 class RectSide(enum.Enum):
@@ -25,59 +37,171 @@ class RectSide(enum.Enum):
 class HalfPlane:
     """The closed half-plane ``a*x + b*y + c >= 0``.
 
-    Instances are immutable.  ``(a, b)`` is the inward normal: it points
-    into the kept region.
+    Instances are immutable (the private caches are write-once).  ``(a, b)``
+    is the inward normal: it points into the kept region.
+
+    ``exact`` optionally pins the half-plane's exact rational coefficients
+    when the floats are rounded versions of a sharper quantity (bisector
+    construction); ``c_err`` is a certified absolute bound on
+    ``|c - exact_c|`` that the predicate filters add to their error band.
+    When ``exact`` is omitted the floats *are* the exact coefficients.
+    ``exact`` may be a zero-argument callable producing the triple, so
+    constructors on hot paths (bisectors are redrawn every tick) defer the
+    rational arithmetic until an exact decision actually needs it.
+
+    ``src`` optionally names the construction inputs (for bisectors, the
+    generating point pair) as a cheap hashable token; see
+    :meth:`memo_key`.
     """
 
-    __slots__ = ("a", "b", "c")
+    __slots__ = ("a", "b", "c", "c_err", "_exact", "_canon", "_src")
 
-    def __init__(self, a: float, b: float, c: float):
+    def __init__(
+        self,
+        a: float,
+        b: float,
+        c: float,
+        exact=None,
+        c_err: float = 0.0,
+        src: Optional[Tuple[float, ...]] = None,
+    ):
         if a == 0.0 and b == 0.0:
             raise ValueError("degenerate half-plane: normal vector is zero")
         self.a = a
         self.b = b
         self.c = c
+        self.c_err = c_err
+        self._exact = exact
+        self._canon = None
+        self._src = src
 
     def __repr__(self) -> str:
         return f"HalfPlane({self.a!r}, {self.b!r}, {self.c!r})"
 
+    def exact_coeffs(self) -> Tuple[Fraction, Fraction, Fraction]:
+        """The exact rational coefficients (floats promoted on demand)."""
+        exact = self._exact
+        if exact is None:
+            exact = (Fraction(self.a), Fraction(self.b), Fraction(self.c))
+            self._exact = exact
+        elif callable(exact):
+            exact = exact()
+            self._exact = exact
+        return exact
+
+    def memo_key(self) -> Tuple:
+        """Cheap hashable identity token for per-tick memo tables.
+
+        Equal keys always denote the same exact plane evaluated with the
+        same floats, so sharing a memo slot is sound; distinct keys may
+        denote the same plane (costing at most a duplicate slot, never a
+        wrong answer).  Float-exact planes are keyed by their coefficient
+        triple, constructed planes by their ``src`` token (for bisectors,
+        the generating point pair, which fully determines both the exact
+        plane and the rounded floats); planes with sharper exact
+        coefficients but no ``src`` fall back to the canonical rational
+        triple.  The leading tag keeps the key shapes disjoint.
+        """
+        if self._src is not None:
+            return ("s",) + self._src
+        if self._exact is None:
+            return ("f", self.a, self.b, self.c)
+        return ("c", self._canonical()[0])
+
+    def _canonical(self):
+        """Scale/sign-normalized exact coefficients plus their hash.
+
+        Dividing by ``max(|A|, |B|)`` (a positive rational — the normal is
+        nonzero) maps every scaled copy of the same oriented half-plane to
+        one canonical triple, so geometric identity drives ``==`` and
+        ``hash`` rather than the accident of coefficient scaling.
+        """
+        canon = self._canon
+        if canon is None:
+            A, B, C = self.exact_coeffs()
+            s = max(abs(A), abs(B))
+            key = (A / s, B / s, C / s)
+            canon = (key, hash(key))
+            self._canon = canon
+        return canon
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, HalfPlane):
             return NotImplemented
-        return (self.a, self.b, self.c) == (other.a, other.b, other.c)
+        if self is other:
+            return True
+        # Fast paths: the same construction inputs, or identical floats
+        # that *are* the exact coefficients, mean the same plane without
+        # any rational arithmetic.
+        if self._src is not None and self._src == other._src:
+            return True
+        if (
+            (self.a, self.b, self.c) == (other.a, other.b, other.c)
+            and self._exact is None
+            and other._exact is None
+        ):
+            return True
+        return self._canonical()[0] == other._canonical()[0]
 
     def __hash__(self) -> int:
-        return hash((self.a, self.b, self.c))
+        return self._canonical()[1]
 
     def value(self, p: Iterable[float]) -> float:
-        """Signed value of the defining linear function at ``p``.
+        """Signed (float) value of the defining linear function at ``p``.
 
         Positive means strictly inside the kept region, negative strictly
-        outside, zero on the boundary line.
+        outside, zero on the boundary line — up to float rounding; use
+        :meth:`contains` / :func:`predicates.halfplane_sign` for exact
+        decisions.
         """
         x, y = p
         return self.a * x + self.b * y + self.c
 
     def contains(self, p: Iterable[float]) -> bool:
-        """Whether ``p`` lies in the closed half-plane."""
-        return self.value(p) >= 0.0
+        """Whether ``p`` lies in the closed half-plane (exact)."""
+        x, y = p
+        return predicates.halfplane_sign(self, x, y) >= 0
 
     def strictly_contains(self, p: Iterable[float]) -> bool:
-        """Whether ``p`` lies strictly inside (not on the boundary)."""
-        return self.value(p) > 0.0
+        """Whether ``p`` lies strictly inside, not on the boundary (exact)."""
+        x, y = p
+        return predicates.halfplane_sign(self, x, y) > 0
 
     def signed_distance(self, p: Iterable[float]) -> float:
         """Signed Euclidean distance from ``p`` to the boundary line."""
         return self.value(p) / math.hypot(self.a, self.b)
 
     def normalized(self) -> "HalfPlane":
-        """Equivalent half-plane with a unit-length normal vector."""
+        """Equivalent half-plane with a unit-length normal vector.
+
+        The exact coefficients are divided by the *float* scale — a
+        positive rational — so the normalized copy still denotes exactly
+        the same plane (and compares/hashes equal to the original).
+        """
         scale = math.hypot(self.a, self.b)
-        return HalfPlane(self.a / scale, self.b / scale, self.c / scale)
+        A, B, C = self.exact_coeffs()
+        fs = Fraction(scale)
+        return HalfPlane(
+            self.a / scale,
+            self.b / scale,
+            self.c / scale,
+            exact=(A / fs, B / fs, C / fs),
+            c_err=self.c_err / scale,
+        )
 
     def flipped(self) -> "HalfPlane":
         """The complementary half-plane (open complement, closed here)."""
-        return HalfPlane(-self.a, -self.b, -self.c)
+        exact = self._exact
+        if callable(exact):
+            exact = self.exact_coeffs()
+        if exact is not None:
+            exact = (-exact[0], -exact[1], -exact[2])
+        src = self._src
+        if src is not None:
+            src = ("neg",) + src
+        return HalfPlane(
+            -self.a, -self.b, -self.c, exact=exact, c_err=self.c_err, src=src
+        )
 
     def classify_rect(
         self, xmin: float, ymin: float, xmax: float, ymax: float
@@ -86,31 +210,21 @@ class HalfPlane:
 
         Exploits linearity: the extreme values over the rectangle occur at
         the corner selected by the signs of ``a`` and ``b``, so only two
-        corner evaluations are needed.
+        corner evaluations are needed; each runs through the adaptive
+        predicate, making the classification exact.
         """
-        # Corner maximizing the linear function.
-        mx = xmax if self.a >= 0.0 else xmin
-        my = ymax if self.b >= 0.0 else ymin
-        if self.a * mx + self.b * my + self.c < 0.0:
+        side = predicates.rect_vs_bisector(self, xmin, ymin, xmax, ymax)
+        if side < 0:
             return RectSide.OUTSIDE
-        # Corner minimizing the linear function.
-        nx = xmin if self.a >= 0.0 else xmax
-        ny = ymin if self.b >= 0.0 else ymax
-        if self.a * nx + self.b * ny + self.c >= 0.0:
+        if side > 0:
             return RectSide.INSIDE
         return RectSide.STRADDLE
 
     def rect_outside(
         self, xmin: float, ymin: float, xmax: float, ymax: float
     ) -> bool:
-        """True iff the whole rectangle lies on the pruned (negative) side.
-
-        This is the hot predicate of the alive/dead cell tracker, kept
-        branch-minimal on purpose.
-        """
-        mx = xmax if self.a >= 0.0 else xmin
-        my = ymax if self.b >= 0.0 else ymin
-        return self.a * mx + self.b * my + self.c < 0.0
+        """True iff the whole rectangle lies on the pruned (negative) side."""
+        return predicates.rect_vs_bisector(self, xmin, ymin, xmax, ymax) < 0
 
     def boundary_points(self) -> Tuple[Tuple[float, float], Tuple[float, float]]:
         """Two distinct points on the boundary line (for plotting/tests)."""

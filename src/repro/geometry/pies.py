@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Tuple
 
+from repro.geometry import predicates
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 
@@ -131,23 +132,22 @@ class PiePartition:
         return hits
 
 
-#: Angular slack for closed interval overlap, absorbing the ULP noise of
-#: ``atan2``/``2*pi/n`` round-trips on sector boundary rays.
-_ANGLE_TOL = 1e-12
-
-
 def _intervals_touch(s1: float, e1: float, s2: float, e2: float) -> bool:
     """Whether two circular intervals ``[s, s+e]`` overlap or touch.
 
-    Closed-endpoint semantics (plus :data:`_ANGLE_TOL` slack): used for
-    cell-versus-sector filtering, where over-coverage only costs visiting
-    a boundary cell twice while under-coverage loses objects.
+    Closed-endpoint semantics plus the angular slack
+    :data:`~repro.geometry.predicates.ANGLE_SLACK`, absorbing the ULP
+    noise of ``atan2``/``2*pi/n`` round-trips on sector boundary rays.
+    Used for cell-versus-sector filtering, where over-coverage only costs
+    visiting a boundary cell twice while under-coverage loses objects —
+    angles have no exact float referent, so this stays a (conservative)
+    tolerance rather than an adaptive predicate.
     """
     s1 = _norm_angle(s1)
     s2 = _norm_angle(s2)
     # Shift so interval 1 starts at zero; then interval 2 overlaps iff its
     # start falls inside interval 1 or interval 1's start falls inside it.
     rel = _norm_angle(s2 - s1)
-    if rel <= e1 + _ANGLE_TOL:
+    if rel <= e1 + predicates.ANGLE_SLACK:
         return True
-    return _TWO_PI - rel <= e2 + _ANGLE_TOL
+    return _TWO_PI - rel <= e2 + predicates.ANGLE_SLACK

@@ -4,6 +4,15 @@ Used by the bichromatic baseline (repeated Voronoi-cell construction) and by
 tests that compare IGERN's cell-granularity alive region against the exact
 geometric region.  Clipping is the single-half-plane case of
 Sutherland-Hodgman, which preserves convexity.
+
+Vertex classification against the clipping half-plane routes through the
+adaptive predicates (:mod:`repro.geometry.predicates`), so whether a vertex
+survives a clip is decided exactly; only the *coordinates* of intersection
+vertices are rounded (they have no exact float representation), and the
+remaining tolerances — vertex merging, the boundary slack of
+:meth:`ConvexPolygon.contains` — are *relative* to the polygon's coordinate
+scale, not absolute, so behavior is invariant under translating or scaling
+the data space.
 """
 
 from __future__ import annotations
@@ -11,11 +20,10 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.geometry import predicates
 from repro.geometry.halfplane import HalfPlane
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
-
-_EPS = 1e-12
 
 
 class ConvexPolygon:
@@ -45,17 +53,36 @@ class ConvexPolygon:
         """The rectangle as a CCW convex polygon."""
         return ConvexPolygon(list(rect.corners()))
 
+    def _coord_scale(self) -> float:
+        """Largest coordinate magnitude (>= 1), the relative-tolerance unit."""
+        scale = 1.0
+        for v in self.vertices:
+            ax = abs(v.x)
+            if ax > scale:
+                scale = ax
+            ay = abs(v.y)
+            if ay > scale:
+                scale = ay
+        return scale
+
     def area(self) -> float:
-        """Signed shoelace area (non-negative for CCW vertex order)."""
+        """Signed shoelace area (non-negative for CCW vertex order).
+
+        Computed about the first vertex: raw-coordinate shoelace terms
+        grow like ``offset^2`` and cancel catastrophically for polygons
+        far from the origin, while the recentred cross products stay at
+        the scale of the polygon itself.
+        """
         verts = self.vertices
         n = len(verts)
         if n < 3:
             return 0.0
+        ox, oy = verts[0]
         total = 0.0
-        for i in range(n):
+        for i in range(1, n - 1):
             x1, y1 = verts[i]
-            x2, y2 = verts[(i + 1) % n]
-            total += x1 * y2 - x2 * y1
+            x2, y2 = verts[i + 1]
+            total += (x1 - ox) * (y2 - oy) - (x2 - ox) * (y1 - oy)
         return total / 2.0
 
     def centroid(self) -> Point:
@@ -64,27 +91,34 @@ class ConvexPolygon:
         if not verts:
             raise ValueError("centroid of an empty polygon is undefined")
         a = self.area()
-        if abs(a) < _EPS:
+        scale = self._coord_scale()
+        if abs(a) < predicates.VERTEX_MERGE_REL * scale * scale:
             sx = sum(v.x for v in verts) / len(verts)
             sy = sum(v.y for v in verts) / len(verts)
             return Point(sx, sy)
+        # Recentred about the first vertex, like area(): keeps the cross
+        # products at polygon scale for polygons far from the origin.
+        ox, oy = verts[0]
         cx = cy = 0.0
         n = len(verts)
-        for i in range(n):
-            x1, y1 = verts[i]
-            x2, y2 = verts[(i + 1) % n]
+        for i in range(1, n - 1):
+            x1, y1 = verts[i][0] - ox, verts[i][1] - oy
+            x2, y2 = verts[i + 1][0] - ox, verts[i + 1][1] - oy
             cross = x1 * y2 - x2 * y1
             cx += (x1 + x2) * cross
             cy += (y1 + y2) * cross
-        return Point(cx / (6.0 * a), cy / (6.0 * a))
+        return Point(ox + cx / (6.0 * a), oy + cy / (6.0 * a))
 
-    def contains(self, p: Iterable[float], tol: float = 1e-9) -> bool:
+    def contains(self, p: Iterable[float], tol: Optional[float] = None) -> bool:
         """Point-in-convex-polygon test with a boundary tolerance.
 
         ``tol`` is a *distance*: points within ``tol`` of the boundary
         count as inside (the cross products are scaled by edge length so
-        the tolerance is scale-independent).  Works for any vertex count;
-        an empty polygon contains nothing and a degenerate (point/segment)
+        the tolerance is scale-independent).  When omitted it defaults to
+        ``BOUNDARY_REL`` times the coordinate scale of the polygon and the
+        point — *relative*, so a boundary point at extent 1e7 is treated
+        the same as one at extent 100.  Works for any vertex count; an
+        empty polygon contains nothing and a degenerate (point/segment)
         polygon contains only points within ``tol`` of it.
         """
         verts = self.vertices
@@ -92,8 +126,12 @@ class ConvexPolygon:
         if n == 0:
             return False
         x, y = p
+        if tol is None:
+            scale = max(self._coord_scale(), abs(x), abs(y))
+            tol = predicates.BOUNDARY_REL * scale
         if n == 1:
             return math.hypot(x - verts[0].x, y - verts[0].y) <= tol
+        merge = predicates.VERTEX_MERGE_REL * self._coord_scale()
         for i in range(n):
             x1, y1 = verts[i]
             x2, y2 = verts[(i + 1) % n]
@@ -101,7 +139,7 @@ class ConvexPolygon:
             ey = y2 - y1
             cross = ex * (y - y1) - ey * (x - x1)
             edge_len = math.hypot(ex, ey)
-            if edge_len <= _EPS:
+            if edge_len <= merge:
                 # Degenerate edge: fall back to vertex distance.
                 if math.hypot(x - x1, y - y1) > tol and n == 2:
                     return False
@@ -113,22 +151,53 @@ class ConvexPolygon:
     def clip(self, hp: HalfPlane) -> "ConvexPolygon":
         """Clip against a half-plane, keeping the non-negative side.
 
-        Returns a new polygon; the original is left untouched.
+        Vertex sidedness is decided by the exact predicate, so a vertex
+        precisely on the boundary line is always kept (closed half-plane
+        semantics) regardless of coordinate magnitude.  Returns a new
+        polygon; the original is left untouched.
         """
         verts = self.vertices
         n = len(verts)
         if n == 0:
             return ConvexPolygon()
-        values = [hp.value(v) for v in verts]
+        # Inline replica of the predicates.halfplane_sign filter (same
+        # arithmetic, so same decisions): clipping evaluates every vertex
+        # of every polygon against every bisector, which makes this the
+        # hot path of the Voronoi baseline and the region polygon.
+        a, b, c = hp.a, hp.b, hp.c
+        guard = hp.c_err + predicates.ABS_GUARD
+        hp_filter = predicates.HP_FILTER
+        signs: List[int] = []
+        values: List[float] = []
+        fast = 0
+        for v in verts:
+            t1 = a * v.x
+            t2 = b * v.y
+            e = (t1 + t2) + c
+            band = hp_filter * (abs(t1) + abs(t2) + abs(c)) + guard
+            if e > band:
+                fast += 1
+                signs.append(1)
+            elif e < -band:
+                fast += 1
+                signs.append(-1)
+            else:
+                signs.append(predicates.halfplane_sign(hp, v.x, v.y))
+            values.append(e)
+        predicates.STATS.filter_hits += fast
         out: List[Point] = []
         for i in range(n):
             cur, nxt = verts[i], verts[(i + 1) % n]
-            vcur, vnxt = values[i], values[(i + 1) % n]
-            if vcur >= -_EPS:
+            scur, snxt = signs[i], signs[(i + 1) % n]
+            if scur >= 0:
                 out.append(cur)
-            crosses = (vcur > _EPS and vnxt < -_EPS) or (vcur < -_EPS and vnxt > _EPS)
-            if crosses:
-                t = vcur / (vcur - vnxt)
+            if (scur > 0 and snxt < 0) or (scur < 0 and snxt > 0):
+                vcur, vnxt = values[i], values[(i + 1) % n]
+                denom = vcur - vnxt
+                # The float values have opposite exact signs; a zero float
+                # denominator can only happen when both round to the same
+                # tiny value, where the midpoint is as good as any.
+                t = vcur / denom if denom != 0.0 else 0.5
                 out.append(
                     Point(cur.x + t * (nxt.x - cur.x), cur.y + t * (nxt.y - cur.y))
                 )
@@ -144,16 +213,25 @@ class ConvexPolygon:
 
 
 def _dedupe(points: List[Point]) -> List[Point]:
-    """Drop consecutive (near-)duplicate vertices produced by clipping."""
+    """Drop consecutive (near-)duplicate vertices produced by clipping.
+
+    The merge radius is relative to the coordinate magnitudes involved:
+    intersection vertices are rounded, so "duplicate" can only ever mean
+    "equal up to that rounding", which scales with the coordinates.
+    """
     if not points:
         return points
+
+    def near(p: Point, q: Point) -> bool:
+        span = max(abs(p.x), abs(p.y), abs(q.x), abs(q.y), 1.0)
+        eps = predicates.VERTEX_MERGE_REL * span
+        return abs(p.x - q.x) <= eps and abs(p.y - q.y) <= eps
+
     out: List[Point] = [points[0]]
     for p in points[1:]:
-        q = out[-1]
-        if abs(p.x - q.x) > _EPS or abs(p.y - q.y) > _EPS:
+        if not near(p, out[-1]):
             out.append(p)
-    first, last = out[0], out[-1]
-    if len(out) > 1 and abs(first.x - last.x) <= _EPS and abs(first.y - last.y) <= _EPS:
+    if len(out) > 1 and near(out[0], out[-1]):
         out.pop()
     return out
 

@@ -1,0 +1,358 @@
+"""Adaptive-precision geometric predicates (Shewchuk-style filters).
+
+IGERN's correctness theorems (Theorems 1-4 of the paper) are stated in
+terms of *exact* comparisons: an object ``p`` is on the query side of the
+bisector between ``q`` and ``o`` iff ``dist(p, q) <= dist(p, o)``, and a
+candidate is an RkNN iff strictly fewer than ``k`` objects are *strictly*
+closer to it than the query.  Evaluating those comparisons in floating
+point silently breaks them on tie-heavy workloads (lattice positions,
+mirrored coordinates) and on large or offset extents, where a fixed
+absolute epsilon is either far too big or far too small.  Every fuzzer
+regression in this repository's corpus so far was an instance of that
+disease.
+
+This module retires the bug class the way computational geometry does
+(Shewchuk, *Adaptive Precision Floating-Point Arithmetic and Fast Robust
+Geometric Predicates*, 1997): each predicate first evaluates a straight
+floating-point expression together with a **certified forward error
+bound**; when the magnitude of the result exceeds the bound, its sign is
+provably correct and the cheap answer stands (a *filter hit*).  Otherwise
+the predicate re-evaluates in exact rational arithmetic over
+:class:`fractions.Fraction` (an *exact fallback*) — every IEEE-754 double
+is a rational number, so the fallback is exact by construction, just
+slow.  On non-adversarial workloads the fallback rate is ~0%; on
+adversarial tie lattices it is the price of a correct answer.
+
+Derivation of the bounds (binary64, unit roundoff ``u = 2**-53``): each
+predicate below is a sum of a handful of products of differences of input
+doubles.  Every float operation introduces a relative error of at most
+``u``, so an expression with ``m`` sequential roundings is off by at most
+``~m*u`` times the sum of the magnitudes of its computed terms.  The
+filter constants use ``16u`` — at least twice the worst-case ``m`` of any
+expression here — because generosity only costs fallback rate, never
+correctness.  Two non-obvious cases route to the exact path by
+construction: overflow (``inf - inf = NaN`` fails every comparison
+against the bound) and underflow (products of subnormal magnitude round
+with *absolute* error, covered by the additive :data:`ABS_GUARD` term).
+
+The module is also the single home of every remaining float tolerance of
+the geometry and grid layers (the lint gate ``tools/check_tolerances.py``
+forbids new ones elsewhere).  The survivors guard quantities that have no
+exact referent — reconstructed cell corners, ``atan2`` angles, clipped
+polygon vertices — and each is applied in the *conservative* direction
+only: a borderline cell stays alive, a borderline constraint stays
+monitored.  Decisions about exactly-known points always go through the
+exact predicates.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Tuple
+
+#: Unit roundoff of IEEE-754 binary64.
+U = 2.0**-53
+
+#: Relative filter half-width for the distance-difference determinant
+#: (4 squared differences, 7 roundings; see the module docstring).
+DIST_FILTER = 16.0 * U
+
+#: Relative filter half-width for half-plane evaluations
+#: (2 products + 2 additions, plus ~2u of coefficient rounding).
+HP_FILTER = 16.0 * U
+
+#: Absolute guard absorbing subnormal rounding: a product whose result is
+#: subnormal carries an absolute error up to 2**-1075 per operation; a
+#: handful of them stay far below this.
+ABS_GUARD = 1e-320
+
+#: Relative bound on the rounding of a bisector's ``c`` coefficient in
+#: midpoint form, ``c = -(a*mx + b*my)`` (~8u; set to ~45u for headroom).
+#: Scaled by ``|a*mx| + |b*my|``, *not* ``|c|`` — the two terms may cancel.
+COEFF_ERR_REL = 1e-14
+
+# ---------------------------------------------------------------------------
+# Centralized tolerances (no exact referent; conservative direction only).
+# ---------------------------------------------------------------------------
+
+#: Relative slack for "vertex sits on a line" style tests over *computed*
+#: vertices (polygon clipping intersections, Voronoi edges).  Not
+#: correctness-critical: both outcomes are safe, one is just cheaper.
+BOUNDARY_REL = 1e-9
+
+#: Relative slack for merging near-duplicate clipped polygon vertices.
+VERTEX_MERGE_REL = 1e-12
+
+#: Angular slack absorbing ``atan2`` / ``2*pi/n`` round-trips on sector
+#: boundary rays (pie partitions); applied so cell/sector filters
+#: over-cover, never under-cover.
+ANGLE_SLACK = 1e-12
+
+#: Relative slack for the cell-coverage corner test: grid cell corners are
+#: reconstructed as ``origin + index * width`` and can land a few ulps off
+#: the true cell boundary.  A cell is only killed when it clears this
+#: margin (a borderline cell staying alive costs a search visit, never an
+#: answer).  Scaled by ``|a|*tx + |b|*ty + |c|`` over the extent bounds.
+COVER_GUARD_REL = 1e-12
+
+#: Relative slack on cell-boundary coordinate reconstruction, used to pad
+#: traversal prune radii: an object can sit up to this (times the extent
+#: magnitude) outside the *reconstructed* rectangle of its own cell.
+CELL_COORD_REL = 1e-12
+
+#: Relative + absolute inflation of a squared traversal prune threshold
+#: (covers the ~1e-15 relative error of both the threshold and the
+#: cell-distance computation, with three orders of headroom).
+PRUNE_REL = 1e-12
+PRUNE_ABS = 1e-300
+
+#: Relative half-width of the fast in-loop band for ``d2 < t2`` squared
+#: distance comparisons (both sides carry ~4u relative error).
+D2_REL = 1e-13
+
+#: Smallest positive double; kept here so grid code needs no literal.
+MIN_SUBNORMAL = 5e-324
+
+
+class PredicateStats:
+    """Monotonic counters behind ``predicate_*_total`` metrics."""
+
+    __slots__ = ("filter_hits", "exact_fallbacks")
+
+    def __init__(self) -> None:
+        self.filter_hits = 0
+        self.exact_fallbacks = 0
+
+    @property
+    def fallback_rate(self) -> float:
+        total = self.filter_hits + self.exact_fallbacks
+        return self.exact_fallbacks / total if total else 0.0
+
+    def reset(self) -> None:
+        self.filter_hits = 0
+        self.exact_fallbacks = 0
+
+
+#: Process-wide predicate accounting (the engine publishes deltas of it).
+STATS = PredicateStats()
+
+
+def _sign(x) -> int:
+    return (x > 0) - (x < 0)
+
+
+# ---------------------------------------------------------------------------
+# Distance comparison (the verification / witness predicate)
+# ---------------------------------------------------------------------------
+
+
+def compare_distance(
+    p: Iterable[float], a: Iterable[float], b: Iterable[float]
+) -> int:
+    """Sign of ``dist(p, a)**2 - dist(p, b)**2``, exactly.
+
+    ``+1`` when ``p`` is strictly closer to ``b``, ``-1`` when strictly
+    closer to ``a``, ``0`` when exactly equidistant.
+    """
+    px, py = p
+    ax, ay = a
+    bx, by = b
+    dax = px - ax
+    day = py - ay
+    dbx = px - bx
+    dby = py - by
+    t1 = dax * dax
+    t2 = day * day
+    t3 = dbx * dbx
+    t4 = dby * dby
+    det = (t1 + t2) - (t3 + t4)
+    band = DIST_FILTER * ((t1 + t2) + (t3 + t4)) + ABS_GUARD
+    if det > band:
+        STATS.filter_hits += 1
+        return 1
+    if det < -band:
+        STATS.filter_hits += 1
+        return -1
+    # Uncertain (or NaN from overflow): decide exactly.
+    STATS.exact_fallbacks += 1
+    return compare_distance_pure(p, a, b)
+
+
+def compare_distance_pure(
+    p: Iterable[float], a: Iterable[float], b: Iterable[float]
+) -> int:
+    """Pure-rational :func:`compare_distance` (no filter, no counters).
+
+    The gold standard the filtered predicate is tested against, and the
+    arithmetic of the fuzzer's ``--exact-oracle`` mode.
+    """
+    px, py = Fraction(p[0]), Fraction(p[1])
+    ax, ay = Fraction(a[0]), Fraction(a[1])
+    bx, by = Fraction(b[0]), Fraction(b[1])
+    da = (px - ax) ** 2 + (py - ay) ** 2
+    db = (px - bx) ** 2 + (py - by) ** 2
+    return _sign(da - db)
+
+
+def side_of_bisector(
+    p: Iterable[float], q: Iterable[float], o: Iterable[float]
+) -> int:
+    """Which side of the ``q``/``o`` bisector ``p`` lies on, exactly.
+
+    ``+1`` when ``p`` is strictly closer to ``q`` (the kept side of
+    ``bisector_halfplane(q, o)``), ``-1`` when strictly closer to ``o``,
+    ``0`` exactly on the bisector line.
+    """
+    return compare_distance(p, o, q)
+
+
+def closer_than(
+    center: Iterable[float], p: Iterable[float], ref: Iterable[float]
+) -> bool:
+    """Whether ``p`` is *strictly* closer to ``center`` than ``ref`` is.
+
+    The incircle-style witness test of the verification step: with
+    ``center`` a candidate and ``ref`` the query position, a ``True``
+    answer makes ``p`` a witness against the candidate.
+    """
+    return compare_distance(center, p, ref) < 0
+
+
+# ---------------------------------------------------------------------------
+# Half-plane evaluations (region maintenance)
+# ---------------------------------------------------------------------------
+
+
+def _exact_value(hp, x: float, y: float) -> Fraction:
+    A, B, C = hp.exact_coeffs()
+    return A * Fraction(x) + B * Fraction(y) + C
+
+
+def halfplane_sign(hp, x: float, y: float) -> int:
+    """Sign of the half-plane's *exact* linear function at ``(x, y)``.
+
+    Exact with respect to the half-plane's exact rational coefficients
+    (for bisectors, the ones derived from the generating point pair — so
+    the sign agrees with :func:`side_of_bisector` bit for bit).
+    """
+    a, b, c = hp.a, hp.b, hp.c
+    t1 = a * x
+    t2 = b * y
+    e = (t1 + t2) + c
+    band = HP_FILTER * (abs(t1) + abs(t2) + abs(c)) + hp.c_err + ABS_GUARD
+    if e > band:
+        STATS.filter_hits += 1
+        return 1
+    if e < -band:
+        STATS.filter_hits += 1
+        return -1
+    STATS.exact_fallbacks += 1
+    return _sign(_exact_value(hp, x, y))
+
+
+def halfplane_below(hp, x: float, y: float, slack: float) -> bool:
+    """Whether the exact value at ``(x, y)`` is certainly ``< -slack``.
+
+    The coverage test of the alive-cell tracker: ``slack`` is the
+    conservative corner-reconstruction margin (see
+    :data:`COVER_GUARD_REL`); the float filter resolves clear cases and
+    ties are settled exactly against the rational ``-slack``.
+    """
+    if not math.isfinite(slack):
+        return False  # overflowed tolerance: never certainly below
+    a, b, c = hp.a, hp.b, hp.c
+    t1 = a * x
+    t2 = b * y
+    e = (t1 + t2) + c
+    band = HP_FILTER * (abs(t1) + abs(t2) + abs(c)) + hp.c_err + ABS_GUARD
+    if e + band < -slack:
+        STATS.filter_hits += 1
+        return True
+    if e - band > -slack:
+        STATS.filter_hits += 1
+        return False
+    STATS.exact_fallbacks += 1
+    return _exact_value(hp, x, y) < -Fraction(slack)
+
+
+def rect_vs_bisector(
+    hp, xmin: float, ymin: float, xmax: float, ymax: float
+) -> int:
+    """Exact rectangle classification: ``-1`` entirely on the negative
+    side, ``+1`` entirely on the (closed) non-negative side, ``0``
+    straddling the boundary line.
+
+    Linearity puts the extrema at the corners selected by the coefficient
+    signs; float coefficient signs equal the exact signs (a float
+    difference of unequal doubles never rounds to zero), so the corner
+    choice is exact and only the two corner evaluations need the adaptive
+    treatment.
+    """
+    a, b = hp.a, hp.b
+    mx = xmax if a >= 0.0 else xmin
+    my = ymax if b >= 0.0 else ymin
+    if halfplane_sign(hp, mx, my) < 0:
+        return -1
+    nx = xmin if a >= 0.0 else xmax
+    ny = ymin if b >= 0.0 else ymax
+    if halfplane_sign(hp, nx, ny) >= 0:
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Squared-threshold helpers (grid traversal)
+# ---------------------------------------------------------------------------
+
+
+def d2_band(t2: float) -> Tuple[float, float]:
+    """``(lo, hi)`` such that a computed squared distance outside
+    ``[lo, hi]`` compares against the computed threshold ``t2`` the same
+    way the exact quantities do; values inside need the exact predicate.
+    """
+    pad = D2_REL * t2 + ABS_GUARD
+    return (t2 - pad, t2 + pad)
+
+
+def prune_bound(t2: float, coord_scale: float) -> float:
+    """Inflated squared radius for conservatively pruning grid cells.
+
+    A cell may be skipped when its computed min squared distance reaches
+    this bound: the inflation covers the float error of the threshold and
+    the cell-distance computation *and* the cell-boundary reconstruction
+    error (an object can sit ``CELL_COORD_REL * coord_scale`` outside the
+    reconstructed rectangle of its own cell, which perturbs the min
+    distance by up to ``2*d*delta + delta**2``).
+    """
+    delta = CELL_COORD_REL * coord_scale
+    return t2 * (1.0 + PRUNE_REL) + 2.0 * math.sqrt(t2) * delta + delta * delta + PRUNE_ABS
+
+
+__all__ = [
+    "U",
+    "DIST_FILTER",
+    "HP_FILTER",
+    "ABS_GUARD",
+    "COEFF_ERR_REL",
+    "BOUNDARY_REL",
+    "VERTEX_MERGE_REL",
+    "ANGLE_SLACK",
+    "COVER_GUARD_REL",
+    "CELL_COORD_REL",
+    "PRUNE_REL",
+    "PRUNE_ABS",
+    "D2_REL",
+    "MIN_SUBNORMAL",
+    "PredicateStats",
+    "STATS",
+    "compare_distance",
+    "compare_distance_pure",
+    "side_of_bisector",
+    "closer_than",
+    "halfplane_sign",
+    "halfplane_below",
+    "rect_vs_bisector",
+    "d2_band",
+    "prune_bound",
+]

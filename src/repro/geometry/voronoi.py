@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Tuple
 
+from repro.geometry import predicates
 from repro.geometry.bisector import bisector_halfplane
 from repro.geometry.polygon import ConvexPolygon, clip_rect_by_halfplanes
 from repro.geometry.rectangle import Rect
-
-_EDGE_TOL = 1e-9
 
 
 def voronoi_cell(
@@ -55,7 +54,10 @@ def voronoi_neighbors(
     These are the Voronoi neighbors — the minimal set of sites that fully
     determine the cell, i.e. the objects a Voronoi-based monitor has to
     watch.  A site contributes when the clipped cell has a vertex on its
-    bisector line (within a small tolerance).
+    bisector line; the vertices are rounded intersections, so "on" means
+    within a distance tolerance *relative* to the vertex's coordinate
+    magnitude (an absolute tolerance would silently reject every true
+    neighbor at extent 1e7 and accept spurious ones at extent 1e-3).
     """
     cell = voronoi_cell(site, others.values(), bounds)
     if cell.is_empty():
@@ -66,7 +68,11 @@ def voronoi_neighbors(
         if pos[0] == sx and pos[1] == sy:
             continue
         hp = bisector_halfplane((sx, sy), pos).normalized()
-        touches = any(abs(hp.value(v)) <= _EDGE_TOL for v in cell.vertices)
+        touches = any(
+            abs(hp.value(v))
+            <= predicates.BOUNDARY_REL * max(abs(v.x), abs(v.y), 1.0)
+            for v in cell.vertices
+        )
         if touches:
             neighbors.append(key)
     return neighbors

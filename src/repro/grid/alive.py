@@ -39,26 +39,11 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.geometry import predicates
 from repro.geometry.halfplane import HalfPlane
 from repro.geometry.polygon import ConvexPolygon
 from repro.geometry.rectangle import Rect
 from repro.grid.cell import CellKey
-
-# Relative tolerance for "vertex on a half-plane boundary".  Not
-# correctness-critical: misclassifying either way only trades a slightly
-# larger region or a slightly larger monitored set, never a wrong answer.
-_REDUNDANCY_TOL = 1e-9
-
-# Relative slack for the cell-coverage corner test.  Cell corners are
-# reconstructed as ``origin + index * width``, which can land a few ulps
-# inside the true cell (e.g. the top row's ymax accumulating to just
-# below the extent's ymax).  A point exactly on a bisector line *and* on
-# such a cell edge would then sit in a cell whose computed max-corner
-# value is a hair negative — the cell dies while the point survives,
-# and a true answer is lost.  Killing only cells that clear this margin
-# keeps the test conservative; the cost is a borderline cell staying
-# alive.
-_COVER_EPS = 1e-12
 
 
 class AliveCellGrid:
@@ -91,13 +76,23 @@ class AliveCellGrid:
         self._cw = self.extent.width / size
         self._ch = self.extent.height / size
         # Coordinate magnitudes bounding the corner-test round-off (see
-        # _COVER_EPS / _cover_tol).
+        # predicates.COVER_GUARD_REL / _cover_tol).
         self._tx = max(abs(self.extent.xmin), abs(self.extent.xmax))
         self._ty = max(abs(self.extent.ymin), abs(self.extent.ymax))
 
     def _cover_tol(self, hp: HalfPlane) -> float:
-        """Absolute slack below which a corner value counts as boundary."""
-        return _COVER_EPS * (
+        """Absolute slack below which a corner value counts as boundary.
+
+        Cell corners are reconstructed as ``origin + index * width``,
+        which can land a few ulps off the true cell boundary; a corner
+        must clear this margin before its cell may be killed (see
+        :data:`~repro.geometry.predicates.COVER_GUARD_REL`).  The margin
+        is three orders of magnitude above the evaluation error the
+        adaptive predicate certifies, so "exact value < -tol" decisions
+        stay conservative against the reconstruction, never against
+        float rounding.
+        """
+        return predicates.COVER_GUARD_REL * (
             abs(hp.a) * self._tx + abs(hp.b) * self._ty + abs(hp.c)
         )
 
@@ -136,7 +131,16 @@ class AliveCellGrid:
         stays valid and only the per-cell memo is dropped (straddling
         cells near ``hp``'s line can change state).
         """
-        self._halfplanes.remove(hp)
+        # Identity/construction scan first: callers pass the stored object
+        # or a bisector rebuilt from the same generating points, and full
+        # equality on constructed planes costs rational canonicalization.
+        src = hp._src
+        for i, existing in enumerate(self._halfplanes):
+            if existing is hp or (src is not None and existing._src == src):
+                del self._halfplanes[i]
+                break
+        else:
+            self._halfplanes.remove(hp)
         if region_unchanged:
             self._memo.clear()
         else:
@@ -173,16 +177,35 @@ class AliveCellGrid:
 
         The exact decision :meth:`_compute_alive` makes per half-plane,
         exposed so the shared tick context can memoize it across queries;
-        the float expression is identical to the inline loop, so hook and
-        inline paths cannot disagree.
+        both route through the same adaptive predicate, so hook and
+        inline paths cannot disagree.  The filter fast path of
+        :func:`predicates.halfplane_below` is replicated inline (same
+        arithmetic, so same decisions) because this runs once per
+        (half-plane, cell) pair every tick.
         """
         xmin = self._xmin + key[0] * self._cw
         ymin = self._ymin + key[1] * self._ch
-        xmax = xmin + self._cw
-        ymax = ymin + self._ch
-        mx = xmax if hp.a >= 0.0 else xmin
-        my = ymax if hp.b >= 0.0 else ymin
-        return hp.a * mx + hp.b * my + hp.c < -self._cover_tol(hp)
+        a, b, c = hp.a, hp.b, hp.c
+        mx = xmin + self._cw if a >= 0.0 else xmin
+        my = ymin + self._ch if b >= 0.0 else ymin
+        t1 = a * mx
+        t2 = b * my
+        e = (t1 + t2) + c
+        tol = predicates.COVER_GUARD_REL * (
+            abs(a) * self._tx + abs(b) * self._ty + abs(c)
+        )
+        band = (
+            predicates.HP_FILTER * (abs(t1) + abs(t2) + abs(c))
+            + hp.c_err
+            + predicates.ABS_GUARD
+        )
+        if e + band < -tol:
+            predicates.STATS.filter_hits += 1
+            return True
+        if e - band > -tol:
+            predicates.STATS.filter_hits += 1
+            return False
+        return predicates.halfplane_below(hp, mx, my, tol)
 
     def _compute_alive(self, key: CellKey) -> bool:
         needed = self.k
@@ -199,12 +222,33 @@ class AliveCellGrid:
         ymin = self._ymin + key[1] * self._ch
         xmax = xmin + self._cw
         ymax = ymin + self._ch
+        tx, ty = self._tx, self._ty
+        cov_rel = predicates.COVER_GUARD_REL
+        hp_filter = predicates.HP_FILTER
+        abs_guard = predicates.ABS_GUARD
+        stats = predicates.STATS
         for hp in self._halfplanes:
             # Corner of the cell maximizing the plane's linear function; the
-            # whole cell is outside iff even that corner clearly is.
-            mx = xmax if hp.a >= 0.0 else xmin
-            my = ymax if hp.b >= 0.0 else ymin
-            if hp.a * mx + hp.b * my + hp.c < -self._cover_tol(hp):
+            # whole cell is outside iff even that corner clearly is.  The
+            # filter fast path mirrors predicates.halfplane_below inline
+            # (identical arithmetic) — this loop is the region hot path.
+            a, b, c = hp.a, hp.b, hp.c
+            mx = xmax if a >= 0.0 else xmin
+            my = ymax if b >= 0.0 else ymin
+            t1 = a * mx
+            t2 = b * my
+            e = (t1 + t2) + c
+            tol = cov_rel * (abs(a) * tx + abs(b) * ty + abs(c))
+            band = hp_filter * (abs(t1) + abs(t2) + abs(c)) + hp.c_err + abs_guard
+            if e + band < -tol:
+                stats.filter_hits += 1
+                below = True
+            elif e - band > -tol:
+                stats.filter_hits += 1
+                below = False
+            else:
+                below = predicates.halfplane_below(hp, mx, my, tol)
+            if below:
                 covered += 1
                 if covered >= needed:
                     return False
@@ -212,34 +256,25 @@ class AliveCellGrid:
 
     def coverage(self, key: CellKey) -> int:
         """How many half-planes fully cover cell ``key``."""
-        xmin = self._xmin + key[0] * self._cw
-        ymin = self._ymin + key[1] * self._ch
-        xmax = xmin + self._cw
-        ymax = ymin + self._ch
-        covered = 0
-        for hp in self._halfplanes:
-            mx = xmax if hp.a >= 0.0 else xmin
-            my = ymax if hp.b >= 0.0 else ymin
-            if hp.a * mx + hp.b * my + hp.c < -self._cover_tol(hp):
-                covered += 1
-        return covered
+        return sum(1 for hp in self._halfplanes if self.covers(hp, key))
 
     def point_alive(self, p: Iterable[float]) -> bool:
         """Point-level survival: fewer than ``k`` half-planes strictly
         exclude the point.
 
-        Exclusion is margin-guarded like the cell corner test: a point
-        exactly *on* a bisector (an equidistant object, which the paper's
-        strict inequality keeps) can evaluate a hair negative through the
-        half-plane's rounded coefficients, and callers use this test to
-        *discard* work — so only points clearly past the boundary count
-        as excluded.  Boundary points staying alive is conservative: it
-        costs a verification search, never an answer.
+        Decided *exactly*: the adaptive predicate evaluates the point
+        against each half-plane's exact rational coefficients, so a point
+        precisely on a bisector (an equidistant object, which the paper's
+        strict inequality keeps) is never excluded — no margin needed.
+        Object positions are exactly-known floats, unlike reconstructed
+        cell corners, which is why this test carries no slack while
+        :meth:`covers` does; exactness here plus the conservative corner
+        slack there preserves ``point_alive(p)  =>  cell of p alive``.
         """
         x, y = p
         excluded = 0
         for hp in self._halfplanes:
-            if hp.a * x + hp.b * y + hp.c < -self._cover_tol(hp):
+            if predicates.halfplane_sign(hp, x, y) < 0:
                 excluded += 1
                 if excluded >= self.k:
                     return False
@@ -347,9 +382,18 @@ class AliveCellGrid:
             poly = self.region_polygon()
             if poly.is_empty():
                 return True
+            # "Vertex on the boundary" over *computed* intersection
+            # vertices: a relative tolerance (coefficient scale times
+            # vertex magnitude) — not correctness-critical, see above,
+            # but an absolute one would misjudge at large extents.
             scale = (hp.a * hp.a + hp.b * hp.b) ** 0.5
-            tol = _REDUNDANCY_TOL * max(scale, 1.0)
-            return any(abs(hp.value(v)) <= tol for v in poly.vertices)
+            return any(
+                abs(hp.value(v))
+                <= predicates.BOUNDARY_REL
+                * scale
+                * max(abs(v.x), abs(v.y), 1.0)
+                for v in poly.vertices
+            )
         coverage = self._dense_coverage()
         outside = self._dense_outside(hp)
         return bool(np.any(outside & (coverage == self.k)))
@@ -365,10 +409,31 @@ class AliveCellGrid:
         return x_lo, x_lo + self._cw, y_lo, y_lo + self._ch
 
     def _dense_outside(self, hp: HalfPlane):
+        """Vectorized :meth:`covers` over every cell.
+
+        The float pass classifies cells whose corner value clears the
+        certified error band; the (rare) cells inside the band are
+        resolved through the same exact predicate as the scalar path, so
+        dense and per-cell classification can never disagree.
+        """
         x_lo, x_hi, y_lo, y_hi = self._axis_bounds()
         mx = x_hi if hp.a >= 0.0 else x_lo
         my = y_hi if hp.b >= 0.0 else y_lo
-        return np.add.outer(hp.a * mx + hp.c, hp.b * my) < -self._cover_tol(hp)
+        tx = hp.a * mx
+        ty = hp.b * my
+        e = np.add.outer(tx + hp.c, ty)
+        mag = np.add.outer(np.abs(tx) + abs(hp.c), np.abs(ty))
+        band = predicates.HP_FILTER * mag + (hp.c_err + predicates.ABS_GUARD)
+        tol = self._cover_tol(hp)
+        out = e < -(tol + band)
+        uncertain = ~out & (e < band - tol)
+        if np.any(uncertain):
+            ixs, iys = np.nonzero(uncertain)
+            for ix, iy in zip(ixs.tolist(), iys.tolist()):
+                out[ix, iy] = predicates.halfplane_below(
+                    hp, float(mx[ix]), float(my[iy]), tol
+                )
+        return out
 
     def _dense_coverage(self):
         coverage = np.zeros((self.size, self.size), dtype=np.int32)

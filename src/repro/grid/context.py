@@ -50,6 +50,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.geometry import predicates
 from repro.geometry.halfplane import HalfPlane
 from repro.geometry.point import Point
 from repro.grid.alive import AliveCellGrid
@@ -63,19 +64,23 @@ KINDS = ("witness", "nearest", "cells", "classify")
 class _WitnessEntry:
     """Accumulated witness knowledge for one probe key within one tick.
 
-    ``known`` maps witness id -> exact squared distance from the center;
+    ``known`` maps witness id -> float squared distance from the center;
     every entry is a genuine witness for this key's exclusion signature.
     ``complete_t2`` is the largest threshold for which ``known`` provably
     holds *every* witness strictly below it (established by a cold probe
-    that exhausted its threshold without hitting its ``stop_at`` cutoff).
+    that exhausted its threshold without hitting its ``stop_at`` cutoff);
+    ``complete_ref`` is the reference point defining that threshold when
+    the probe ran in exact mode, so later reuse decisions can compare
+    thresholds through the adaptive predicates instead of rounded floats.
     """
 
-    __slots__ = ("center", "known", "complete_t2")
+    __slots__ = ("center", "known", "complete_t2", "complete_ref")
 
     def __init__(self, center: Point):
         self.center = center
         self.known: Dict[ObjectId, float] = {}
         self.complete_t2: float = 0.0
+        self.complete_ref: Optional[Point] = None
 
 
 class SharedTickContext:
@@ -175,6 +180,7 @@ class SharedTickContext:
         signature: FrozenSet[ObjectId],
         category: Optional[Category],
         k: int,
+        threshold_ref: Optional[Point] = None,
     ) -> int:
         """``min(k, #objects strictly closer than sqrt(threshold_sq)))``
         around ``center``, ignoring the signature ids — the verification
@@ -186,23 +192,54 @@ class SharedTickContext:
         traversal, threshold semantics and short-circuiting are identical
         to the uncached ``count_closer_than`` path; memo reuse returns the
         same value the cold probe would compute on this grid state.
+
+        ``threshold_ref`` names the point defining the threshold (the
+        query position); with it cold probes run in exact-predicate mode
+        and *reuse* decisions go exact too — banked witness positions are
+        re-compared against this probe's threshold pair, and the
+        NO-reuse completeness check compares threshold *pairs* through
+        :func:`~repro.geometry.predicates.compare_distance` rather than
+        rounded squared floats, so cross-query reuse cannot flip an
+        exactly-tied comparison.
         """
         self._ensure_fresh()
         key = self.probe_key(oid, category, signature)
         entry = self._witness.get(key)
+        exact = threshold_ref is not None
         if entry is not None and entry.center == center:
             # YES reuse: enough already-known witnesses below the
             # threshold settle the (capped) count without a search.
+            # Witness entries only survive within one tick (the version
+            # guard clears on any grid mutation), so positions looked up
+            # for the exact comparison are the ones the probe saw.
             count = 0
-            for d2 in entry.known.values():
-                if d2 < threshold_sq:
-                    count += 1
-                    if count >= k:
-                        self._account("witness", hit=True)
-                        return k
+            if exact:
+                positions = self.grid._positions
+                for wid in entry.known:
+                    if predicates.closer_than(center, positions[wid], threshold_ref):
+                        count += 1
+                        if count >= k:
+                            self._account("witness", hit=True)
+                            return k
+            else:
+                for d2 in entry.known.values():
+                    if d2 < threshold_sq:
+                        count += 1
+                        if count >= k:
+                            self._account("witness", hit=True)
+                            return k
             # NO reuse: a previous probe exhausted a threshold at least
             # as large, so ``known`` holds every witness below ours.
-            if threshold_sq <= entry.complete_t2:
+            if exact and entry.complete_ref is not None:
+                if (
+                    predicates.compare_distance(
+                        center, threshold_ref, entry.complete_ref
+                    )
+                    <= 0
+                ):
+                    self._account("witness", hit=True)
+                    return count
+            elif not exact and threshold_sq <= entry.complete_t2:
                 self._account("witness", hit=True)
                 return count
         if entry is None or entry.center != center:
@@ -215,6 +252,7 @@ class SharedTickContext:
             exclude=signature,
             category=category,
             stop_at=k,
+            threshold_point=threshold_ref,
         )
         for wid, d2 in rows:
             entry.known[wid] = d2
@@ -223,6 +261,7 @@ class SharedTickContext:
             # witness below the threshold, so ``known`` is now complete
             # up to it.
             entry.complete_t2 = threshold_sq
+            entry.complete_ref = threshold_ref
         return len(rows)
 
     # ------------------------------------------------------------------
@@ -303,8 +342,16 @@ class SharedTickContext:
     def cell_covered(self, alive: AliveCellGrid, hp: HalfPlane, key: CellKey) -> bool:
         """Memoized :meth:`AliveCellGrid.covers`: does ``hp`` fully cover
         cell ``key``?  Cold evaluations delegate to the alive grid itself,
-        so the decision is bit-identical to the inline path."""
-        memo_key = (hp.a, hp.b, hp.c, key)
+        so the decision is bit-identical to the inline path.
+
+        Keyed by the half-plane's :meth:`~HalfPlane.memo_key` rather than
+        the float coefficient triple: two half-planes with identical
+        rounded floats but different exact coefficients are different
+        planes with possibly different coverage decisions, and must not
+        share a memo slot (the token keys bisectors by their generating
+        points, which is both exact and cheap)."""
+        src = hp._src
+        memo_key = (("s",) + src, key) if src is not None else (hp.memo_key(), key)
         cached = self._classify.get(memo_key)
         if cached is not None:
             self._account("classify", hit=True)

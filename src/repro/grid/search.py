@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.geometry import predicates
 from repro.grid.alive import AliveCellGrid
 from repro.grid.cell import CellKey, cell_key_of
 from repro.grid.index import Category, GridIndex, ObjectId
@@ -166,6 +167,13 @@ class GridSearch:
         self._ymin = extent.ymin
         self._cw = extent.width / grid.size
         self._ch = extent.height / grid.size
+        # Extent coordinate magnitude, the unit of the conservative
+        # traversal-prune padding of the exact threshold mode (cell
+        # rectangles are reconstructed coordinates; see
+        # predicates.prune_bound).
+        self._coord_scale = max(
+            abs(extent.xmin), abs(extent.xmax), abs(extent.ymin), abs(extent.ymax)
+        )
 
     def _cell_d2(self, key: CellKey, x: float, y: float) -> float:
         """Squared distance from ``(x, y)`` to cell ``key`` (inlined math)."""
@@ -348,6 +356,7 @@ class GridSearch:
         stop_at: Optional[int] = None,
         kind: SearchKind = SearchKind.UNCONSTRAINED,
         threshold_sq: Optional[float] = None,
+        threshold_point: Optional[PointLike] = None,
     ) -> int:
         """How many objects lie *strictly* closer than ``threshold``.
 
@@ -361,6 +370,18 @@ class GridSearch:
         value should pass ``threshold_sq`` — squaring a rounded distance
         can differ from the directly computed squared distance by an ulp,
         which is enough to miscount an exactly equidistant witness.
+
+        ``threshold_point`` (requires ``threshold_sq``) names the point
+        whose distance from ``center`` *defines* the threshold — for
+        verification, the query position.  With it the per-object test is
+        the exact adaptive predicate ``dist(center, obj) < dist(center,
+        threshold_point)``: float squared distances settle clear cases
+        and near-ties fall back to rational arithmetic, so an exactly
+        equidistant object is never miscounted no matter the coordinate
+        magnitudes.  Traversal pruning is padded conservatively
+        (:func:`repro.geometry.predicates.prune_bound`) so a witness
+        hugging both the threshold circle and a reconstructed cell
+        boundary cannot be pruned away with its cell.
         """
         cx, cy = center
         excluded = _as_excluded(exclude)
@@ -372,7 +393,15 @@ class GridSearch:
 
         if (threshold is None) == (threshold_sq is None):
             raise ValueError("provide exactly one of threshold or threshold_sq")
+        if threshold_point is not None and threshold_sq is None:
+            raise ValueError("threshold_point requires threshold_sq")
         t2 = threshold * threshold if threshold is not None else threshold_sq
+        exact = threshold_point is not None
+        if exact:
+            t2_lo, t2_hi = predicates.d2_band(t2)
+            t2_prune = predicates.prune_bound(t2, self._coord_scale)
+        else:
+            t2_prune = t2
         tiny = threshold is not None and threshold > 0.0 and t2 == 0.0
         if tiny:
             # Squaring a tiny positive threshold underflowed: squared
@@ -380,8 +409,10 @@ class GridSearch:
             # the threshold also squares to 0.0), so objects are compared
             # unsquared below.  The nonzero t2 keeps the center's own cell
             # traversable for the coincident-point case (d = 0 < threshold).
-            t2 = 5e-324
+            t2 = predicates.MIN_SUBNORMAL
+            t2_prune = t2
         count = 0
+        fast_hits = 0
         start = cell_key_of(extent, n, (cx, cy))
         heap: List[Tuple[float, CellKey]] = [(self._cell_d2(start, cx, cy), start)]
         seen: Set[CellKey] = {start}
@@ -389,7 +420,7 @@ class GridSearch:
 
         while heap:
             d2, key = heapq.heappop(heap)
-            if d2 >= t2:
+            if d2 >= t2_prune:
                 break
             stats.cells_visited[kind] += 1
             for oid in grid.objects_in_cell(key, category):
@@ -399,14 +430,28 @@ class GridSearch:
                 p = positions[oid]
                 dx = p.x - cx
                 dy = p.y - cy
-                closer = (
-                    math.hypot(dx, dy) < threshold
-                    if tiny
-                    else dx * dx + dy * dy < t2
-                )
+                if exact:
+                    od2 = dx * dx + dy * dy
+                    if od2 < t2_lo:
+                        closer = True
+                        fast_hits += 1
+                    elif od2 > t2_hi:
+                        closer = False
+                        fast_hits += 1
+                    else:
+                        closer = predicates.closer_than(
+                            center, (p.x, p.y), threshold_point
+                        )
+                else:
+                    closer = (
+                        math.hypot(dx, dy) < threshold
+                        if tiny
+                        else dx * dx + dy * dy < t2
+                    )
                 if closer:
                     count += 1
                     if stop_at is not None and count >= stop_at:
+                        predicates.STATS.filter_hits += fast_hits
                         return count
             ix, iy = key
             for sx, sy in _NEIGHBOR_STEPS:
@@ -414,8 +459,9 @@ class GridSearch:
                 if 0 <= nkey[0] < n and 0 <= nkey[1] < n and nkey not in seen:
                     seen.add(nkey)
                     nd2 = self._cell_d2(nkey, cx, cy)
-                    if nd2 < t2:
+                    if nd2 < t2_prune:
                         heapq.heappush(heap, (nd2, nkey))
+        predicates.STATS.filter_hits += fast_hits
         return count
 
     @_traced("grid.search.witnesses_closer_than")
@@ -427,6 +473,7 @@ class GridSearch:
         category: Optional[Category] = None,
         stop_at: Optional[int] = None,
         kind: SearchKind = SearchKind.UNCONSTRAINED,
+        threshold_point: Optional[PointLike] = None,
     ) -> List[Tuple[ObjectId, float]]:
         """The witnesses strictly closer than ``sqrt(threshold_sq)``.
 
@@ -436,6 +483,8 @@ class GridSearch:
         instead of a bare count, so the shared tick context can bank the
         witnesses it discovers for reuse by later probes of the same tick
         (``len(result)`` equals what ``count_closer_than`` would return).
+        ``threshold_point`` switches on the same exact adaptive
+        comparison and conservative traversal padding.
         """
         cx, cy = center
         excluded = _as_excluded(exclude)
@@ -446,6 +495,13 @@ class GridSearch:
         stats.calls[kind] += 1
 
         t2 = threshold_sq
+        exact = threshold_point is not None
+        if exact:
+            t2_lo, t2_hi = predicates.d2_band(t2)
+            t2_prune = predicates.prune_bound(t2, self._coord_scale)
+        else:
+            t2_prune = t2
+        fast_hits = 0
         out: List[Tuple[ObjectId, float]] = []
         start = cell_key_of(extent, n, (cx, cy))
         heap: List[Tuple[float, CellKey]] = [(self._cell_d2(start, cx, cy), start)]
@@ -454,7 +510,7 @@ class GridSearch:
 
         while heap:
             d2, key = heapq.heappop(heap)
-            if d2 >= t2:
+            if d2 >= t2_prune:
                 break
             stats.cells_visited[kind] += 1
             for oid in grid.objects_in_cell(key, category):
@@ -465,9 +521,23 @@ class GridSearch:
                 dx = p.x - cx
                 dy = p.y - cy
                 od2 = dx * dx + dy * dy
-                if od2 < t2:
+                if exact:
+                    if od2 < t2_lo:
+                        closer = True
+                        fast_hits += 1
+                    elif od2 > t2_hi:
+                        closer = False
+                        fast_hits += 1
+                    else:
+                        closer = predicates.closer_than(
+                            center, (p.x, p.y), threshold_point
+                        )
+                else:
+                    closer = od2 < t2
+                if closer:
                     out.append((oid, od2))
                     if stop_at is not None and len(out) >= stop_at:
+                        predicates.STATS.filter_hits += fast_hits
                         return out
             ix, iy = key
             for sx, sy in _NEIGHBOR_STEPS:
@@ -475,8 +545,9 @@ class GridSearch:
                 if 0 <= nkey[0] < n and 0 <= nkey[1] < n and nkey not in seen:
                     seen.add(nkey)
                     nd2 = self._cell_d2(nkey, cx, cy)
-                    if nd2 < t2:
+                    if nd2 < t2_prune:
                         heapq.heappush(heap, (nd2, nkey))
+        predicates.STATS.filter_hits += fast_hits
         return out
 
     @_traced("grid.search.first_closer_than")
@@ -487,6 +558,7 @@ class GridSearch:
         exclude: Iterable[ObjectId] = (),
         category: Optional[Category] = None,
         kind: SearchKind = SearchKind.UNCONSTRAINED,
+        threshold_point: Optional[PointLike] = None,
     ) -> Optional[Tuple[ObjectId, float]]:
         """Some object strictly closer than ``sqrt(threshold_sq)``, if any.
 
@@ -494,6 +566,7 @@ class GridSearch:
         ``stop_at=1``: same cost, but the caller learns *who* the witness
         is — which the shared verification cache reuses across queries.
         Returns ``(oid, squared_distance)`` or ``None``.
+        ``threshold_point`` switches on the exact adaptive comparison.
         """
         cx, cy = center
         excluded = _as_excluded(exclude)
@@ -502,6 +575,13 @@ class GridSearch:
         stats = self.stats
         stats.calls[kind] += 1
 
+        exact = threshold_point is not None
+        if exact:
+            t2_lo, t2_hi = predicates.d2_band(threshold_sq)
+            t2_prune = predicates.prune_bound(threshold_sq, self._coord_scale)
+        else:
+            t2_prune = threshold_sq
+        fast_hits = 0
         start = cell_key_of(grid.extent, n, (cx, cy))
         heap: List[Tuple[float, CellKey]] = [(self._cell_d2(start, cx, cy), start)]
         seen: Set[CellKey] = {start}
@@ -509,7 +589,7 @@ class GridSearch:
 
         while heap:
             d2, key = heapq.heappop(heap)
-            if d2 >= threshold_sq:
+            if d2 >= t2_prune:
                 break
             stats.cells_visited[kind] += 1
             for oid in grid.objects_in_cell(key, category):
@@ -520,7 +600,21 @@ class GridSearch:
                 dx = p.x - cx
                 dy = p.y - cy
                 od2 = dx * dx + dy * dy
-                if od2 < threshold_sq:
+                if exact:
+                    if od2 < t2_lo:
+                        closer = True
+                        fast_hits += 1
+                    elif od2 > t2_hi:
+                        closer = False
+                        fast_hits += 1
+                    else:
+                        closer = predicates.closer_than(
+                            center, (p.x, p.y), threshold_point
+                        )
+                else:
+                    closer = od2 < threshold_sq
+                if closer:
+                    predicates.STATS.filter_hits += fast_hits
                     return (oid, od2)
             ix, iy = key
             for sx, sy in _NEIGHBOR_STEPS:
@@ -528,8 +622,9 @@ class GridSearch:
                 if 0 <= nkey[0] < n and 0 <= nkey[1] < n and nkey not in seen:
                     seen.add(nkey)
                     nd2 = self._cell_d2(nkey, cx, cy)
-                    if nd2 < threshold_sq:
+                    if nd2 < t2_prune:
                         heapq.heappush(heap, (nd2, nkey))
+        predicates.STATS.filter_hits += fast_hits
         return None
 
     def iter_nearest(

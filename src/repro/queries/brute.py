@@ -9,13 +9,21 @@ Tie semantics follow the paper's definitions exactly: an object is
 disqualified only by *strictly* closer witnesses (``dist(o, o') <
 dist(o, q)``), so an object equidistant between the query and another
 object still counts as an RNN.
+
+Distance comparisons run through the adaptive predicate kernel
+(:mod:`repro.geometry.predicates`), so the oracle's strict-inequality
+semantics hold exactly at every coordinate magnitude; with ``exact=True``
+the filtered kernel is bypassed entirely and every comparison is done in
+pure :class:`fractions.Fraction` arithmetic — the fuzzer's
+``--exact-oracle`` gold standard, which shares *no* code with the
+filtered fast path it is checking.
 """
 
 from __future__ import annotations
 
 from typing import FrozenSet, Hashable, Iterable, Mapping, Optional, Set, Tuple
 
-from repro.geometry.point import dist_sq
+from repro.geometry import predicates
 from repro.grid.index import Category, GridIndex, ObjectId
 from repro.queries.base import ContinuousQuery, QueryPosition
 
@@ -27,26 +35,30 @@ def brute_mono_rnn(
     qpos: Iterable[float],
     query_id: Optional[ObjectId] = None,
     k: int = 1,
+    exact: bool = False,
 ) -> Set[ObjectId]:
     """Monochromatic R(k)NNs of ``qpos`` by exhaustive comparison.
 
     ``o`` is an answer iff fewer than ``k`` other data objects are strictly
     closer to ``o`` than the query is.  ``query_id`` (if given) is neither
-    a candidate nor a witness.
+    a candidate nor a witness.  ``exact=True`` forces every comparison
+    into pure rational arithmetic (no float filter at all).
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    qx, qy = qpos
+    compare = (
+        predicates.compare_distance_pure if exact else predicates.compare_distance
+    )
+    q = (qpos[0], qpos[1]) if isinstance(qpos, tuple) else tuple(qpos)
     answer: Set[ObjectId] = set()
     for oid, pos in positions.items():
         if oid == query_id:
             continue
-        dq = dist_sq(pos, (qx, qy))
         witnesses = 0
         for other_id, other_pos in positions.items():
             if other_id == oid or other_id == query_id:
                 continue
-            if dist_sq(pos, other_pos) < dq:
+            if compare(pos, other_pos, q) < 0:
                 witnesses += 1
                 if witnesses >= k:
                     break
@@ -61,23 +73,27 @@ def brute_bi_rnn(
     qpos: Iterable[float],
     query_id: Optional[ObjectId] = None,
     k: int = 1,
+    exact: bool = False,
 ) -> Set[ObjectId]:
     """Bichromatic R(k)NNs of a type-A query by exhaustive comparison.
 
     A B object is an answer iff fewer than ``k`` A objects (other than the
     query itself) are strictly closer to it than the query's position.
+    ``exact=True`` forces pure rational arithmetic.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    qx, qy = qpos
+    compare = (
+        predicates.compare_distance_pure if exact else predicates.compare_distance
+    )
+    q = (qpos[0], qpos[1]) if isinstance(qpos, tuple) else tuple(qpos)
     answer: Set[ObjectId] = set()
     for ob, bpos in positions_b.items():
-        dq = dist_sq(bpos, (qx, qy))
         witnesses = 0
         for oa, apos in positions_a.items():
             if oa == query_id:
                 continue
-            if dist_sq(bpos, apos) < dq:
+            if compare(bpos, apos, q) < 0:
                 witnesses += 1
                 if witnesses >= k:
                     break

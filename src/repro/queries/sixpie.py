@@ -86,6 +86,7 @@ class SixPieSnapshotQuery(ContinuousQuery):
                 exclude=exclude | {oid},
                 stop_at=1,
                 kind=SearchKind.UNCONSTRAINED,
+                threshold_point=qpos,
             )
             if witnesses == 0:
                 answer.add(oid)

@@ -18,12 +18,16 @@ def leq_count_closer_than(
     stop_at=None,
     kind=SearchKind.UNCONSTRAINED,
     threshold_sq=None,
+    threshold_point=None,
 ):
     """``count_closer_than`` with its strict ``<`` flipped to ``<=``.
 
     Nudging the squared threshold one ulp upward makes exactly-tied
     witnesses count, which is operationally the non-strict comparison —
-    the planted bug the lattice scenarios are designed to expose.
+    the planted bug the lattice scenarios are designed to expose.  The
+    exact reference point is deliberately discarded: the mutant models a
+    refactor that lost the exact comparison path, so the decision falls
+    back to the (nudged) float threshold.
     """
     if threshold is not None:
         threshold_sq, threshold = threshold * threshold, None

@@ -74,13 +74,15 @@ _original_witness_count = SharedTickContext.witness_count
 
 
 def _signatureless_witness_count(
-    self, search, oid, center, threshold_sq, signature, category, k
+    self, search, oid, center, threshold_sq, signature, category, k,
+    threshold_ref=None,
 ):
     """The planted probe-cache bug: the exclusion signature is dropped —
     from the memo key (probes collide across queries) and from the probe
     itself (the candidate is no longer excluded and self-witnesses)."""
     return _original_witness_count(
-        self, search, oid, center, threshold_sq, frozenset(), category, k
+        self, search, oid, center, threshold_sq, frozenset(), category, k,
+        threshold_ref=threshold_ref,
     )
 
 

@@ -57,6 +57,33 @@ class TestHalfPlaneBasics:
         assert HalfPlane(1, 2, 3) != HalfPlane(1, 2, 4)
         assert hash(HalfPlane(1, 2, 3)) == hash(HalfPlane(1, 2, 3))
 
+    def test_equality_is_canonical(self):
+        # Scaled copies denote the same oriented half-plane: equal, and
+        # equal hashes (the canonical form divides by max(|a|, |b|)).
+        assert HalfPlane(1.0, 2.0, 3.0) == HalfPlane(2.0, 4.0, 6.0)
+        assert hash(HalfPlane(1.0, 2.0, 3.0)) == hash(HalfPlane(2.0, 4.0, 6.0))
+        assert HalfPlane(1.0, 2.0, 3.0) == HalfPlane(0.5, 1.0, 1.5)
+        # Same line, opposite kept side: NOT equal.
+        assert HalfPlane(1.0, 2.0, 3.0) != HalfPlane(-1.0, -2.0, -3.0)
+        assert HalfPlane(1.0, 2.0, 3.0) != HalfPlane(2.0, 4.0, 7.0)
+
+    def test_canonical_equality_survives_normalization(self):
+        hp = HalfPlane(3.0, 4.0, 5.0)
+        assert hp.normalized() == hp
+        assert hash(hp.normalized()) == hash(hp)
+        assert hp.flipped().flipped() == hp
+
+    def test_bisector_equals_scaled_float_plane(self):
+        # A bisector's exact rational coefficients, not its rounded
+        # floats, drive identity: the equivalent float-exact plane with
+        # coefficients scaled by 1/2 compares (and hashes) equal.
+        from repro.geometry.bisector import bisector_halfplane
+
+        hp = bisector_halfplane((0.0, 0.0), (2.0, 0.0))  # x <= 1
+        assert hp == HalfPlane(-1.0, 0.0, 1.0)
+        assert hash(hp) == hash(HalfPlane(-1.0, 0.0, 1.0))
+        assert hp != HalfPlane(1.0, 0.0, -1.0)
+
     def test_boundary_points_on_line(self):
         hp = HalfPlane(2.0, 3.0, -1.0)
         for p in hp.boundary_points():

@@ -61,6 +61,73 @@ class TestVoronoiCell:
             assert cells[nearest].contains(p)
 
 
+class TestTranslationInvariance:
+    """Clipping and membership must not depend on where the extent sits.
+
+    The same integer-coordinate site layout is evaluated in a 100-wide
+    world at the origin and translated to 1e7 (both translations are
+    exact in floats).  Absolute tolerances — the retired ``1e-9``-style
+    constants — pass at extent 100 and misclassify at 1e7, where one ulp
+    of a coordinate is ~2e-9 times 1e7; the relative/exact predicates
+    must give identical decisions at both extents.
+    """
+
+    OFFSETS = (0.0, 1.0e7)
+    SITE = (37.0, 52.0)
+    LAYOUT = [
+        (12.0, 9.0),
+        (81.0, 14.0),
+        (45.0, 77.0),
+        (66.0, 48.0),
+        (23.0, 61.0),
+        (37.0, 12.0),  # collinear with the site in x: axis-aligned bisector
+        (90.0, 90.0),
+    ]
+
+    def _cell(self, off):
+        extent = Rect(off, off, off + 100.0, off + 100.0)
+        site = (off + self.SITE[0], off + self.SITE[1])
+        others = [(off + x, off + y) for x, y in self.LAYOUT]
+        return voronoi_cell(site, others, extent)
+
+    def test_membership_decisions_match_across_extents(self):
+        base, far = (self._cell(off) for off in self.OFFSETS)
+        rng = random.Random(9)
+        probes = [
+            (float(rng.randrange(101)), float(rng.randrange(101)))
+            for _ in range(300)
+        ]
+        # Include exact bisector ties: midpoints between the site and
+        # each other site, where closed membership must hold both times.
+        probes += [
+            ((self.SITE[0] + x) / 2.0, (self.SITE[1] + y) / 2.0)
+            for x, y in self.LAYOUT
+        ]
+        for x, y in probes:
+            assert base.contains((x, y)) == far.contains((1.0e7 + x, 1.0e7 + y)), (
+                f"membership of ({x}, {y}) changed under translation"
+            )
+
+    def test_cell_shape_matches_across_extents(self):
+        base, far = (self._cell(off) for off in self.OFFSETS)
+        assert len(base.vertices) == len(far.vertices)
+        assert math.isclose(base.area(), far.area(), rel_tol=1e-9)
+        assert math.isclose(
+            base.centroid().x + 1.0e7, far.centroid().x, rel_tol=1e-12
+        )
+
+    def test_neighbor_sets_match_across_extents(self):
+        got = []
+        for off in self.OFFSETS:
+            extent = Rect(off, off, off + 100.0, off + 100.0)
+            site = (off + self.SITE[0], off + self.SITE[1])
+            others = {
+                i: (off + x, off + y) for i, (x, y) in enumerate(self.LAYOUT)
+            }
+            got.append(set(voronoi_neighbors(site, others, extent)))
+        assert got[0] == got[1]
+
+
 class TestVoronoiNeighbors:
     def test_neighbors_define_same_cell(self):
         rng = random.Random(7)

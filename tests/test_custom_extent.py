@@ -20,6 +20,10 @@ EXTENTS = [
     Rect(0.0, 0.0, 100.0, 50.0),
     Rect(-10.0, -10.0, 10.0, 10.0),
     Rect(1000.0, 2000.0, 1001.0, 2002.0),
+    # Far from the origin: coordinate magnitude ~1e8 dwarfs the object
+    # spacing, so any absolute epsilon (and the textbook bisector form,
+    # whose c = |q|^2 - |o|^2 cancellation loses ~8 digits here) breaks.
+    Rect(1.0e8, 1.0e8, 1.0e8 + 100.0, 1.0e8 + 50.0),
 ]
 
 
@@ -92,6 +96,31 @@ class TestBiOnCustomExtents:
                 query_id=qid,
             )
             assert set(state.answer) == expected
+
+
+class TestFarOffsetBisector:
+    def test_midpoint_lies_exactly_on_the_bisector(self):
+        """Regression for the textbook bisector form at large offsets.
+
+        With ``c = |q|^2 - |o|^2`` the two ~1e16 squared norms cancel
+        catastrophically and the midpoint of adjacent points at x ~ 1e8
+        evaluated to -1.0; the midpoint form ``c = -(a*mx + b*my)`` is
+        exact here (all operations representable), so the midpoint must
+        sit exactly on the line.
+        """
+        from repro.geometry.bisector import bisector_halfplane
+        from repro.geometry import predicates
+
+        q = (1.0e8, 5.0)
+        o = (1.0e8 + 1.0, 5.0)
+        hp = bisector_halfplane(q, o)
+        midpoint = (0.5 * (q[0] + o[0]), 0.5 * (q[1] + o[1]))
+        assert hp.value(midpoint) == 0.0
+        assert predicates.halfplane_sign(hp, *midpoint) == 0
+        # And the closed/strict semantics at the tie are the paper's:
+        # the midpoint belongs to the closed q-side half-plane.
+        assert hp.contains(midpoint)
+        assert not hp.strictly_contains(midpoint)
 
 
 class TestCRNNOnCustomExtent:

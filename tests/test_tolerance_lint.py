@@ -1,0 +1,56 @@
+"""Tier-1 wrapper around the tolerance lint gate.
+
+The checker itself is ``tools/check_tolerances.py`` (also a CI step); the
+wrapper keeps the guarantee local — a stray ``1e-9`` in the geometry or
+grid layers fails the plain pytest run, not just CI.
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_tolerances  # noqa: E402
+
+
+def test_no_tolerance_literals_outside_predicates():
+    problems = check_tolerances.check_tree(REPO_ROOT)
+    assert problems == [], "\n".join(problems)
+
+
+def test_checker_flags_a_planted_literal(tmp_path):
+    planted = "def f(x):\n    return x < 1e-9\n"
+    path = tmp_path / "planted.py"
+    path.write_text(planted)
+    found = check_tolerances.check_file(path)
+    assert len(found) == 1
+    assert found[0][0] == 2
+
+
+def test_checker_flags_a_planted_constant(tmp_path):
+    path = tmp_path / "planted.py"
+    path.write_text("_EDGE_TOL = 2.0 ** -30\n")
+    found = check_tolerances.check_file(path)
+    assert len(found) == 1
+
+
+def test_checker_ignores_benign_floats(tmp_path):
+    path = tmp_path / "benign.py"
+    path.write_text("HALF = 0.5\nSCALE = 1e6\nZERO = 0.0\n")
+    assert check_tolerances.check_file(path) == []
+
+
+def test_predicates_is_the_only_tolerance_home():
+    # The module the ban points at must actually define the tolerances.
+    src = (REPO_ROOT / "src/repro/geometry/predicates.py").read_text()
+    tree = ast.parse(src)
+    names = {
+        t.id
+        for node in tree.body
+        if isinstance(node, ast.Assign)
+        for t in node.targets
+        if isinstance(t, ast.Name)
+    }
+    assert {"BOUNDARY_REL", "VERTEX_MERGE_REL", "ANGLE_SLACK"} <= names

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Lint gate: no new float-tolerance literals in the geometry/grid layers.
+
+ISSUE-5 moved every numeric tolerance of the geometry and grid code into
+``repro.geometry.predicates`` — the adaptive predicates plus a short,
+documented list of conservative slacks for quantities with no exact float
+referent.  The historical failure mode this repository keeps regressing
+into is a *local* ``1e-9``/``1e-12`` constant pasted next to a comparison;
+each one is a latent tie-breaking bug at some extent.  This checker fails
+the build when one reappears:
+
+- any float literal ``0 < |v| <= 1e-6`` in ``src/repro/geometry`` or
+  ``src/repro/grid`` outside ``predicates.py`` (comparisons against
+  tolerances belong behind the predicate API);
+- any module-level constant in those trees whose name smells like a
+  tolerance (``*_EPS``, ``*_TOL``, ``*_EPSILON``, ``*_SLACK``) — even a
+  non-literal one, since it re-creates a second home for tolerances.
+
+Docstrings and comments are untouched (the AST never sees comments, and
+string constants are skipped).  Run directly or via the tier-1 wrapper
+test ``tests/test_tolerance_lint.py``::
+
+    python tools/check_tolerances.py
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories the ban applies to (recursive).
+GATED_DIRS = ("src/repro/geometry", "src/repro/grid")
+
+#: The single module allowed to define tolerances.
+ALLOWED = "predicates.py"
+
+#: Literals at or below this magnitude (and nonzero) look like tolerances.
+LITERAL_CEILING = 1e-6
+
+_TOLERANCE_NAME = re.compile(r"(_|^)(EPS|EPSILON|TOL|TOLERANCE|SLACK)$")
+
+
+def _is_tolerance_name(name: str) -> bool:
+    return bool(_TOLERANCE_NAME.search(name.upper()))
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    """All violations in one file as ``(line, message)`` pairs."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out: List[Tuple[int, str]] = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            v = node.value
+            if v == v and 0.0 < abs(v) <= LITERAL_CEILING:
+                out.append(
+                    (
+                        node.lineno,
+                        f"float tolerance literal {v!r}: tolerances live in"
+                        " repro/geometry/predicates.py only",
+                    )
+                )
+
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target]
+        for target in targets:
+            if _is_tolerance_name(target.id):
+                out.append(
+                    (
+                        node.lineno,
+                        f"module-level tolerance constant {target.id!r}:"
+                        " define it in repro/geometry/predicates.py instead",
+                    )
+                )
+    return out
+
+
+def check_tree(root: Path = REPO_ROOT) -> List[str]:
+    """All violations under the gated directories, formatted for output."""
+    problems: List[str] = []
+    for gated in GATED_DIRS:
+        base = root / gated
+        for path in sorted(base.rglob("*.py")):
+            if path.name == ALLOWED:
+                continue
+            for line, message in check_file(path):
+                rel = path.relative_to(root)
+                problems.append(f"{rel}:{line}: {message}")
+    return problems
+
+
+def main() -> int:
+    problems = check_tree()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(
+            f"\n{len(problems)} tolerance violation(s); see"
+            " tools/check_tolerances.py for the policy.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
