@@ -35,7 +35,13 @@ from repro.queries.base import QueryPosition
 from repro.queries.igern_bi import IGERNBiQuery
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-RESULT_PATH = REPO_ROOT / "BENCH_tick_throughput.json"
+#: ``TICK_BENCH_OUT`` redirects the result JSON (the perf-regression
+#: harness measures into a scratch directory instead of overwriting the
+#: committed baseline at the repo root).
+RESULT_PATH = Path(
+    os.environ.get("TICK_BENCH_OUT")
+    or str(REPO_ROOT / "BENCH_tick_throughput.json")
+)
 
 QUICK = os.environ.get("TICK_BENCH_QUICK", "") not in ("", "0")
 N_A = 1800 if QUICK else 3600

@@ -6,8 +6,15 @@ Subcommands:
   answers (monochromatic by default, ``--bi`` for bichromatic);
 - ``igern experiment <id|all>`` — regenerate one (or every) figure of the
   paper and print its table; ``--csv DIR`` also writes CSV files;
-- ``igern obs`` — replay a workload with tracing and metrics enabled and
-  print the per-phase span breakdown plus a Prometheus-style snapshot;
+- ``igern obs`` — replay a workload with tracing, metrics, and the
+  per-query cost ledger enabled and print the per-phase span breakdown
+  (``--top N`` truncates it) plus a Prometheus-style snapshot;
+- ``igern obs explain <query>`` — replay a workload and print the cost
+  ledger's account of one query at one tick (``--tick N``);
+- ``igern bench run|check`` — execute the committed benchmark workloads;
+  ``run`` refreshes the ``BENCH_*.json`` baselines, ``check`` re-measures
+  into a scratch directory and exits non-zero when any gated metric
+  regresses beyond its tolerance (the CI perf gate);
 - ``igern trace`` — record a reproducible moving-object trace to CSV;
 - ``igern fuzz run|replay|corpus`` — differential fuzzing: run a seeded
   scenario sweep (shrinking and saving any failures as replayable JSON
@@ -15,13 +22,15 @@ Subcommands:
 - ``igern list`` — list the available experiments.
 
 ``demo`` and ``experiment`` additionally accept ``--trace FILE`` (JSON
-lines, one object per span) and ``--metrics FILE`` (Prometheus text) to
+lines, one object per span), ``--metrics FILE`` (Prometheus text), and
+``--chrome-trace FILE`` (Chrome/Perfetto ``trace_event`` timeline) to
 capture observability data from any run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -96,18 +105,94 @@ def _build_parser() -> argparse.ArgumentParser:
         "obs",
         help="replay a workload with tracing on; print the phase breakdown",
     )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=False)
+    _add_obs_workload_flags(obs_cmd)
     obs_cmd.add_argument(
-        "--workload",
-        default="demo",
-        help="'demo' (default: mono + bi IGERN side by side) or an"
-        " experiment id (see 'igern list')",
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N hottest span rows (by self time)",
     )
-    obs_cmd.add_argument("-n", "--objects", type=int, default=2000)
-    obs_cmd.add_argument("--ticks", type=int, default=10)
-    obs_cmd.add_argument("--grid", type=int, default=64)
-    obs_cmd.add_argument("--seed", type=int, default=7)
-    obs_cmd.add_argument("--scale", type=float, default=None, help="experiment scale")
     _add_obs_flags(obs_cmd)
+
+    obs_explain = obs_sub.add_parser(
+        "explain",
+        help="replay a workload and print the cost ledger's account of"
+        " one query at one tick",
+    )
+    obs_explain.add_argument("query", help="query name (e.g. 'igern', 'q3')")
+    obs_explain.add_argument(
+        "--tick",
+        type=int,
+        default=None,
+        help="tick to explain (default: the query's most recent tick)",
+    )
+    _add_obs_workload_flags(obs_explain)
+
+    bench = sub.add_parser(
+        "bench", help="run or gate the committed performance baselines"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run",
+        help="execute benchmark workloads and refresh the BENCH_*.json"
+        " baselines at the repo root",
+    )
+    bench_run.add_argument(
+        "names", nargs="*", metavar="NAME", help="benchmarks (default: all)"
+    )
+    bench_run.add_argument(
+        "--quick", action="store_true", help="CI-sized workloads"
+    )
+    bench_run.add_argument(
+        "--out-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write results here instead of the repo root",
+    )
+
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="re-measure into a scratch directory and compare against the"
+        " committed baselines; exit 1 on regression",
+    )
+    bench_check.add_argument(
+        "names", nargs="*", metavar="NAME", help="benchmarks (default: all)"
+    )
+    bench_check.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized workloads; only scale-free metrics are compared",
+    )
+    bench_check.add_argument(
+        "--no-run",
+        action="store_true",
+        help="skip measuring; compare existing results in --results-dir",
+    )
+    bench_check.add_argument(
+        "--results-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="where current results live (default: a temp directory)",
+    )
+    bench_check.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="where the baseline BENCH_*.json files live (default: repo root)",
+    )
+    bench_check.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the comparison rows as JSON",
+    )
 
     trace = sub.add_parser("trace", help="record a moving-object trace to CSV")
     trace.add_argument("output", type=Path)
@@ -220,6 +305,29 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="write a Prometheus-style metrics snapshot to FILE",
     )
+    parser.add_argument(
+        "--chrome-trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the span timeline as Chrome/Perfetto trace_event JSON"
+        " (open in chrome://tracing or ui.perfetto.dev)",
+    )
+
+
+def _add_obs_workload_flags(parser: argparse.ArgumentParser) -> None:
+    """The workload-selection flags shared by ``obs`` and ``obs explain``."""
+    parser.add_argument(
+        "--workload",
+        default="demo",
+        help="'demo' (default: mono + bi IGERN side by side) or an"
+        " experiment id (see 'igern list')",
+    )
+    parser.add_argument("-n", "--objects", type=int, default=2000)
+    parser.add_argument("--ticks", type=int, default=10)
+    parser.add_argument("--grid", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=None, help="experiment scale")
 
 
 class _ObsSession:
@@ -229,17 +337,31 @@ class _ObsSession:
     ``--metrics`` was given; ``igern obs`` forces it on.
     """
 
-    def __init__(self, args: argparse.Namespace, force: bool = False):
+    def __init__(
+        self,
+        args: argparse.Namespace,
+        force: bool = False,
+        ledger: bool = False,
+    ):
         self.trace_path = getattr(args, "trace", None)
         self.metrics_path = getattr(args, "metrics", None)
-        self.active = force or self.trace_path is not None or self.metrics_path is not None
+        self.chrome_path = getattr(args, "chrome_trace", None)
+        self.ledger_on = ledger
+        self.active = (
+            force
+            or self.trace_path is not None
+            or self.metrics_path is not None
+            or self.chrome_path is not None
+        )
         self._sink = None
         self.tracer = None
         self.registry = None
         if self.active:
-            self.tracer, self.registry = obs.enable()
+            self.tracer, self.registry = obs.enable(ledger=ledger)
             self.tracer.clear()
             self.registry.clear()
+            if ledger:
+                obs.get_ledger().clear()
             if self.trace_path is not None:
                 try:
                     self._sink = obs.JsonLinesSink(self.trace_path)
@@ -263,6 +385,16 @@ class _ObsSession:
                 obs.disable()
                 raise SystemExit(f"cannot write metrics file: {exc}")
             print(f"wrote metrics snapshot to {self.metrics_path}")
+        if self.chrome_path is not None:
+            cost_ledger = obs.get_ledger() if self.ledger_on else None
+            try:
+                obs.write_chrome_trace(
+                    self.chrome_path, self.tracer, ledger=cost_ledger
+                )
+            except OSError as exc:
+                obs.disable()
+                raise SystemExit(f"cannot write chrome trace file: {exc}")
+            print(f"wrote chrome trace to {self.chrome_path}")
         obs.disable()
 
 
@@ -358,30 +490,52 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_obs(args: argparse.Namespace) -> int:
-    session = _ObsSession(args, force=True)
+def _replay_obs_workload(args: argparse.Namespace) -> Optional[str]:
+    """Run the selected workload under observability; None if unknown."""
     if args.workload == "demo":
         _obs_demo_workload(args)
-        title = f"demo workload ({args.objects} objects, {args.ticks} ticks)"
-    elif args.workload in ALL_EXPERIMENTS:
+        return f"demo workload ({args.objects} objects, {args.ticks} ticks)"
+    if args.workload in ALL_EXPERIMENTS:
         ALL_EXPERIMENTS[args.workload](scale=args.scale, seed=args.seed)
-        title = f"experiment {args.workload}"
-    else:
-        print(
-            f"unknown workload {args.workload!r}; use 'demo' or one of: "
-            f"{', '.join(ALL_EXPERIMENTS)}",
-            file=sys.stderr,
-        )
+        return f"experiment {args.workload}"
+    print(
+        f"unknown workload {args.workload!r}; use 'demo' or one of: "
+        f"{', '.join(ALL_EXPERIMENTS)}",
+        file=sys.stderr,
+    )
+    return None
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    if getattr(args, "obs_command", None) == "explain":
+        return _run_obs_explain(args)
+    session = _ObsSession(args, force=True, ledger=True)
+    title = _replay_obs_workload(args)
+    if title is None:
         obs.disable()
         return 2
     print(f"observability replay: {title}")
     print()
-    print(obs.summary_table(session.tracer, session.registry))
+    print(obs.summary_table(session.tracer, session.registry, top=args.top))
     if args.metrics is None:
         print()
         print("prometheus snapshot")
         print(obs.prometheus_text(session.registry), end="")
     session.finish()
+    return 0
+
+
+def _run_obs_explain(args: argparse.Namespace) -> int:
+    session = _ObsSession(args, force=True, ledger=True)
+    title = _replay_obs_workload(args)
+    if title is None:
+        obs.disable()
+        return 2
+    report = obs.get_ledger().explain(args.query, tick=args.tick)
+    session.finish()
+    print(f"observability replay: {title}")
+    print()
+    print(report)
     return 0
 
 
@@ -519,6 +673,59 @@ def _run_fuzz_cmd(args: argparse.Namespace) -> int:
     return 2
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro import bench as bench_mod
+
+    try:
+        benches = bench_mod.resolve(args.names)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+
+    if args.bench_command == "run":
+        out_dir = args.out_dir or bench_mod.REPO_ROOT
+        for bench in benches:
+            print(f"running benchmark {bench.name} ...", flush=True)
+            try:
+                path = bench_mod.run_benchmark(bench, out_dir, quick=args.quick)
+            except RuntimeError as exc:
+                print(f"FAIL {bench.name}: {exc}", file=sys.stderr)
+                return 1
+            print(f"  wrote {path}")
+        return 0
+
+    if args.bench_command == "check":
+        baseline_dir = args.baseline_dir or bench_mod.REPO_ROOT
+        if args.no_run:
+            if args.results_dir is None:
+                raise SystemExit("bench check --no-run needs --results-dir")
+            results_dir = args.results_dir
+        else:
+            import tempfile
+
+            scratch = tempfile.TemporaryDirectory(prefix="igern-bench-")
+            results_dir = Path(scratch.name)
+            for bench in benches:
+                print(f"measuring benchmark {bench.name} ...", flush=True)
+                try:
+                    bench_mod.run_benchmark(bench, results_dir, quick=args.quick)
+                except RuntimeError as exc:
+                    print(f"FAIL {bench.name}: {exc}", file=sys.stderr)
+                    return 1
+        rows = bench_mod.check_benchmarks(
+            benches, baseline_dir, results_dir, quick=args.quick
+        )
+        print(bench_mod.format_rows(rows))
+        if args.report is not None:
+            args.report.write_text(json.dumps(rows, indent=2) + "\n")
+            print(f"wrote report to {args.report}")
+        if bench_mod.has_regression(rows):
+            print("bench check: REGRESSION")
+            return 1
+        print("bench check: ok")
+        return 0
+    return 2
+
+
 def _run_watch(args: argparse.Namespace) -> int:
     from repro.viz import render_query_state
 
@@ -555,6 +762,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace(args)
     if args.command == "fuzz":
         return _run_fuzz_cmd(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "watch":
         return _run_watch(args)
     if args.command == "list":

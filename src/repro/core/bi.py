@@ -40,6 +40,7 @@ from repro.geometry.point import Point, dist_sq
 from repro.grid.alive import AliveCellGrid
 from repro.grid.index import Category, GridIndex
 from repro.grid.search import GridSearch, SearchKind
+from repro.obs.ledger import phase
 
 
 class BiIGERN:
@@ -99,6 +100,9 @@ class BiIGERN:
         self.prune = normalize_prune_mode(prune)
         self.search = search if search is not None else GridSearch(grid)
         self.shared_context = shared_context
+        #: Active :class:`repro.obs.ledger.QueryTickCost` (bound by the
+        #: engine per evaluation) — ``None`` keeps phase timing off.
+        self.cost = None
 
     # ------------------------------------------------------------------
     # Step 1: initial answer (Algorithm 3)
@@ -114,13 +118,18 @@ class BiIGERN:
         )
         self._bind_context(state)
         tracer = self.search.tracer
+        cost = self.cost
         with tracer.span("bi.initial"):
             # Phase I: clip the region toward the nearest A objects.
-            with tracer.span("bi.initial.tighten") as sp:
+            with tracer.span("bi.initial.tighten") as sp, phase(
+                cost, "tighten"
+            ):
                 found = self._tighten(state, kind=SearchKind.CONSTRAINED)
                 sp.set(absorbed=found)
             # Phase II: resolve the B objects of the alive region.
-            with tracer.span("bi.initial.verify") as sp:
+            with tracer.span("bi.initial.verify") as sp, phase(
+                cost, "verify"
+            ):
                 answer, extra = self._verify(state)
                 sp.set(answer=len(answer), extra_absorbed=extra)
         state.answer = answer
@@ -138,10 +147,13 @@ class BiIGERN:
         q = Point(qx, qy)
         self._bind_context(state)
         tracer = self.search.tracer
+        cost = self.cost
         with tracer.span("bi.incremental") as root:
             movement = self._refresh_moved(state, q)
             if movement:
-                with tracer.span("bi.incremental.rebuild"):
+                with tracer.span("bi.incremental.rebuild"), phase(
+                    cost, "rebuild"
+                ):
                     self._rebuild_region(state)
             grid = self.grid
             if state.alive.alive_cell_bound() <= _SCAN_CELL_LIMIT:
@@ -150,7 +162,9 @@ class BiIGERN:
                 # verification (resolve the B objects).  B objects whose cells
                 # die during absorption are re-checked inside _verify, so the
                 # shared enumeration stays sound.
-                with tracer.span("bi.incremental.tighten") as sp:
+                with tracer.span("bi.incremental.tighten") as sp, phase(
+                    cost, "tighten"
+                ):
                     rows = self.search.region_objects_by_distance(
                         q, state.alive, kind=SearchKind.BOUNDED
                     )
@@ -169,20 +183,30 @@ class BiIGERN:
                         else:
                             pending.append(oid)
                     sp.set(absorbed=found)
-                with tracer.span("bi.incremental.prune") as sp:
+                with tracer.span("bi.incremental.prune") as sp, phase(
+                    cost, "prune"
+                ):
                     pruned = self._prune(state) if found else 0
                     sp.set(pruned=pruned)
-                with tracer.span("bi.incremental.verify") as sp:
+                with tracer.span("bi.incremental.verify") as sp, phase(
+                    cost, "verify"
+                ):
                     answer, extra = self._verify(state, pending=pending)
                     sp.set(answer=len(answer), extra_absorbed=extra)
             else:
-                with tracer.span("bi.incremental.tighten") as sp:
+                with tracer.span("bi.incremental.tighten") as sp, phase(
+                    cost, "tighten"
+                ):
                     found = self._tighten(state, kind=SearchKind.BOUNDED)
                     sp.set(absorbed=found)
-                with tracer.span("bi.incremental.prune") as sp:
+                with tracer.span("bi.incremental.prune") as sp, phase(
+                    cost, "prune"
+                ):
                     pruned = self._prune(state) if found else 0
                     sp.set(pruned=pruned)
-                with tracer.span("bi.incremental.verify") as sp:
+                with tracer.span("bi.incremental.verify") as sp, phase(
+                    cost, "verify"
+                ):
                     answer, extra = self._verify(state)
                     sp.set(answer=len(answer), extra_absorbed=extra)
             root.set(movement_rebuild=movement)

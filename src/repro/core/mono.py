@@ -42,6 +42,7 @@ from repro.geometry.point import Point, dist_sq
 from repro.grid.alive import AliveCellGrid
 from repro.grid.index import GridIndex
 from repro.grid.search import GridSearch, SearchKind
+from repro.obs.ledger import phase
 
 
 class MonoIGERN:
@@ -104,6 +105,9 @@ class MonoIGERN:
         self.search = search if search is not None else GridSearch(grid)
         self.shared_cache = shared_cache
         self.shared_context = shared_context
+        #: Active :class:`repro.obs.ledger.QueryTickCost` (bound by the
+        #: engine per evaluation) — ``None`` keeps phase timing off.
+        self.cost = None
 
     # ------------------------------------------------------------------
     # Step 1: initial answer (Algorithm 1)
@@ -119,13 +123,18 @@ class MonoIGERN:
         )
         self._bind_context(state)
         tracer = self.search.tracer
+        cost = self.cost
         with tracer.span("mono.initial"):
             # Phase I: bounded region.
-            with tracer.span("mono.initial.tighten") as sp:
+            with tracer.span("mono.initial.tighten") as sp, phase(
+                cost, "tighten"
+            ):
                 found = self._tighten(state, kind=SearchKind.CONSTRAINED)
                 sp.set(absorbed=found)
             # Phase II: verification.
-            with tracer.span("mono.initial.verify") as sp:
+            with tracer.span("mono.initial.verify") as sp, phase(
+                cost, "verify"
+            ):
                 answer = self._verify(state)
                 sp.set(candidates=len(state.candidates), answer=len(answer))
         state.answer = answer
@@ -143,22 +152,31 @@ class MonoIGERN:
         q = Point(qx, qy)
         self._bind_context(state)
         tracer = self.search.tracer
+        cost = self.cost
         with tracer.span("mono.incremental") as root:
             movement = self._refresh_moved(state, q)
             if movement:
-                with tracer.span("mono.incremental.rebuild"):
+                with tracer.span("mono.incremental.rebuild"), phase(
+                    cost, "rebuild"
+                ):
                     self._rebuild_region(state)
             # Scenario 3: objects inside the alive cells — the tightening
             # search doubles as the existence check (its first probe).
-            with tracer.span("mono.incremental.tighten") as sp:
+            with tracer.span("mono.incremental.tighten") as sp, phase(
+                cost, "tighten"
+            ):
                 found = self._tighten(state, kind=SearchKind.BOUNDED)
                 sp.set(absorbed=found)
             pruned = 0
             if found:
-                with tracer.span("mono.incremental.prune") as sp:
+                with tracer.span("mono.incremental.prune") as sp, phase(
+                    cost, "prune"
+                ):
                     pruned = self._prune(state)
                     sp.set(pruned=pruned)
-            with tracer.span("mono.incremental.verify") as sp:
+            with tracer.span("mono.incremental.verify") as sp, phase(
+                cost, "verify"
+            ):
                 answer = self._verify(state)
                 sp.set(candidates=len(state.candidates), answer=len(answer))
             root.set(movement_rebuild=movement)

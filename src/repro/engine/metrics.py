@@ -27,6 +27,11 @@ class TickMetrics:
     #: True when the tick scheduler proved this tick a no-op for the
     #: query and carried its previous answer forward without executing.
     skipped: bool = False
+    #: Machine-readable code for the evaluate/skip decision (see
+    #: :mod:`repro.obs.ledger`), e.g. ``"delta-disjoint"`` for a skip or
+    #: ``"footprint-enter"`` for an evaluation.  Empty when the engine
+    #: ran without decision recording.
+    reason: str = ""
 
     @property
     def answer_size(self) -> int:

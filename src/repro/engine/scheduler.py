@@ -170,3 +170,59 @@ class TickScheduler:
                 ):
                     out.add(name)
         return out
+
+    def affected_reasons(self, delta: TickDelta) -> Dict[str, str]:
+        """:meth:`affected`, but each hit carries *why* it matched.
+
+        Returns ``{query_name: reason}`` over exactly the same key set
+        :meth:`affected` would return.  Reasons are the machine-readable
+        codes of :mod:`repro.obs.ledger`:
+
+        - ``footprint-enter`` — an object moved within / entered / left
+          one of the query's footprint cells;
+        - ``object-moved`` — a monitored object (or the query object
+          itself) moved, was inserted, or was removed, without touching
+          a footprint cell.
+
+        When both apply, the cell reason wins — deterministically, so
+        ledger records are stable across runs.  This walk mirrors the
+        cheaper-side iteration of :meth:`affected` and is only invoked
+        when the cost ledger is enabled; the hot disabled path keeps the
+        set-only variant.
+        """
+        from repro.obs.ledger import (
+            REASON_FOOTPRINT_ENTER,
+            REASON_OBJECT_MOVED,
+        )
+
+        out: Dict[str, str] = {}
+        touched = delta.touched_cells
+        cell_index = self._cell_index
+        index_size = len(cell_index)
+        if len(touched) <= index_size or not self._footprints:
+            for key in touched:
+                owners = cell_index.get(key)
+                if owners is not None:
+                    for name in owners:
+                        out[name] = REASON_FOOTPRINT_ENTER
+            obj_index = self._obj_index
+            for ids in (delta.moved, delta.inserted, delta.removed):
+                if len(ids) <= len(obj_index):
+                    for oid in ids:
+                        owners = obj_index.get(oid)
+                        if owners is not None:
+                            for name in owners:
+                                out.setdefault(name, REASON_OBJECT_MOVED)
+                else:
+                    for oid, owners in obj_index.items():
+                        if oid in ids:
+                            for name in owners:
+                                out.setdefault(name, REASON_OBJECT_MOVED)
+        else:
+            changed = delta.changed_ids()
+            for name, fp in self._footprints.items():
+                if not fp.cells.isdisjoint(touched):
+                    out[name] = REASON_FOOTPRINT_ENTER
+                elif not fp.objects.isdisjoint(changed):
+                    out[name] = REASON_OBJECT_MOVED
+        return out

@@ -10,6 +10,7 @@ algorithms fairly.
 
 from __future__ import annotations
 
+import heapq
 import logging
 import time
 from typing import Callable, Dict, Optional, Set
@@ -20,6 +21,20 @@ from repro.engine.scheduler import TickScheduler
 from repro.geometry import predicates
 from repro.grid.delta import TickDelta
 from repro.grid.index import GridIndex
+from repro.obs.flight import FlightRecorder, TickDigest
+from repro.obs.ledger import (
+    EVALUATED,
+    REASON_DELTA_DISJOINT,
+    REASON_FOOTPRINT_HIT,
+    REASON_INITIAL,
+    REASON_NO_FOOTPRINT,
+    REASON_RESUME_FORCED,
+    REASON_SCHEDULER_OFF,
+    SKIPPED,
+    QueryCostLedger,
+    QueryTickCost,
+    get_ledger,
+)
 from repro.obs.metrics import MetricsRegistry, active_registry, record_ops_delta
 from repro.obs.trace import get_tracer
 from repro.queries.base import ContinuousQuery
@@ -72,6 +87,19 @@ class Simulator:
         Requires the scheduler (silently off when ``scheduler=False``, so
         the oracle configurations of the correctness suite stay fully
         cold).
+    ledger:
+        Per-query cost ledger (:class:`repro.obs.ledger.QueryCostLedger`).
+        ``None`` (the default) attaches the process-global ledger —
+        recording only happens while that ledger is *enabled*, so the
+        default costs one attribute check per tick.  ``False`` detaches
+        cost attribution entirely; an explicit instance scopes the
+        records to this simulator.
+    flight:
+        Tick flight recorder (:class:`repro.obs.flight.FlightRecorder`).
+        ``True`` (the default) attaches a fresh recorder when the
+        scheduler is on — always-on tick digests plus anomaly-triggered
+        replayable incident bundles.  ``False`` disables it; an explicit
+        instance allows tuned thresholds or an incident directory.
     """
 
     def __init__(
@@ -84,6 +112,8 @@ class Simulator:
         registry: Optional[MetricsRegistry] = None,
         scheduler: bool = True,
         batch: bool = True,
+        ledger: "Optional[QueryCostLedger | bool]" = None,
+        flight: "bool | FlightRecorder" = True,
     ):
         self.generator = generator
         self.dt = dt
@@ -102,6 +132,24 @@ class Simulator:
         self.batch: Optional[BatchExecutor] = (
             BatchExecutor(self.grid) if batch and scheduler else None
         )
+        if ledger is None:
+            self.ledger: Optional[QueryCostLedger] = get_ledger()
+        elif ledger is False:
+            self.ledger = None
+        else:
+            self.ledger = ledger
+        if flight is True:
+            self.flight: Optional[FlightRecorder] = (
+                FlightRecorder() if scheduler else None
+            )
+        elif not flight:
+            self.flight = None
+        else:
+            self.flight = flight
+        #: The last tick's raw movement events ``(moves, inserts,
+        #: removes)`` — kept by reference for the flight recorder's
+        #: replay window (``None`` on the scheduler-off path).
+        self._last_events: Optional[tuple] = None
         #: Running shared-probe totals (mirrored into the registry as
         #: ``batch_probe_hits_total`` / ``batch_probe_misses_total``).
         self.batch_probe_hits = 0
@@ -250,13 +298,85 @@ class Simulator:
         """
         self.current_tick += 1
         tracer = self.tracer
-        with tracer.span("engine.tick", tick=self.current_tick):
-            with tracer.span("engine.movement"):
-                delta = self._apply_movement()
-            if self.scheduler is None or delta is None:
-                return self.execute_queries()
-            run = self.scheduler.affected(delta)
-            return self.execute_queries(run=run)
+        flight = self.flight
+        ledger = self.ledger
+        ledger_on = ledger is not None and ledger.enabled
+        if flight is not None:
+            flight.before_tick(self.current_tick, self.grid)
+        self._last_events = None
+        scheduler_time = 0.0
+        t0 = self.clock()
+        try:
+            with tracer.span("engine.tick", tick=self.current_tick):
+                move_start = self.clock()
+                with tracer.span("engine.movement"):
+                    delta = self._apply_movement()
+                movement_time = self.clock() - move_start
+                if self.scheduler is None or delta is None:
+                    out = self.execute_queries()
+                elif ledger_on:
+                    # The reason-annotated matcher costs slightly more
+                    # than the set-only one, so it runs only while the
+                    # ledger is recording.
+                    sched_start = self.clock()
+                    reasons = self.scheduler.affected_reasons(delta)
+                    scheduler_time = self.clock() - sched_start
+                    out = self.execute_queries(
+                        run=set(reasons), reasons=reasons
+                    )
+                else:
+                    out = self.execute_queries(
+                        run=self.scheduler.affected(delta)
+                    )
+        except Exception as exc:
+            if flight is not None:
+                latency = self.clock() - t0
+                digest = self._digest(latency, {})
+                moves, inserts, removes = self._last_events or (
+                    None,
+                    None,
+                    None,
+                )
+                flight.observe(digest, moves, inserts, removes)
+                flight.capture(
+                    self, f"exception: {type(exc).__name__}: {exc}"
+                )
+            raise
+        latency = self.clock() - t0
+        if ledger_on:
+            ledger.end_tick(latency, movement_time, scheduler_time)
+        if flight is not None:
+            digest = self._digest(latency, out)
+            moves, inserts, removes = self._last_events or (None, None, None)
+            anomaly = flight.observe(digest, moves, inserts, removes)
+            if anomaly is not None:
+                flight.capture(self, anomaly)
+        return out
+
+    def _digest(
+        self, latency: float, out: Dict[str, TickMetrics]
+    ) -> TickDigest:
+        """The flight-recorder summary of the tick just executed."""
+        moves, inserts, removes = self._last_events or ([], [], [])
+        n_evaluated = sum(1 for m in out.values() if not m.skipped)
+        top = heapq.nlargest(
+            3,
+            (
+                (m.wall_time, name)
+                for name, m in out.items()
+                if not m.skipped
+            ),
+        )
+        return TickDigest(
+            tick=self.current_tick,
+            latency=latency,
+            evaluated=n_evaluated,
+            skipped=len(out) - n_evaluated,
+            moves=len(moves),
+            inserts=len(inserts),
+            removes=len(removes),
+            top=[(name, wall) for wall, name in top],
+        )
 
     def _apply_movement(self) -> Optional[TickDelta]:
         """Apply one tick of generator output to the grid.
@@ -270,10 +390,20 @@ class Simulator:
         if self.scheduler is not None:
             if hasattr(self.generator, "step_events"):
                 events = self.generator.step_events(self.dt)
+                self._last_events = (
+                    events.moves,
+                    events.inserts,
+                    events.removes,
+                )
                 return grid.apply_updates(
                     events.moves, inserts=events.inserts, removes=events.removes
                 )
-            return grid.apply_updates(self.generator.step(self.dt))
+            updates = self.generator.step(self.dt)
+            if self.flight is not None:
+                if not isinstance(updates, list):
+                    updates = list(updates)
+                self._last_events = (updates, [], [])
+            return grid.apply_updates(updates)
         if hasattr(self.generator, "step_events"):
             events = self.generator.step_events(self.dt)
             for oid in events.removes:
@@ -288,7 +418,9 @@ class Simulator:
         return None
 
     def execute_queries(
-        self, run: Optional[Set[str]] = None
+        self,
+        run: Optional[Set[str]] = None,
+        reasons: Optional[Dict[str, str]] = None,
     ) -> Dict[str, TickMetrics]:
         """Execute every non-paused query at the current time, measured.
 
@@ -296,6 +428,9 @@ class Simulator:
         outside it that have already started *and* hold a registered
         footprint carry their previous answer forward without executing.
         ``None`` (scheduler off, or the initial step) evaluates everyone.
+        ``reasons`` optionally annotates each ``run`` member with *why*
+        it matched (:meth:`TickScheduler.affected_reasons`) — forwarded
+        into the cost ledger when it is recording.
 
         With batching enabled, the to-evaluate set is decided first, then
         evaluated in footprint-overlap group order against one fresh
@@ -308,6 +443,12 @@ class Simulator:
         registry = self.registry
         scheduler = self.scheduler
         batch = self.batch
+        ledger = self.ledger
+        ledger_on = ledger is not None and ledger.enabled
+        tick_record = None
+        if ledger_on:
+            tick_record = ledger.begin_tick(self.current_tick)
+            dispatch_start = self.clock()
 
         skipped: list = []
         evaluated: list = []
@@ -346,14 +487,36 @@ class Simulator:
                 region_cells=last.region_cells if last is not None else 0,
                 ops={},
                 skipped=True,
+                reason=REASON_DELTA_DISJOINT,
             )
             out[name] = metrics
             self._last_metrics[name] = metrics
             self.ticks_skipped += 1
             if registry is not None:
-                registry.counter("ticks_skipped_total", query=name).inc()
+                registry.counter(
+                    "ticks_skipped_total",
+                    query=name,
+                    reason=REASON_DELTA_DISJOINT,
+                ).inc()
+            if ledger_on:
+                ledger.record(
+                    QueryTickCost(
+                        query=name,
+                        tick=self.current_tick,
+                        decision=SKIPPED,
+                        reason=REASON_DELTA_DISJOINT,
+                        answer_size=len(answer),
+                        monitored=metrics.monitored,
+                    )
+                )
+
+        if tick_record is not None:
+            # Partitioning, batch ordering, and the skip-path bookkeeping
+            # above are genuine tick cost owned by no single query.
+            tick_record.dispatch_time += self.clock() - dispatch_start
 
         for name in evaluated:
+            body_start = self.clock() if ledger_on else 0.0
             query = self._queries[name]
             if batch is not None:
                 query.bind_shared_context(batch.context)
@@ -362,6 +525,32 @@ class Simulator:
                 if tracer.enabled
                 else None
             )
+            cost: Optional[QueryTickCost] = None
+            if ledger_on:
+                if not self._started[name]:
+                    reason = REASON_INITIAL
+                elif name in self._force_eval:
+                    reason = REASON_RESUME_FORCED
+                elif scheduler is None:
+                    reason = REASON_SCHEDULER_OFF
+                elif scheduler.footprint(name) is None:
+                    reason = REASON_NO_FOOTPRINT
+                elif reasons is not None:
+                    reason = reasons.get(name, REASON_FOOTPRINT_HIT)
+                else:
+                    reason = REASON_FOOTPRINT_HIT
+                cost = QueryTickCost(
+                    query=name,
+                    tick=self.current_tick,
+                    decision=EVALUATED,
+                    reason=reason,
+                )
+                query.bind_cost_recorder(cost)
+                ctx = batch.context if batch is not None else None
+                shared_before = (
+                    (ctx.hits, ctx.misses) if ctx is not None else (0, 0)
+                )
+                fallbacks_before = predicates.STATS.exact_fallbacks
             ops_before = query.search.stats.snapshot()
             start = self.clock()
             if not self._started[name]:
@@ -378,18 +567,49 @@ class Simulator:
                 monitored=query.monitored_count,
                 region_cells=query.monitored_region_cells,
                 ops=diff_ops(ops_before, ops_after),
+                reason=cost.reason if cost is not None else "",
             )
             out[name] = metrics
             self._last_metrics[name] = metrics
             self._force_eval.discard(name)
             self.queries_evaluated += 1
+            if cost is not None:
+                query.bind_cost_recorder(None)
+                cost.absorb_ops(metrics.ops)
+                if ctx is not None:
+                    cost.shared_hits = ctx.hits - shared_before[0]
+                    cost.shared_misses = ctx.misses - shared_before[1]
+                cost.exact_fallbacks = (
+                    predicates.STATS.exact_fallbacks - fallbacks_before
+                )
+                cost.answer_size = len(answer)
+                cost.monitored = metrics.monitored
             if scheduler is not None:
-                scheduler.update_footprint(name, query.footprint())
+                # Footprint re-registration is part of the price of having
+                # evaluated this query; attributing it keeps per-query
+                # walls summing to (nearly) the whole tick.
+                if cost is not None:
+                    fp_start = self.clock()
+                    scheduler.update_footprint(name, query.footprint())
+                    fp_elapsed = self.clock() - fp_start
+                    cost.phases["footprint"] = (
+                        cost.phases.get("footprint", 0.0) + fp_elapsed
+                    )
+                else:
+                    scheduler.update_footprint(name, query.footprint())
             if span is not None:
                 tracer.end(span, monitored=metrics.monitored, answer=len(answer))
             if registry is not None:
                 registry.counter("queries_evaluated_total", query=name).inc()
                 self._publish(registry, name, query, metrics)
+            if cost is not None:
+                # The query's wall is its whole dispatch-loop body —
+                # context binding, the algorithm itself, footprint
+                # re-registration, and metric publication; the phase dict
+                # separates the algorithm's share, the remainder shows up
+                # as the row's unattributed glue.
+                cost.wall_time = self.clock() - body_start
+                ledger.record(cost)
 
         if batch is not None and evaluated:
             hits, misses = batch.finish_tick()

@@ -16,7 +16,15 @@ CellKey = Tuple[int, int]
 
 
 def cell_key_of(extent: Rect, n: int, p: Iterable[float]) -> CellKey:
-    """The key of the cell containing ``p`` (clamped into the extent)."""
+    """The key of the cell containing ``p`` (clamped into the extent).
+
+    The index must agree with the cell *edges* of :func:`cell_rect_of`,
+    which are computed by multiplication (``xmin + ix * w``).  Division
+    and multiplication round differently on exact boundaries (``0.6 * 5``
+    is ``3.0000000000000004`` while ``3 * 0.2`` is
+    ``0.6000000000000001``), so the divided index is nudged until the
+    point actually lies within its cell's edges.
+    """
     x, y = p
     ix = int((x - extent.xmin) / extent.width * n)
     iy = int((y - extent.ymin) / extent.height * n)
@@ -28,6 +36,16 @@ def cell_key_of(extent: Rect, n: int, p: Iterable[float]) -> CellKey:
         iy = 0
     elif iy >= n:
         iy = n - 1
+    w = extent.width / n
+    if ix > 0 and extent.xmin + ix * w > x:
+        ix -= 1
+    elif ix < n - 1 and extent.xmin + (ix + 1) * w <= x:
+        ix += 1
+    h = extent.height / n
+    if iy > 0 and extent.ymin + iy * h > y:
+        iy -= 1
+    elif iy < n - 1 and extent.ymin + (iy + 1) * h <= y:
+        iy += 1
     return (ix, iy)
 
 

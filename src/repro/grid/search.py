@@ -64,12 +64,16 @@ class SearchStats:
     objects_examined: Dict[SearchKind, int] = field(
         default_factory=lambda: {kind: 0 for kind in SearchKind}
     )
+    #: Closer-than style probes (count / witnesses / first) — the Phase II
+    #: verification workload, attributed per query by the cost ledger.
+    witness_probes: int = 0
 
     def reset(self) -> None:
         for kind in SearchKind:
             self.calls[kind] = 0
             self.cells_visited[kind] = 0
             self.objects_examined[kind] = 0
+        self.witness_probes = 0
 
     @property
     def total_calls(self) -> int:
@@ -90,6 +94,7 @@ class SearchStats:
             out[f"calls_{kind.value}"] = self.calls[kind]
             out[f"cells_{kind.value}"] = self.cells_visited[kind]
             out[f"objects_{kind.value}"] = self.objects_examined[kind]
+        out["witness_probes"] = self.witness_probes
         return out
 
 
@@ -390,6 +395,7 @@ class GridSearch:
         extent = grid.extent
         stats = self.stats
         stats.calls[kind] += 1
+        stats.witness_probes += 1
 
         if (threshold is None) == (threshold_sq is None):
             raise ValueError("provide exactly one of threshold or threshold_sq")
@@ -493,6 +499,7 @@ class GridSearch:
         extent = grid.extent
         stats = self.stats
         stats.calls[kind] += 1
+        stats.witness_probes += 1
 
         t2 = threshold_sq
         exact = threshold_point is not None
@@ -574,6 +581,7 @@ class GridSearch:
         n = grid.size
         stats = self.stats
         stats.calls[kind] += 1
+        stats.witness_probes += 1
 
         exact = threshold_point is not None
         if exact:

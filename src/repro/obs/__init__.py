@@ -14,7 +14,16 @@ quantities first-class and visible *inside* a tick:
   gauges, and fixed-bucket histograms.  It absorbs and generalizes the
   per-search-kind :class:`repro.grid.search.SearchStats` counters.
 - :mod:`repro.obs.export` — JSON-lines span events, a Prometheus-style
-  text snapshot, and a human ``summary()`` table.
+  text snapshot, Chrome/Perfetto trace timelines, and a human
+  ``summary()`` table.
+- :mod:`repro.obs.ledger` — the per-query cost ledger: every tick's wall
+  time, search work, shared-context hits, and exact-predicate fallbacks
+  attributed to ``(query, phase)``, with skip/evaluate decisions recorded
+  under machine-readable reasons.  ``igern obs explain <query>`` renders
+  one record.
+- :mod:`repro.obs.flight` — the always-on tick flight recorder: a bounded
+  digest ring that, on anomaly, freezes the recent window into a
+  replayable fuzz-format incident bundle.
 
 Quickstart::
 
@@ -36,10 +45,21 @@ from typing import Optional, Tuple
 from repro.obs.export import (
     JsonLinesSink,
     prometheus_text,
+    spans_from_jsonl,
+    spans_to_chrome_trace,
     spans_to_jsonl,
     summary_table,
+    write_chrome_trace,
     write_metrics_text,
     write_spans_jsonl,
+)
+from repro.obs.flight import FlightRecorder, TickDigest
+from repro.obs.ledger import (
+    QueryCostLedger,
+    QueryTickCost,
+    TickRecord,
+    get_ledger,
+    phase,
 )
 from repro.obs.metrics import (
     Counter,
@@ -72,9 +92,19 @@ __all__ = [
     "JsonLinesSink",
     "prometheus_text",
     "spans_to_jsonl",
+    "spans_from_jsonl",
+    "spans_to_chrome_trace",
+    "write_chrome_trace",
     "summary_table",
     "write_spans_jsonl",
     "write_metrics_text",
+    "QueryCostLedger",
+    "QueryTickCost",
+    "TickRecord",
+    "get_ledger",
+    "phase",
+    "FlightRecorder",
+    "TickDigest",
     "enable",
     "disable",
     "enabled",
@@ -83,13 +113,16 @@ __all__ = [
 
 
 def enable(
-    trace: bool = True, metrics: bool = True
+    trace: bool = True, metrics: bool = True, ledger: bool = False
 ) -> Tuple[Tracer, Optional[MetricsRegistry]]:
     """Turn observability on: the global tracer and the global registry.
 
     Returns ``(tracer, registry)`` so callers can attach sinks or inspect
     collected data.  ``metrics=True`` installs the global registry as the
     *active* one, which engine components pick up at construction time.
+    ``ledger=True`` additionally enables the global per-query cost ledger
+    (simulators pick it up by default; recording only happens while it is
+    enabled).
     """
     tracer = get_tracer()
     if trace:
@@ -98,17 +131,22 @@ def enable(
     if metrics:
         registry = get_registry()
         install_registry(registry)
+    if ledger:
+        get_ledger().enable()
     return tracer, registry
 
 
 def disable(clear: bool = False) -> None:
-    """Turn tracing and metric collection off (optionally dropping data)."""
+    """Turn tracing, metric collection, and the cost ledger off
+    (optionally dropping collected data)."""
     tracer = get_tracer()
     tracer.disable()
     uninstall_registry()
+    get_ledger().disable()
     if clear:
         tracer.clear()
         get_registry().clear()
+        get_ledger().clear()
 
 
 def enabled() -> bool:

@@ -1,13 +1,17 @@
-"""Exporters: JSON-lines span events, Prometheus text, summary table.
+"""Exporters: JSON-lines spans, Prometheus text, Chrome trace, summary.
 
-Three consumers, three formats:
+Four consumers, four formats:
 
 - machines replaying a trace → :func:`spans_to_jsonl` /
-  :class:`JsonLinesSink` (one JSON object per finished span);
+  :class:`JsonLinesSink` (one JSON object per finished span), parsed
+  back by :func:`spans_from_jsonl`;
 - scrapers → :func:`prometheus_text` (the Prometheus exposition format,
-  produced without any dependency);
-- humans → :func:`summary_table` (per-phase span breakdown plus a metric
-  listing, the output of ``igern obs``).
+  produced without any dependency, label values escaped per spec);
+- timeline viewers (``chrome://tracing``, Perfetto) →
+  :func:`spans_to_chrome_trace`, optionally with per-query cost-ledger
+  rows as counter tracks;
+- humans → :func:`summary_table` (per-phase span breakdown sorted by
+  *self* time plus a metric listing, the output of ``igern obs``).
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from __future__ import annotations
 import io
 import json
 from pathlib import Path
-from typing import IO, Iterable, Optional, Union
+from typing import IO, Dict, Iterable, List, Optional, Union
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import Span, Tracer
@@ -37,6 +41,32 @@ def write_spans_jsonl(path: Union[str, Path], tracer: Tracer) -> Path:
     text = spans_to_jsonl(tracer.spans())
     path.write_text(text + "\n" if text else "")
     return path
+
+
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a (detached) :class:`Span` from its exported dict form.
+
+    The inverse of :meth:`Span.to_dict` up to float re-derivation: the
+    span's ``end`` is reconstructed as ``start + duration``, so one
+    parse/re-export cycle normalizes the duration to ``(start + duration)
+    - start`` and is idempotent afterwards.  The returned span has no
+    tracer — it is data, not an open measurement.
+    """
+    span = Span(None, data["name"], dict(data.get("attrs") or {}) or None)
+    span.start = float(data["start"])
+    span.end = span.start + float(data["duration"])
+    span.depth = int(data.get("depth", 0))
+    span.parent = data.get("parent")
+    return span
+
+
+def spans_from_jsonl(text: str) -> List[Span]:
+    """Parse a JSON-lines span export back into detached spans."""
+    return [
+        span_from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
 
 
 class JsonLinesSink:
@@ -81,8 +111,20 @@ def _prom_name(name: str, prefix: str) -> str:
     return prefix + name.replace(".", "_").replace("-", "_")
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the exposition-format spec: backslash,
+    double quote, and line feed are the three characters with meaning
+    inside a quoted label value."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_prom_escape(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -130,6 +172,82 @@ def write_metrics_text(path: Union[str, Path], registry: MetricsRegistry) -> Pat
 
 
 # ----------------------------------------------------------------------
+# Chrome / Perfetto trace timeline
+# ----------------------------------------------------------------------
+
+
+def spans_to_chrome_trace(
+    spans: Iterable[Span], ledger=None, pid: int = 1
+) -> dict:
+    """The span ring as a Chrome ``trace_event`` document.
+
+    Every finished span becomes a complete duration event (``ph: "X"``,
+    timestamps in microseconds of ``time.perf_counter``), loadable in
+    ``chrome://tracing`` or https://ui.perfetto.dev.  With a
+    :class:`repro.obs.ledger.QueryCostLedger`, each retained tick adds
+    counter events (``ph: "C"``) — per-query wall time and cells visited
+    — rendered as stacked counter tracks under the span timeline.
+    """
+    events: List[dict] = []
+    for span in spans:
+        event = {
+            "name": span.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": 1,
+        }
+        if span.attrs:
+            event["args"] = dict(span.attrs)
+        events.append(event)
+    if ledger is not None:
+        for record in ledger.records():
+            evaluated = record.evaluated()
+            if not evaluated:
+                continue
+            ts = record.started * 1e6
+            events.append(
+                {
+                    "name": "ledger.query_wall_us",
+                    "cat": "ledger",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "args": {
+                        c.query: round(c.wall_time * 1e6, 3)
+                        for c in evaluated
+                    },
+                }
+            )
+            events.append(
+                {
+                    "name": "ledger.cells_visited",
+                    "cat": "ledger",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "args": {c.query: c.cells_visited for c in evaluated},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, Path], tracer: Tracer, ledger=None
+) -> Path:
+    """Write the tracer's retained spans (plus optional ledger counter
+    tracks) as a Chrome trace JSON file."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(spans_to_chrome_trace(tracer.spans(), ledger=ledger))
+        + "\n"
+    )
+    return path
+
+
+# ----------------------------------------------------------------------
 # Human summary
 # ----------------------------------------------------------------------
 
@@ -142,36 +260,92 @@ def _fmt_seconds(seconds: float) -> str:
     return f"{seconds * 1e6:8.1f}us"
 
 
+def _self_times(tracer: Tracer, prefix: Optional[str]) -> Dict[str, float]:
+    """Per-span-name *self* time: total minus time inside child spans.
+
+    Children are attributed by parent name over the whole retained ring
+    (not just the prefix-filtered view), so a filtered table still ranks
+    by genuine self time.
+    """
+    totals: Dict[str, float] = {}
+    child_time: Dict[str, float] = {}
+    for span in tracer.spans():
+        totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        if span.parent is not None:
+            child_time[span.parent] = (
+                child_time.get(span.parent, 0.0) + span.duration
+            )
+    return {
+        name: max(0.0, total - child_time.get(name, 0.0))
+        for name, total in totals.items()
+        if prefix is None or name.startswith(prefix)
+    }
+
+
+def _skip_reasons(registry: MetricsRegistry) -> Dict[str, float]:
+    """``ticks_skipped_total`` rolled up by its ``reason`` label."""
+    out: Dict[str, float] = {}
+    for metric in registry.collect():
+        if metric.name != "ticks_skipped_total" or not isinstance(
+            metric, Counter
+        ):
+            continue
+        reason = dict(metric.labels).get("reason", "(unlabeled)")
+        out[reason] = out.get(reason, 0) + metric.value
+    return out
+
+
 def summary_table(
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
     prefix: Optional[str] = None,
+    top: Optional[int] = None,
 ) -> str:
     """Per-phase span breakdown plus metric listing, for terminals.
 
-    Span rows are grouped by name (count, total, mean, max) and sorted by
-    total time descending — the "where does the tick go" table.  ``prefix``
-    restricts the span section (e.g. ``"mono."``).
+    Span rows are grouped by name (count, total, self, mean, max) and
+    sorted by **self time** descending (ties broken by name, so the
+    order is deterministic) — the "where does the tick go" table without
+    parents double-counting their children.  ``prefix`` restricts the
+    span section (e.g. ``"mono."``); ``top`` truncates it to the N
+    hottest rows so large runs stay readable.
     """
     out = io.StringIO()
     if tracer is not None:
+        self_times = _self_times(tracer, prefix)
         aggs = sorted(
-            tracer.aggregate(prefix).values(), key=lambda a: a.total, reverse=True
+            tracer.aggregate(prefix).values(),
+            key=lambda a: (-self_times.get(a.name, 0.0), a.name),
         )
-        out.write("spans (per-phase breakdown)\n")
-        if aggs:
+        shown = aggs if top is None else aggs[: max(top, 0)]
+        out.write("spans (per-phase breakdown, hottest self time first)\n")
+        if shown:
             out.write(
-                f"  {'span':<34} {'count':>7} {'total':>10} {'mean':>10} {'max':>10}\n"
+                f"  {'span':<34} {'count':>7} {'total':>10} {'self':>10}"
+                f" {'mean':>10} {'max':>10}\n"
             )
-            for agg in aggs:
+            for agg in shown:
                 out.write(
                     f"  {agg.name:<34} {agg.count:>7}"
                     f" {_fmt_seconds(agg.total):>10}"
+                    f" {_fmt_seconds(self_times.get(agg.name, 0.0)):>10}"
                     f" {_fmt_seconds(agg.mean):>10}"
                     f" {_fmt_seconds(agg.max):>10}\n"
                 )
+            if len(aggs) > len(shown):
+                out.write(f"  ... {len(aggs) - len(shown)} more span name(s)\n")
+        elif aggs:
+            out.write(f"  (all {len(aggs)} rows hidden by --top)\n")
         else:
             out.write("  (no spans recorded — is tracing enabled?)\n")
+    if registry is not None:
+        reasons = _skip_reasons(registry)
+        if reasons:
+            if tracer is not None:
+                out.write("\n")
+            out.write("scheduler skips by reason\n")
+            for reason in sorted(reasons):
+                out.write(f"  {reason}: {_fmt_value(reasons[reason])}\n")
     if registry is not None:
         metrics = list(registry.collect())
         if tracer is not None:

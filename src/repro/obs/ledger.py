@@ -1,0 +1,422 @@
+"""Per-query, per-phase cost attribution: the tick cost ledger.
+
+The tracer answers *where does time go globally* (span aggregates across
+the whole run); the ledger answers the paper's per-query questions: which
+query consumed this tick, on which algorithm phase, probing how many
+cells — and, just as important, *why* the scheduler decided to evaluate
+or skip it.  Every tick produces one :class:`TickRecord` holding one
+:class:`QueryTickCost` per (non-paused) registered query, with the
+skip/evaluate decision recorded as a machine-readable reason code.
+
+Decision reasons (the complete vocabulary, also in
+``docs/OBSERVABILITY.md``):
+
+========================  ============================================
+``delta-disjoint``        skipped: the tick's grid delta touched neither
+                          the query's footprint cells nor its objects
+``initial``               evaluated: the query's very first execution
+``resume-forced``         evaluated: first tick after ``resume_query``
+                          (footprint evidence is stale by construction)
+``footprint-enter``       evaluated: an object moved within / entered /
+                          left one of the query's footprint cells
+``object-moved``          evaluated: a monitored object (or the query
+                          object itself) moved, entered, or left
+``footprint-hit``         evaluated: footprint matched the delta but the
+                          cheap matcher ran (ledger was enabled mid-run),
+                          so cell/object attribution is unavailable
+``no-footprint``          evaluated: the query registers no bounded
+                          footprint (snapshot baseline, unbounded region)
+``scheduler-off``         evaluated: the simulator runs without a tick
+                          scheduler — everything evaluates every tick
+========================  ============================================
+
+The ledger is **off by default**.  Its disabled footprint inside the
+engine is one ``is None``/``enabled`` check per tick plus a handful of
+no-op phase calls per query execution (:func:`phase` returns the shared
+``NULL_SPAN``); the enabled cost is bounded by
+``benchmarks/test_obs_overhead.py``.  Like the tracer, a process-global
+instance (:func:`get_ledger`) is shared by every simulator unless one is
+injected explicitly.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.trace import NULL_SPAN
+
+#: Decision labels.
+EVALUATED = "evaluated"
+SKIPPED = "skipped"
+
+#: Reason codes (see the module docstring for semantics).
+REASON_DELTA_DISJOINT = "delta-disjoint"
+REASON_INITIAL = "initial"
+REASON_RESUME_FORCED = "resume-forced"
+REASON_FOOTPRINT_ENTER = "footprint-enter"
+REASON_OBJECT_MOVED = "object-moved"
+REASON_FOOTPRINT_HIT = "footprint-hit"
+REASON_NO_FOOTPRINT = "no-footprint"
+REASON_SCHEDULER_OFF = "scheduler-off"
+
+
+@dataclass
+class QueryTickCost:
+    """Everything one tick spent on (or saved for) one query.
+
+    ``wall_time`` covers the executor call *plus* the footprint
+    re-registration that follows it — the full engine-side cost of having
+    evaluated the query — so per-query walls plus the movement time add
+    up to (nearly) the whole tick.  ``phases`` maps algorithm phase names
+    (``rebuild`` / ``tighten`` / ``prune`` / ``verify`` / ``footprint``)
+    to seconds; the gap to ``wall_time`` is loop glue and shows up in
+    :meth:`unattributed` rather than being smeared over the phases.
+    """
+
+    query: str
+    tick: int
+    decision: str  # EVALUATED | SKIPPED
+    reason: str
+    wall_time: float = 0.0
+    phases: Dict[str, float] = field(default_factory=dict)
+    search_calls: int = 0
+    cells_visited: int = 0
+    objects_examined: int = 0
+    witness_probes: int = 0
+    shared_hits: int = 0
+    shared_misses: int = 0
+    exact_fallbacks: int = 0
+    answer_size: int = 0
+    monitored: int = 0
+
+    def absorb_ops(self, ops: Dict[str, int]) -> None:
+        """Fold a ``diff_ops``-style search-counter delta into this cost."""
+        for key, amount in ops.items():
+            if not amount:
+                continue
+            if key.startswith("calls_"):
+                self.search_calls += amount
+            elif key.startswith("cells_"):
+                self.cells_visited += amount
+            elif key.startswith("objects_"):
+                self.objects_examined += amount
+            elif key == "witness_probes":
+                self.witness_probes += amount
+
+    def phase_total(self) -> float:
+        return sum(self.phases.values())
+
+    def unattributed(self) -> float:
+        """Wall time not claimed by any phase (engine glue, dispatch)."""
+        return max(0.0, self.wall_time - self.phase_total())
+
+
+class _PhaseTimer:
+    """Context manager accumulating wall time into ``phases[name]``."""
+
+    __slots__ = ("_phases", "_name", "_start")
+
+    def __init__(self, phases: Dict[str, float], name: str):
+        self._phases = phases
+        self._name = name
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._start
+        phases = self._phases
+        phases[self._name] = phases.get(self._name, 0.0) + elapsed
+        return False
+
+
+def phase(cost: Optional[QueryTickCost], name: str):
+    """Time one algorithm phase into ``cost``; no-op when ``cost`` is None.
+
+    The disabled path (no recorder bound — the overwhelmingly common
+    case) returns the shared ``NULL_SPAN``, so instrumented call sites
+    cost one function call and one ``is None`` check.
+    """
+    if cost is None:
+        return NULL_SPAN
+    return _PhaseTimer(cost.phases, name)
+
+
+@dataclass
+class TickRecord:
+    """The ledger's view of one tick: every query's cost plus tick totals.
+
+    ``total_time`` / ``movement_time`` are filled by the simulator at the
+    end of the tick (``None`` for execution outside :meth:`Simulator.step`,
+    e.g. the tick-0 initial pass, where no enclosing measurement exists).
+    """
+
+    tick: int
+    costs: "OrderedDict[str, QueryTickCost]" = field(default_factory=OrderedDict)
+    total_time: Optional[float] = None
+    movement_time: float = 0.0
+    #: Footprint matching: the scheduler's reason-annotated affected-set
+    #: computation for this tick.
+    scheduler_time: float = 0.0
+    #: Engine dispatch: deciding who runs, batch ordering, and the
+    #: skip-path bookkeeping (carried answers, counters, skip records).
+    dispatch_time: float = 0.0
+    #: ``clock()`` reading when the record opened — the timeline anchor
+    #: for the Chrome-trace counter tracks.
+    started: float = 0.0
+
+    def evaluated(self) -> List[QueryTickCost]:
+        return [c for c in self.costs.values() if c.decision == EVALUATED]
+
+    def skipped(self) -> List[QueryTickCost]:
+        return [c for c in self.costs.values() if c.decision == SKIPPED]
+
+    def top(self, n: int = 5) -> List[QueryTickCost]:
+        """The ``n`` most expensive query executions, deterministically
+        ordered (wall time descending, then name)."""
+        ranked = sorted(
+            self.evaluated(), key=lambda c: (-c.wall_time, c.query)
+        )
+        return ranked[:n]
+
+    def attributed_time(self) -> float:
+        """The explained tick time: movement, footprint matching, engine
+        dispatch, and every per-query wall."""
+        return (
+            self.movement_time
+            + self.scheduler_time
+            + self.dispatch_time
+            + sum(c.wall_time for c in self.costs.values())
+        )
+
+    def attributed_fraction(self) -> Optional[float]:
+        """Explained share of the measured tick wall (``None`` untimed)."""
+        if self.total_time is None or self.total_time <= 0.0:
+            return None
+        return self.attributed_time() / self.total_time
+
+
+class QueryCostLedger:
+    """Bounded ring of per-tick cost records with an explain report.
+
+    Usage mirrors the tracer: ``enabled`` is a plain attribute the engine
+    checks once per tick; :meth:`begin_tick` / :meth:`record` /
+    :meth:`end_tick` are called by the simulator, never by user code.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.enabled: bool = False
+        self.capacity = capacity
+        self.clock = clock
+        self._records: Deque[TickRecord] = deque(maxlen=capacity)
+        self._by_tick: Dict[int, TickRecord] = {}
+        self._current: Optional[TickRecord] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._by_tick.clear()
+        self._current = None
+
+    # -- recording (engine-facing) --------------------------------------
+
+    def begin_tick(self, tick: int) -> TickRecord:
+        """Open (or reopen) the record for ``tick`` and make it current."""
+        record = self._by_tick.get(tick)
+        if record is None:
+            record = TickRecord(tick=tick, started=self.clock())
+            if len(self._records) == self._records.maxlen:
+                evicted = self._records[0]
+                self._by_tick.pop(evicted.tick, None)
+            self._records.append(record)
+            self._by_tick[tick] = record
+        self._current = record
+        return record
+
+    def record(self, cost: QueryTickCost) -> None:
+        """File one query's cost under the current tick record."""
+        record = self._current
+        if record is None or record.tick != cost.tick:
+            record = self.begin_tick(cost.tick)
+        record.costs[cost.query] = cost
+
+    def end_tick(
+        self,
+        total_time: float,
+        movement_time: float = 0.0,
+        scheduler_time: float = 0.0,
+    ) -> None:
+        """Close the current tick with its measured totals.
+
+        Totals *accumulate*: when several simulators replay the same tick
+        numbers into one shared ledger (``igern obs``'s demo runs the mono
+        and bi workloads back to back), the merged record's tick wall is
+        the sum of both measurements, keeping the attributed fraction a
+        genuine ≤1 share.
+        """
+        record = self._current
+        if record is None:
+            return
+        record.total_time = (record.total_time or 0.0) + total_time
+        record.movement_time += movement_time
+        record.scheduler_time += scheduler_time
+
+    # -- inspection ------------------------------------------------------
+
+    def records(self) -> List[TickRecord]:
+        """Retained tick records, oldest first."""
+        return list(self._records)
+
+    def latest(self) -> Optional[TickRecord]:
+        return self._records[-1] if self._records else None
+
+    def record_for(self, tick: int) -> Optional[TickRecord]:
+        return self._by_tick.get(tick)
+
+    def history(self, query: str) -> List[QueryTickCost]:
+        """Every retained cost row of one query, oldest tick first."""
+        return [
+            r.costs[query] for r in self._records if query in r.costs
+        ]
+
+    def queries(self) -> List[str]:
+        """Every query name appearing in the retained records, sorted."""
+        names = {q for r in self._records for q in r.costs}
+        return sorted(names)
+
+    # -- reporting -------------------------------------------------------
+
+    def explain(self, query: str, tick: Optional[int] = None) -> str:
+        """A human-readable account of one query at one tick.
+
+        ``tick=None`` picks the most recent retained tick on which the
+        query appears.  The report is the backend of
+        ``igern obs explain <query> --tick N``.
+        """
+        if not self._records:
+            return "ledger is empty (was it enabled while the workload ran?)"
+        record: Optional[TickRecord] = None
+        if tick is None:
+            for candidate in reversed(self._records):
+                if query in candidate.costs:
+                    record = candidate
+                    break
+            if record is None:
+                return (
+                    f"no retained tick mentions query {query!r}"
+                    f" (known queries: {', '.join(self.queries()) or 'none'})"
+                )
+        else:
+            record = self._by_tick.get(tick)
+            if record is None:
+                lo = self._records[0].tick
+                hi = self._records[-1].tick
+                return (
+                    f"tick {tick} is not retained"
+                    f" (ledger holds ticks {lo}..{hi})"
+                )
+            if query not in record.costs:
+                return (
+                    f"query {query!r} has no entry at tick {tick}"
+                    f" (present: {', '.join(record.costs) or 'none'})"
+                )
+        cost = record.costs[query]
+        return self._format(record, cost)
+
+    def _format(self, record: TickRecord, cost: QueryTickCost) -> str:
+        out = io.StringIO()
+        out.write(
+            f"query {cost.query!r} tick {record.tick} — {cost.decision}"
+            f" ({cost.reason})"
+        )
+        if cost.decision == EVALUATED:
+            out.write(f" in {_us(cost.wall_time)}\n")
+            if cost.phases:
+                parts = ", ".join(
+                    f"{name} {_us(seconds)}"
+                    for name, seconds in cost.phases.items()
+                )
+                out.write(
+                    f"  phases: {parts}"
+                    f" (unattributed {_us(cost.unattributed())})\n"
+                )
+            out.write(
+                f"  search: {cost.search_calls} calls,"
+                f" {cost.cells_visited} cells visited,"
+                f" {cost.objects_examined} objects examined,"
+                f" {cost.witness_probes} witness probes\n"
+            )
+            probes = cost.shared_hits + cost.shared_misses
+            if probes:
+                out.write(
+                    f"  shared context: {cost.shared_hits} hits /"
+                    f" {cost.shared_misses} misses"
+                    f" ({100.0 * cost.shared_hits / probes:.1f}% shared)\n"
+                )
+            if cost.exact_fallbacks:
+                out.write(
+                    f"  predicates: {cost.exact_fallbacks} exact"
+                    f" fallback(s)\n"
+                )
+            out.write(
+                f"  answer: {cost.answer_size} object(s),"
+                f" monitored {cost.monitored}\n"
+            )
+        else:
+            out.write(
+                f" — previous answer carried forward"
+                f" ({cost.answer_size} object(s))\n"
+            )
+        n_eval = len(record.evaluated())
+        n_skip = len(record.skipped())
+        out.write(
+            f"tick totals: {len(record.costs)} queries"
+            f" ({n_eval} evaluated, {n_skip} skipped)"
+        )
+        if record.total_time is not None:
+            out.write(
+                f", tick wall {_us(record.total_time)},"
+                f" movement {_us(record.movement_time)}"
+            )
+            if record.scheduler_time:
+                out.write(f", matching {_us(record.scheduler_time)}")
+            if record.dispatch_time:
+                out.write(f", dispatch {_us(record.dispatch_time)}")
+            fraction = record.attributed_fraction()
+            if fraction is not None:
+                out.write(f", attributed {100.0 * fraction:.1f}%")
+        return out.getvalue()
+
+
+def _us(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+_GLOBAL_LEDGER = QueryCostLedger()
+
+
+def get_ledger() -> QueryCostLedger:
+    """The process-wide default ledger, shared by every simulator."""
+    return _GLOBAL_LEDGER

@@ -76,12 +76,22 @@ class QueryPosition:
             return self._fixed
         return self._grid.position(self.query_id)
 
+    @property
+    def fixed_point(self) -> Optional[Point]:
+        """The pinned position, or ``None`` for a moving query."""
+        return self._fixed
+
 
 class ContinuousQuery(abc.ABC):
     """Base class for all continuous RNN query executors."""
 
     #: Short algorithm label used in reports ("IGERN", "CRNN", ...).
     name: str = "?"
+
+    #: ``"mono"`` / ``"bi"`` for IGERN executors, ``None`` for baselines.
+    #: The flight recorder uses this to rebuild an equivalent fuzz
+    #: scenario from a live simulator.
+    flavor: "Optional[str]" = None
 
     def __init__(self, grid: GridIndex, position: QueryPosition):
         self.grid = grid
@@ -105,6 +115,17 @@ class ContinuousQuery(abc.ABC):
         :class:`repro.grid.context.SharedTickContext`.  The default is a
         no-op: baselines without cache-aware probe paths simply evaluate
         cold, which is always correct.
+        """
+
+    def bind_cost_recorder(self, cost) -> None:
+        """Attach (or detach, with ``None``) the tick's cost record.
+
+        Called by the engine around each evaluation when the per-query
+        cost ledger is enabled, so algorithm internals can attribute
+        phase timings to the active
+        :class:`repro.obs.ledger.QueryTickCost`.  The default is a
+        no-op: executors without phase structure are attributed at whole
+        -tick granularity only.
         """
 
     def footprint(self) -> Optional[QueryFootprint]:

@@ -18,6 +18,7 @@ class IGERNBiQuery(ContinuousQuery):
     """
 
     name = "IGERN-bi"
+    flavor = "bi"
 
     def __init__(
         self,
@@ -41,9 +42,16 @@ class IGERNBiQuery(ContinuousQuery):
         self._state: Optional[BiState] = None
         self.last_report: Optional[StepReport] = None
 
+    @property
+    def k(self) -> int:
+        return self._algo.k
+
     def bind_shared_context(self, context) -> None:
         self._algo.shared_context = context
         self.search.shared_context = context
+
+    def bind_cost_recorder(self, cost) -> None:
+        self._algo.cost = cost
 
     def initial(self) -> FrozenSet[Hashable]:
         self._state, report = self._algo.initial(self.position.current())

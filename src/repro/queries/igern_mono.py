@@ -14,6 +14,7 @@ class IGERNMonoQuery(ContinuousQuery):
     """Continuous monochromatic R(k)NN query evaluated with IGERN."""
 
     name = "IGERN"
+    flavor = "mono"
 
     def __init__(
         self,
@@ -35,9 +36,16 @@ class IGERNMonoQuery(ContinuousQuery):
         self._state: Optional[MonoState] = None
         self.last_report: Optional[StepReport] = None
 
+    @property
+    def k(self) -> int:
+        return self._algo.k
+
     def bind_shared_context(self, context) -> None:
         self._algo.shared_context = context
         self.search.shared_context = context
+
+    def bind_cost_recorder(self, cost) -> None:
+        self._algo.cost = cost
 
     def initial(self) -> FrozenSet[Hashable]:
         self._state, report = self._algo.initial(self.position.current())

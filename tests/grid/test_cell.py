@@ -37,6 +37,14 @@ class TestCellKeyOf:
         rect = cell_rect_of(Rect.unit(), n, key)
         assert rect.contains((x, y))
 
+    def test_boundary_point_agrees_with_cell_rect(self):
+        # 0.6 * 5 rounds to 3.0000000000000004 while cell 3's lower edge
+        # 3 * 0.2 rounds to 0.6000000000000001 — the divided index must
+        # be corrected to match the multiplied edges.
+        key = cell_key_of(Rect.unit(), 5, (0.0, 0.6))
+        assert cell_rect_of(Rect.unit(), 5, key).contains((0.0, 0.6))
+        assert key == (0, 2)
+
 
 class TestCellRectOf:
     def test_covers_extent_exactly(self):

@@ -1,16 +1,25 @@
-"""Tests for the exporters: JSON lines, Prometheus text, summary table."""
+"""Tests for the exporters: JSON lines, Prometheus text, Chrome trace,
+summary table."""
 
 import io
 import json
 
+from hypothesis import given
+from hypothesis import strategies as st
+
 from repro.obs.export import (
     JsonLinesSink,
     prometheus_text,
+    span_from_dict,
+    spans_from_jsonl,
+    spans_to_chrome_trace,
     spans_to_jsonl,
     summary_table,
+    write_chrome_trace,
     write_metrics_text,
     write_spans_jsonl,
 )
+from repro.obs.ledger import QueryCostLedger, QueryTickCost
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
@@ -133,6 +142,149 @@ class TestPrometheus:
         assert prometheus_text(MetricsRegistry()) == ""
 
 
+class TestPrometheusEscaping:
+    def test_backslash_quote_and_newline_escaped(self):
+        reg = MetricsRegistry()
+        hostile = 'a\\b"c\nd'
+        reg.counter("hostile_total", query=hostile).inc(2)
+        text = prometheus_text(reg)
+        assert '\\\\' in text and '\\"' in text and "\\n" in text
+        assert 'query="a\\\\b\\"c\\nd"' in text
+        # The raw newline must never survive into the exposition line.
+        line = next(l for l in text.splitlines() if "hostile_total{" in l)
+        assert line.endswith(" 2")
+
+    def test_escaped_output_is_line_safe(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", a="x\ny", b='q"r', c="s\\t").set(1)
+        text = prometheus_text(reg)
+        # Every non-comment line still parses as 'name{labels} value'.
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert line.rsplit(" ", 1)[1] == "1"
+
+    def test_benign_values_unchanged(self):
+        reg = MetricsRegistry()
+        reg.counter("ok_total", query="igern-bi").inc()
+        assert 'query="igern-bi"' in prometheus_text(reg)
+
+
+class TestSpanRoundTrip:
+    def test_span_from_dict_reconstructs_end(self):
+        span = span_from_dict(
+            {"name": "x", "start": 2.0, "duration": 0.5, "depth": 1}
+        )
+        assert span.end == 2.5
+        assert span.duration == 0.5
+        assert span.parent is None and span.attrs == {}
+        assert span.to_dict() == {
+            "name": "x",
+            "start": 2.0,
+            "duration": 0.5,
+            "depth": 1,
+        }
+
+    def test_jsonl_roundtrip_preserves_structure(self):
+        tracer = traced_fixture()
+        parsed = spans_from_jsonl(spans_to_jsonl(tracer.spans()))
+        assert [s.name for s in parsed] == ["mono.incremental", "engine.tick"]
+        assert parsed[0].parent == "engine.tick"
+        assert parsed[1].attrs == {"tick": 0}
+        assert parsed[1].duration == 0.75
+
+    span_dicts = st.fixed_dictionaries(
+        {
+            "name": st.text(min_size=1, max_size=16),
+            "start": st.floats(
+                min_value=0.0, max_value=1e9, allow_nan=False
+            ),
+            "duration": st.floats(
+                min_value=0.0, max_value=1e6, allow_nan=False
+            ),
+            "depth": st.integers(min_value=0, max_value=12),
+        },
+        optional={
+            "parent": st.text(min_size=1, max_size=16),
+            "attrs": st.dictionaries(
+                st.text(min_size=1, max_size=8),
+                st.one_of(
+                    st.integers(min_value=-(2**31), max_value=2**31),
+                    st.floats(allow_nan=False, allow_infinity=False),
+                    st.text(max_size=16),
+                    st.booleans(),
+                ),
+                max_size=3,
+            ),
+        },
+    )
+
+    @given(st.lists(span_dicts, max_size=5))
+    def test_parse_export_cycle_is_idempotent(self, dicts):
+        """One parse/re-export normalizes; a second changes nothing."""
+        jsonl = "\n".join(json.dumps(d) for d in dicts)
+        once = spans_from_jsonl(jsonl)
+        text1 = spans_to_jsonl(once)
+        twice = spans_from_jsonl(text1)
+        assert spans_to_jsonl(twice) == text1
+        for before, after in zip(dicts, once):
+            assert after.name == before["name"]
+            assert after.depth == before["depth"]
+            assert after.parent == before.get("parent")
+            assert after.attrs == (before.get("attrs") or {})
+
+
+class TestChromeTrace:
+    def test_spans_become_complete_events_in_microseconds(self):
+        tracer = traced_fixture()
+        doc = spans_to_chrome_trace(tracer.spans())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert [e["ph"] for e in events] == ["X", "X"]
+        outer = next(e for e in events if e["name"] == "engine.tick")
+        assert outer["dur"] == 0.75 * 1e6
+        assert outer["args"] == {"tick": 0}
+
+    def test_ledger_rows_become_counter_tracks(self):
+        ledger = QueryCostLedger(clock=lambda: 2.0)
+        ledger.enable()
+        ledger.begin_tick(1)
+        ledger.record(
+            QueryTickCost(
+                query="q0",
+                tick=1,
+                decision="evaluated",
+                reason="initial",
+                wall_time=0.003,
+                cells_visited=17,
+            )
+        )
+        ledger.record(
+            QueryTickCost(
+                query="q1", tick=1, decision="skipped", reason="delta-disjoint"
+            )
+        )
+        ledger.end_tick(0.004)
+        doc = spans_to_chrome_trace([], ledger=ledger)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == {
+            "ledger.query_wall_us",
+            "ledger.cells_visited",
+        }
+        walls = next(
+            e for e in counters if e["name"] == "ledger.query_wall_us"
+        )
+        # Only evaluated queries appear; skipped q1 has no track value.
+        assert walls["args"] == {"q0": 3000.0}
+        assert walls["ts"] == 2.0 * 1e6
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        tracer = traced_fixture()
+        path = write_chrome_trace(tmp_path / "trace.json", tracer)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 2
+
+
 class TestSummaryTable:
     def test_span_rows_sorted_by_total(self):
         tracer = Tracer(clock=FakeClock())
@@ -144,6 +296,55 @@ class TestSummaryTable:
         text = summary_table(tracer)
         assert text.index("expensive") < text.index("cheap")
         assert "count" in text and "total" in text
+
+    def test_sorted_by_self_time_not_total(self):
+        """A parent whose time is all children ranks below the child."""
+        tracer = Tracer(clock=FakeClock())
+        tracer.enable()
+        with tracer.span("parent"):
+            tracer.clock.advance(0.01)
+            with tracer.span("child"):
+                tracer.clock.advance(2.0)
+        text = summary_table(tracer)
+        assert text.index("child") < text.index("parent")
+
+    def test_self_time_sort_is_deterministic_on_ties(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.enable()
+        for name in ("zeta", "alpha", "mid"):
+            with tracer.span(name):
+                tracer.clock.advance(1.0)
+        text = summary_table(tracer)
+        assert text.index("alpha") < text.index("mid") < text.index("zeta")
+
+    def test_top_truncates_and_reports_hidden_rows(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.enable()
+        for i, name in enumerate(["a", "b", "c", "d"]):
+            with tracer.span(name):
+                tracer.clock.advance(float(4 - i))
+        text = summary_table(tracer, top=2)
+        assert "a" in text and "b" in text
+        assert "\n  c " not in text and "\n  d " not in text
+        assert "... 2 more span name(s)" in text
+
+    def test_skip_reason_breakdown(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "ticks_skipped_total", query="q0", reason="delta-disjoint"
+        ).inc(5)
+        reg.counter(
+            "ticks_skipped_total", query="q1", reason="delta-disjoint"
+        ).inc(2)
+        text = summary_table(registry=reg)
+        assert "scheduler skips by reason" in text
+        assert "delta-disjoint: 7" in text
+
+    def test_unlabeled_skips_still_counted(self):
+        reg = MetricsRegistry()
+        reg.counter("ticks_skipped_total", query="q0").inc(3)
+        text = summary_table(registry=reg)
+        assert "(unlabeled): 3" in text
 
     def test_metrics_section(self):
         reg = MetricsRegistry()

@@ -68,6 +68,34 @@ class TestHistogram:
         with pytest.raises(ValueError):
             h.percentile(101)
 
+    def test_percentile_empty_is_zero_for_any_p(self):
+        h = Histogram("t", buckets=(1.0, 2.0))
+        for p in (0.001, 50, 100):
+            assert h.percentile(p) == 0.0
+
+    def test_percentile_clamps_overflow_to_last_edge(self):
+        """Observations beyond the last bound land in the overflow
+        bucket; percentiles answered from it clamp to the last finite
+        edge rather than inventing an +Inf estimate."""
+        h = Histogram("t", buckets=(1.0, 2.0))
+        for v in (50.0, 99.0, 1e9):
+            h.observe(v)
+        assert h.percentile(1) == 2.0
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 2.0
+
+    def test_percentile_100_is_the_maximum_bucket(self):
+        h = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        h.observe(0.5)
+        h.observe(3.5)
+        assert h.percentile(100) == 4.0
+        assert h.percentile(50) == 1.0
+
+    def test_tiny_percentile_hits_first_occupied_bucket(self):
+        h = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        h.observe(3.0)  # only the <=4.0 bucket is occupied
+        assert h.percentile(0.001) == 4.0
+
     def test_unsorted_buckets_rejected(self):
         with pytest.raises(ValueError):
             Histogram("t", buckets=(2.0, 1.0))

@@ -226,7 +226,7 @@ class TestGlobalFacade:
             with obs.get_tracer().span("demo.phase"):
                 pass
             text = obs.summary()
-            assert "spans (per-phase breakdown)" in text
+            assert "spans (per-phase breakdown" in text
             assert "demo.phase" in text
         finally:
             obs.disable(clear=True)

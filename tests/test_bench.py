@@ -1,0 +1,222 @@
+"""Tests for the perf-regression harness (``igern bench``): tolerance
+arithmetic, result comparison, and the check driver — all pure-data
+paths, no benchmark is executed here."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCHMARKS,
+    OK,
+    REGRESSION,
+    SKIPPED,
+    MetricCheck,
+    check_benchmarks,
+    compare,
+    format_rows,
+    has_regression,
+    resolve,
+)
+
+TICK = BENCHMARKS["tick_throughput"]
+BATCH = BENCHMARKS["batch_throughput"]
+
+
+def tick_result(
+    speedup=4.0,
+    identical=True,
+    fallback_rate=0.0,
+    skipped=900,
+    evaluated=100,
+    ticks_per_sec=50.0,
+):
+    return {
+        "speedup": speedup,
+        "answers_identical": identical,
+        "predicates": {"fallback_rate": fallback_rate},
+        "scheduler_on": {
+            "queries_evaluated": evaluated,
+            "ticks_skipped": skipped,
+            "ticks_per_sec": ticks_per_sec,
+        },
+    }
+
+
+def batch_result(
+    speedup=1.6, identical=True, sharing_ratio=0.5, probe_hits=50000
+):
+    return {
+        "speedup": speedup,
+        "answers_identical": identical,
+        "batched": {
+            "sharing_ratio": sharing_ratio,
+            "probe_hits": probe_hits,
+            "ticks_per_sec": 40.0,
+        },
+    }
+
+
+class TestMetricCheck:
+    def test_lower_relative_band(self):
+        check = MetricCheck("speedup", "lower", "rel", 0.40)
+        assert check.bound(5.0) == pytest.approx(3.0)
+        assert check.passes(5.0, 3.0)
+        assert check.passes(5.0, 9.0)
+        assert not check.passes(5.0, 2.99)
+
+    def test_upper_absolute_band(self):
+        check = MetricCheck("fallback_rate", "upper", "abs", 0.01)
+        assert check.bound(0.02) == pytest.approx(0.03)
+        assert check.passes(0.02, 0.03)
+        assert not check.passes(0.02, 0.031)
+
+    def test_exact_direction_ignores_tolerance(self):
+        check = MetricCheck("answers_identical", "exact", tolerance=0.5)
+        assert check.bound(1.0) == 1.0
+        assert check.passes(1.0, 1.0)
+        assert not check.passes(1.0, 0.0)
+
+    def test_upper_relative_band(self):
+        check = MetricCheck("queries_evaluated", "upper", "rel", 0.05)
+        assert check.bound(100.0) == pytest.approx(105.0)
+        assert not check.passes(100.0, 106.0)
+
+
+class TestResolve:
+    def test_empty_selection_means_everything(self):
+        assert [b.name for b in resolve([])] == list(BENCHMARKS)
+
+    def test_by_name(self):
+        assert resolve(["batch_throughput"]) == [BATCH]
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="tick_throughput"):
+            resolve(["nope"])
+
+
+class TestCompare:
+    def test_identical_results_pass_every_check(self):
+        rows = compare(TICK, tick_result(), tick_result())
+        assert [r["status"] for r in rows] == [OK] * len(TICK.checks)
+        assert not has_regression(rows)
+
+    def test_degraded_speedup_is_a_regression(self):
+        rows = compare(TICK, tick_result(speedup=5.0), tick_result(speedup=2.0))
+        [row] = [r for r in rows if r["metric"] == "speedup"]
+        assert row["status"] == REGRESSION
+        assert "violates >= 3" in row["detail"]
+        assert has_regression(rows)
+
+    def test_improvement_is_not_a_regression(self):
+        rows = compare(
+            TICK, tick_result(speedup=4.0), tick_result(speedup=8.0)
+        )
+        assert not has_regression(rows)
+
+    def test_broken_invariant_fails_exactly(self):
+        rows = compare(TICK, tick_result(), tick_result(identical=False))
+        [row] = [r for r in rows if r["metric"] == "answers_identical"]
+        assert row["status"] == REGRESSION
+
+    def test_quick_skips_count_metrics_only(self):
+        degraded = tick_result(evaluated=110, skipped=890)
+        rows = compare(TICK, tick_result(), degraded, quick=True)
+        by_metric = {r["metric"]: r["status"] for r in rows}
+        assert by_metric["queries_evaluated"] == SKIPPED
+        assert by_metric["speedup"] == OK
+        assert not has_regression(rows)
+
+    def test_full_run_gates_count_metrics(self):
+        degraded = tick_result(evaluated=110, skipped=890)
+        rows = compare(TICK, tick_result(), degraded)
+        by_metric = {r["metric"]: r["status"] for r in rows}
+        assert by_metric["queries_evaluated"] == REGRESSION
+
+    def test_missing_metric_is_a_regression(self):
+        from repro.bench import Benchmark
+
+        partial = Benchmark(
+            name="partial",
+            test_path="-",
+            result_file="-",
+            quick_env="-",
+            out_env="-",
+            metrics=lambda result: dict(result),
+            checks=(MetricCheck("gone", "lower", "rel", 0.1),),
+        )
+        rows = compare(partial, {"gone": 1.0}, {})
+        [row] = rows
+        assert row["status"] == REGRESSION
+        assert "missing from result document" in row["detail"]
+
+    def test_dropped_sharing_ratio_regresses(self):
+        rows = compare(
+            BATCH,
+            batch_result(sharing_ratio=0.50),
+            batch_result(sharing_ratio=0.35),
+        )
+        [row] = [r for r in rows if r["metric"] == "sharing_ratio"]
+        assert row["status"] == REGRESSION
+        assert row["bound"] == pytest.approx(0.40)
+
+
+class TestCheckBenchmarks:
+    def _write(self, directory, bench, result):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / bench.result_file).write_text(json.dumps(result))
+
+    def test_passes_on_equal_dirs(self, tmp_path):
+        self._write(tmp_path / "base", TICK, tick_result())
+        self._write(tmp_path / "cur", TICK, tick_result())
+        rows = check_benchmarks([TICK], tmp_path / "base", tmp_path / "cur")
+        assert not has_regression(rows)
+
+    def test_missing_result_file_reports_regression(self, tmp_path):
+        self._write(tmp_path / "base", TICK, tick_result())
+        (tmp_path / "cur").mkdir()
+        rows = check_benchmarks([TICK], tmp_path / "base", tmp_path / "cur")
+        assert has_regression(rows)
+        assert any("missing result file" in r["detail"] for r in rows)
+
+    def test_missing_baseline_file_reports_regression(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        self._write(tmp_path / "cur", TICK, tick_result())
+        rows = check_benchmarks([TICK], tmp_path / "base", tmp_path / "cur")
+        assert any("missing baseline file" in r["detail"] for r in rows)
+
+    def test_multiple_benchmarks_concatenate(self, tmp_path):
+        for d in ("base", "cur"):
+            self._write(tmp_path / d, TICK, tick_result())
+            self._write(tmp_path / d, BATCH, batch_result())
+        rows = check_benchmarks(
+            [TICK, BATCH], tmp_path / "base", tmp_path / "cur"
+        )
+        assert {r["benchmark"] for r in rows} == {
+            "tick_throughput",
+            "batch_throughput",
+        }
+        assert not has_regression(rows)
+
+
+class TestFormatRows:
+    def test_table_shows_status_and_details_on_regression(self):
+        rows = compare(TICK, tick_result(speedup=5.0), tick_result(speedup=2.0))
+        text = format_rows(rows)
+        assert "benchmark" in text and "status" in text
+        assert "regression" in text
+        assert "violates" in text
+
+    def test_ok_rows_carry_no_detail_lines(self):
+        rows = compare(TICK, tick_result(), tick_result())
+        text = format_rows(rows)
+        assert "violates" not in text
+        assert text.count("ok") >= len(TICK.checks)
+
+    def test_committed_baselines_pass_against_themselves(self):
+        from repro.bench import REPO_ROOT, load_result
+
+        for bench in BENCHMARKS.values():
+            path = REPO_ROOT / bench.result_file
+            result = load_result(path)
+            assert not has_regression(compare(bench, result, result))

@@ -75,7 +75,7 @@ class TestObs:
         rc = main(["obs", "--workload", "fig5", "--scale", "0.05"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "spans (per-phase breakdown)" in out
+        assert "spans (per-phase breakdown" in out
         assert "grid.search." in out
 
     def test_unknown_workload(self, capsys):
@@ -126,6 +126,146 @@ class TestObs:
         from repro.obs.metrics import active_registry
 
         assert active_registry() is None
+
+
+class TestObsExplain:
+    def test_explain_reports_a_query_tick(self, capsys):
+        rc = main(
+            ["obs", "explain", "igern", "-n", "200", "--ticks", "3",
+             "--grid", "16", "--tick", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "query 'igern' tick 2" in out
+        assert "tick totals" in out
+        assert "attributed" in out
+
+    def test_explain_defaults_to_latest_mention(self, capsys):
+        rc = main(
+            ["obs", "explain", "igern-bi", "-n", "200", "--ticks", "2",
+             "--grid", "16"]
+        )
+        assert rc == 0
+        assert "query 'igern-bi'" in capsys.readouterr().out
+
+    def test_explain_unknown_query_is_helpful_not_fatal(self, capsys):
+        rc = main(
+            ["obs", "explain", "nope", "-n", "150", "--ticks", "1",
+             "--grid", "16"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no retained tick mentions" in out
+        assert "igern" in out  # lists the known query names
+
+    def test_summary_top_truncates_span_table(self, capsys):
+        rc = main(
+            ["obs", "-n", "200", "--ticks", "2", "--grid", "16", "--top", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "more span name(s)" in out
+
+    def test_chrome_trace_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "timeline.json"
+        rc = main(
+            ["obs", "-n", "200", "--ticks", "2", "--grid", "16",
+             "--chrome-trace", str(path)]
+        )
+        assert rc == 0
+        assert str(path) in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        # Span duration events plus the ledger's counter tracks.
+        assert "X" in phases and "C" in phases
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "engine.tick" in names
+        assert "ledger.query_wall_us" in names
+
+
+class TestBench:
+    def _degrade(self, directory):
+        """Copies of the committed baselines with a halved speedup."""
+        import json
+        import shutil
+
+        from repro.bench import BENCHMARKS, REPO_ROOT
+
+        directory.mkdir(parents=True, exist_ok=True)
+        for bench in BENCHMARKS.values():
+            target = directory / bench.result_file
+            shutil.copy(REPO_ROOT / bench.result_file, target)
+            doc = json.loads(target.read_text())
+            doc["speedup"] = doc["speedup"] / 2.0
+            target.write_text(json.dumps(doc))
+        return directory
+
+    def _committed(self, directory):
+        import shutil
+
+        from repro.bench import BENCHMARKS, REPO_ROOT
+
+        directory.mkdir(parents=True, exist_ok=True)
+        for bench in BENCHMARKS.values():
+            shutil.copy(
+                REPO_ROOT / bench.result_file, directory / bench.result_file
+            )
+        return directory
+
+    def test_check_passes_on_committed_baselines(self, tmp_path, capsys):
+        results = self._committed(tmp_path / "results")
+        rc = main(["bench", "check", "--no-run", "--results-dir", str(results)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bench check: ok" in out
+        assert "regression" not in out
+
+    def test_check_fails_on_degraded_results(self, tmp_path, capsys):
+        results = self._degrade(tmp_path / "degraded")
+        rc = main(["bench", "check", "--no-run", "--results-dir", str(results)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "bench check: REGRESSION" in out
+        assert "violates" in out
+
+    def test_check_report_file(self, tmp_path, capsys):
+        import json
+
+        results = self._degrade(tmp_path / "degraded")
+        report = tmp_path / "report.json"
+        rc = main(
+            ["bench", "check", "--no-run", "--results-dir", str(results),
+             "--report", str(report)]
+        )
+        assert rc == 1
+        rows = json.loads(report.read_text())
+        assert any(r["status"] == "regression" for r in rows)
+        assert {"benchmark", "metric", "status"} <= set(rows[0])
+
+    def test_check_selects_single_benchmark(self, tmp_path, capsys):
+        results = self._committed(tmp_path / "results")
+        rc = main(
+            ["bench", "check", "tick_throughput", "--no-run",
+             "--results-dir", str(results)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tick_throughput" in out
+        assert "batch_throughput" not in out
+
+    def test_no_run_requires_results_dir(self):
+        import pytest
+
+        with pytest.raises(SystemExit, match="--results-dir"):
+            main(["bench", "check", "--no-run"])
+
+    def test_unknown_benchmark_name(self):
+        import pytest
+
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["bench", "check", "nope", "--no-run", "--results-dir", "/tmp"])
 
 
 class TestList:
