@@ -118,6 +118,17 @@ def _batch_metrics(result: dict) -> Dict[str, float]:
     }
 
 
+def _large_n_metrics(result: dict) -> Dict[str, float]:
+    col = result["columnar"]
+    return {
+        "speedup": float(result["speedup"]),
+        "answers_identical": 1.0 if result["answers_identical"] else 0.0,
+        "vectorized_fraction": float(col["vectorized_fraction"]),
+        "rows_scanned": float(col["rows_scanned"]),
+        "ticks_per_sec": float(col["ticks_per_sec"]),
+    }
+
+
 BENCHMARKS: Dict[str, Benchmark] = {
     "tick_throughput": Benchmark(
         name="tick_throughput",
@@ -149,6 +160,26 @@ BENCHMARKS: Dict[str, Benchmark] = {
             MetricCheck("answers_identical", "exact", quick_ok=True),
             MetricCheck("sharing_ratio", "lower", "abs", 0.10, quick_ok=True),
             MetricCheck("probe_hits", "lower", "rel", 0.10),
+        ),
+    ),
+    "large_n": Benchmark(
+        name="large_n",
+        test_path="benchmarks/test_large_n_throughput.py",
+        result_file="BENCH_large_n.json",
+        quick_env="LARGE_N_BENCH_QUICK",
+        out_env="LARGE_N_BENCH_OUT",
+        metrics=_large_n_metrics,
+        checks=(
+            # The quick config keeps the rows-per-cell density of the
+            # full run, so the backend ratio stays comparable.
+            MetricCheck("speedup", "lower", "rel", 0.40, quick_ok=True),
+            MetricCheck("answers_identical", "exact", quick_ok=True),
+            MetricCheck(
+                "vectorized_fraction", "lower", "abs", 0.05, quick_ok=True
+            ),
+            # Deterministic row count of the probe workload: scanning
+            # more rows means the kernels lost pruning, full size only.
+            MetricCheck("rows_scanned", "upper", "rel", 0.05),
         ),
     ),
 }

@@ -395,6 +395,9 @@ class BiIGERN:
                     search, ob, pos, dq2, sig, self.cat_a, self.k, threshold_ref=q
                 )
             else:
+                # stop_at keeps the probe in the columnar kernel's
+                # row-by-row early-exit regime rather than a whole-slice
+                # scan of every straddled A cell.
                 witnesses = search.count_closer_than(
                     pos,
                     threshold_sq=dq2,

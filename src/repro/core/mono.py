@@ -359,6 +359,9 @@ class MonoIGERN:
                 if witnesses < self.k:
                     answer.add(oid)
                 continue
+            # stop_at keeps the probe in the columnar kernel's row-by-row
+            # early-exit regime (most verifications settle within a few
+            # rows); without it the kernel would scan whole cell slices.
             witnesses = self.search.count_closer_than(
                 pos,
                 threshold_sq=dq2,

@@ -21,6 +21,7 @@ from repro.engine.scheduler import TickScheduler
 from repro.geometry import predicates
 from repro.grid.delta import TickDelta
 from repro.grid.index import GridIndex
+from repro.grid.store import STATS as STORE_STATS
 from repro.obs.flight import FlightRecorder, TickDigest
 from repro.obs.ledger import (
     EVALUATED,
@@ -100,6 +101,11 @@ class Simulator:
         scheduler is on — always-on tick digests plus anomaly-triggered
         replayable incident bundles.  ``False`` disables it; an explicit
         instance allows tuned thresholds or an incident directory.
+    store:
+        Storage backend of the grid index: ``"columnar"`` (the default
+        struct-of-arrays layout with vectorized cell kernels) or
+        ``"mapping"`` (the dict-backed reference layout).  Answers are
+        bit-identical; the fuzz harness runs both in lockstep.
     """
 
     def __init__(
@@ -114,13 +120,14 @@ class Simulator:
         batch: bool = True,
         ledger: "Optional[QueryCostLedger | bool]" = None,
         flight: "bool | FlightRecorder" = True,
+        store: str = "columnar",
     ):
         self.generator = generator
         self.dt = dt
         self.clock = clock
         self.tracer = get_tracer()
         self.registry = registry if registry is not None else active_registry()
-        self.grid = GridIndex(grid_size, extent=extent)
+        self.grid = GridIndex(grid_size, extent=extent, store=store)
         for oid, pos, category in generator.initial():
             self.grid.insert(oid, pos, category)
         self._queries: Dict[str, ContinuousQuery] = {}
@@ -172,6 +179,15 @@ class Simulator:
         self._predicate_seen = (
             predicates.STATS.filter_hits,
             predicates.STATS.exact_fallbacks,
+        )
+        #: Same last-seen-delta pattern for the process-global columnar
+        #: store counters (``store_rows_scanned_total`` /
+        #: ``store_vectorized_filter_rows_total`` /
+        #: ``store_exact_fallback_rows_total``).
+        self._store_seen = (
+            STORE_STATS.rows_scanned,
+            STORE_STATS.filter_rows,
+            STORE_STATS.exact_rows,
         )
 
     # ------------------------------------------------------------------
@@ -396,14 +412,17 @@ class Simulator:
                     events.removes,
                 )
                 return grid.apply_updates(
-                    events.moves, inserts=events.inserts, removes=events.removes
+                    events.moves,
+                    inserts=events.inserts,
+                    removes=events.removes,
+                    reuse_scratch=True,
                 )
             updates = self.generator.step(self.dt)
             if self.flight is not None:
                 if not isinstance(updates, list):
                     updates = list(updates)
                 self._last_events = (updates, [], [])
-            return grid.apply_updates(updates)
+            return grid.apply_updates(updates, reuse_scratch=True)
         if hasattr(self.generator, "step_events"):
             events = self.generator.step_events(self.dt)
             for oid in events.removes:
@@ -551,6 +570,7 @@ class Simulator:
                     (ctx.hits, ctx.misses) if ctx is not None else (0, 0)
                 )
                 fallbacks_before = predicates.STATS.exact_fallbacks
+                store_before = STORE_STATS.rows_scanned
             ops_before = query.search.stats.snapshot()
             start = self.clock()
             if not self._started[name]:
@@ -582,6 +602,7 @@ class Simulator:
                 cost.exact_fallbacks = (
                     predicates.STATS.exact_fallbacks - fallbacks_before
                 )
+                cost.store_rows = STORE_STATS.rows_scanned - store_before
                 cost.answer_size = len(answer)
                 cost.monitored = metrics.monitored
             if scheduler is not None:
@@ -638,6 +659,25 @@ class Simulator:
                     fallbacks - seen_fallbacks
                 )
             self._predicate_seen = (hits, fallbacks)
+            scanned, filtered, exact_rows = (
+                STORE_STATS.rows_scanned,
+                STORE_STATS.filter_rows,
+                STORE_STATS.exact_rows,
+            )
+            seen_scanned, seen_filtered, seen_exact = self._store_seen
+            if scanned > seen_scanned:
+                registry.counter("store_rows_scanned_total").inc(
+                    scanned - seen_scanned
+                )
+            if filtered > seen_filtered:
+                registry.counter("store_vectorized_filter_rows_total").inc(
+                    filtered - seen_filtered
+                )
+            if exact_rows > seen_exact:
+                registry.counter("store_exact_fallback_rows_total").inc(
+                    exact_rows - seen_exact
+                )
+            self._store_seen = (scanned, filtered, exact_rows)
         return out
 
     def _publish(

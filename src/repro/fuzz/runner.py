@@ -1,13 +1,14 @@
 """Lockstep differential execution of one scenario, and the fuzz loop.
 
-For every scenario the runner builds **three simulators over the
-identical frozen event script** — scheduler+batch on, scheduler on with
-batching off, and scheduler off (the evaluate-everything oracle
-configuration) — registers the same executors in all of them (IGERN
-plus, per scenario, one baseline and up to three extra fixed IGERN
-queries clustered near the main one so the batch layer actually
-shares), and advances them tick by tick in lockstep.  After every tick
-it checks four layers:
+For every scenario the runner builds **four simulators over the
+identical frozen event script** — scheduler+batch on (the columnar
+store default), scheduler on with batching off, scheduler off (the
+evaluate-everything oracle configuration), and scheduler+batch on over
+the dict-backed ``store="mapping"`` grid layout — registers the same
+executors in all of them (IGERN plus, per scenario, one baseline and up
+to three extra fixed IGERN queries clustered near the main one so the
+batch layer actually shares), and advances them tick by tick in
+lockstep.  After every tick it checks five layers:
 
 1. **oracle** — each executor's answer in the scheduler-off simulator
    must equal the quadratic brute-force answer recomputed from the raw
@@ -22,7 +23,15 @@ it checks four layers:
    scheduling decisions, so memoization is the only variable — a probe
    served from a corrupt memo shows up in the monitored state even when
    the answer survives);
-4. **invariants** — every IGERN monitored state passes
+4. **store** — each executor's answer over the mapping layout must be
+   bit-identical to the scheduler-off answer and its grid must hold
+   identical positions — the columnar/mapping differential pair of the
+   vectorized kernels.  (Monitored *candidate* sets are not compared
+   across layouts: ties in candidate selection are broken by cell
+   enumeration order, which legitimately differs between layouts while
+   both remain valid supersets — the invariant layer checks each side's
+   internal consistency instead.);
+5. **invariants** — every IGERN monitored state passes
    :meth:`~repro.core.state.MonoState.check_invariants` /
    :meth:`~repro.core.state.BiState.check_invariants` in *all three*
    simulators (in particular after skipped ticks), and the registered
@@ -71,7 +80,7 @@ CAT_A, CAT_B = "A", "B"
 class Divergence:
     """One observed disagreement or invariant violation."""
 
-    kind: str  # "oracle" | "scheduler" | "batch" | "invariant" | "grid-sync"
+    kind: str  # "oracle" | "scheduler" | "batch" | "store" | "invariant" | "grid-sync"
     tick: int
     name: str  # executor name or invariant site
     expected: list
@@ -158,9 +167,18 @@ class _Lockstep:
             extent=extent,
             scheduler=False,
         )
+        self.sim_store = Simulator(
+            ScriptedWorkload(scenario.script),
+            grid_size=scenario.grid_size,
+            extent=extent,
+            scheduler=True,
+            batch=True,
+            store="mapping",
+        )
         self._register(self.sim_on)
         self._register(self.sim_batch)
         self._register(self.sim_off)
+        self._register(self.sim_store)
 
     def _position(self, sim: Simulator) -> QueryPosition:
         if self.qid is not None:
@@ -201,12 +219,14 @@ class _Lockstep:
         metrics_on = self.sim_on.execute_queries()
         metrics_batch = self.sim_batch.execute_queries()
         metrics_off = self.sim_off.execute_queries()
-        self._check_tick(0, metrics_on, metrics_off, metrics_batch)
+        metrics_store = self.sim_store.execute_queries()
+        self._check_tick(0, metrics_on, metrics_off, metrics_batch, metrics_store)
         for t in range(1, self.scenario.n_ticks + 1):
             metrics_on = self.sim_on.step()
             metrics_batch = self.sim_batch.step()
             metrics_off = self.sim_off.step()
-            self._check_tick(t, metrics_on, metrics_off, metrics_batch)
+            metrics_store = self.sim_store.step()
+            self._check_tick(t, metrics_on, metrics_off, metrics_batch, metrics_store)
         return ScenarioResult(
             scenario=self.scenario,
             ticks=self.scenario.n_ticks,
@@ -258,10 +278,15 @@ class _Lockstep:
         metrics_on: Dict,
         metrics_off: Dict,
         metrics_batch: Dict,
+        metrics_store: Dict,
     ) -> None:
         report = self.divergences
         off_positions = self.sim_off.grid.positions_snapshot()
-        for side, sim in (("on", self.sim_on), ("batch", self.sim_batch)):
+        for side, sim in (
+            ("on", self.sim_on),
+            ("batch", self.sim_batch),
+            ("store", self.sim_store),
+        ):
             if sim.grid.positions_snapshot() != off_positions:
                 report.append(
                     Divergence(
@@ -311,6 +336,18 @@ class _Lockstep:
                         detail="batch=True answer differs from the cold path",
                     )
                 )
+            store_answer = set(metrics_store[name].answer)
+            if store_answer != off_answer:
+                report.append(
+                    Divergence(
+                        kind="store",
+                        tick=tick,
+                        name=name,
+                        expected=sorted(off_answer, key=repr),
+                        actual=sorted(store_answer, key=repr),
+                        detail="mapping-store answer differs from the columnar path",
+                    )
+                )
         # Memoization soundness, one level below answers: sim_on and
         # sim_batch make identical scheduling decisions, so their IGERN
         # monitored sets must match exactly.  (sim_off is not comparable
@@ -336,6 +373,7 @@ class _Lockstep:
                 ("on", self.sim_on),
                 ("batch", self.sim_batch),
                 ("off", self.sim_off),
+                ("store", self.sim_store),
             ):
                 for name in igern_names:
                     for violation in self._state_violations(sim, name):
@@ -349,7 +387,11 @@ class _Lockstep:
                                 detail=violation,
                             )
                         )
-            for side, sim in (("on", self.sim_on), ("batch", self.sim_batch)):
+            for side, sim in (
+                ("on", self.sim_on),
+                ("batch", self.sim_batch),
+                ("store", self.sim_store),
+            ):
                 for name in igern_names:
                     for violation in self._footprint_violations(sim, name):
                         report.append(

@@ -45,6 +45,10 @@ from repro.geometry.polygon import ConvexPolygon
 from repro.geometry.rectangle import Rect
 from repro.grid.cell import CellKey
 
+#: Below this many cells in the k=1 enumeration span, per-cell lazy
+#: evaluation beats staging the vectorized classification pass.
+_PREFILL_MIN_CELLS = 32
+
 
 class AliveCellGrid:
     """Per-cell half-plane coverage over an ``n x n`` grid, evaluated lazily.
@@ -70,6 +74,7 @@ class AliveCellGrid:
         self.k = k
         self._halfplanes: List[HalfPlane] = []
         self._memo: Dict[CellKey, bool] = {}
+        self._prefilled = False
         self._polygon: Optional[ConvexPolygon] = None
         self._xmin = self.extent.xmin
         self._ymin = self.extent.ymin
@@ -103,6 +108,7 @@ class AliveCellGrid:
     def _invalidate(self) -> None:
         self._memo.clear()
         self._polygon = None
+        self._prefilled = False
 
     def reset(self) -> None:
         """Mark every cell alive and forget all half-planes."""
@@ -143,6 +149,7 @@ class AliveCellGrid:
             self._halfplanes.remove(hp)
         if region_unchanged:
             self._memo.clear()
+            self._prefilled = False
         else:
             self._invalidate()
 
@@ -333,6 +340,16 @@ class AliveCellGrid:
             if span is None:
                 return
             ix0, ix1, iy0, iy1 = span
+            if not self._prefilled:
+                # Decide once per invalidation; spans too small to prefill
+                # would otherwise re-evaluate this guard on every call.
+                self._prefilled = True
+                if (
+                    self.shared_classify is None
+                    and self._halfplanes
+                    and (ix1 - ix0 + 1) * (iy1 - iy0 + 1) >= _PREFILL_MIN_CELLS
+                ):
+                    self._prefill_span(ix0, ix1, iy0, iy1)
             for ix in range(ix0, ix1 + 1):
                 for iy in range(iy0, iy1 + 1):
                     if self.is_alive((ix, iy)):
@@ -401,6 +418,56 @@ class AliveCellGrid:
     # ------------------------------------------------------------------
     # Dense fallbacks (k > 1 and tests)
     # ------------------------------------------------------------------
+
+    def _prefill_span(self, ix0: int, ix1: int, iy0: int, iy1: int) -> None:
+        """Vectorized k=1 classification of the whole enumeration span.
+
+        One float-filter pass per half-plane over the span's cell corners,
+        with in-band cells resolved through the same exact predicate the
+        scalar :meth:`_compute_alive` uses — classifications are identical,
+        only computed span-at-a-time instead of cell-at-a-time.  The
+        elementwise arithmetic replicates the scalar corner test term for
+        term (same association), so even the filter decisions match.
+        Results land in the per-cell memo, which :meth:`is_alive` then
+        serves; gated off while a shared classification hook is bound so
+        cross-query coverage sharing keeps its own memo.
+        """
+        nx = ix1 - ix0 + 1
+        ny = iy1 - iy0 + 1
+        x_lo = self._xmin + np.arange(ix0, ix1 + 1) * self._cw
+        y_lo = self._ymin + np.arange(iy0, iy1 + 1) * self._ch
+        x_hi = x_lo + self._cw
+        y_hi = y_lo + self._ch
+        alive = np.ones((nx, ny), dtype=bool)
+        stats = predicates.STATS
+        hp_filter = predicates.HP_FILTER
+        abs_guard = predicates.ABS_GUARD
+        for hp in self._halfplanes:
+            mx = x_hi if hp.a >= 0.0 else x_lo
+            my = y_hi if hp.b >= 0.0 else y_lo
+            tx = hp.a * mx
+            ty = hp.b * my
+            e = np.add.outer(tx, ty) + hp.c
+            mag = np.add.outer(np.abs(tx), np.abs(ty)) + abs(hp.c)
+            band = hp_filter * mag + (hp.c_err + abs_guard)
+            tol = self._cover_tol(hp)
+            covered = e + band < -tol
+            uncertain = ~covered & ~(e - band > -tol)
+            n_unc = int(uncertain.sum())
+            stats.filter_hits += nx * ny - n_unc
+            if n_unc:
+                ixs, iys = np.nonzero(uncertain)
+                for i, j in zip(ixs.tolist(), iys.tolist()):
+                    covered[i, j] = predicates.halfplane_below(
+                        hp, float(mx[i]), float(my[j]), tol
+                    )
+            alive &= ~covered
+        memo = self._memo
+        for i in range(nx):
+            row = alive[i]
+            for j in range(ny):
+                memo[(ix0 + i, iy0 + j)] = bool(row[j])
+        self._prefilled = True
 
     def _axis_bounds(self):
         n = self.size

@@ -22,7 +22,7 @@ Two cell sets are tracked, at different granularities:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Set, Tuple
+from typing import Dict, Hashable, List, Set, Tuple
 
 CellKey = Tuple[int, int]
 ObjectId = Hashable
@@ -30,7 +30,15 @@ ObjectId = Hashable
 
 @dataclass
 class TickDelta:
-    """Everything that changed in the grid during one batched tick."""
+    """Everything that changed in the grid during one batched tick.
+
+    Engine-owned instances are *recycled*: ``GridIndex.apply_updates``
+    with ``reuse_scratch=True`` calls :meth:`recycle` between ticks, so
+    the per-cell enter/leave sets are pooled instead of reallocated every
+    tick (they dominated the dispatch glue in ``igern obs explain``).
+    Deltas returned by the default path stay plain value objects and may
+    be retained freely.
+    """
 
     #: Ids whose stored position actually changed (updates that re-stated
     #: an identical position are not movement).
@@ -47,6 +55,10 @@ class TickDelta:
     cell_enters: Dict[CellKey, Set[ObjectId]] = field(default_factory=dict)
     #: Per-cell sets of objects that left the cell this tick.
     cell_leaves: Dict[CellKey, Set[ObjectId]] = field(default_factory=dict)
+    #: Pool of cleared per-cell sets, refilled by :meth:`recycle`.
+    _pool: List[Set[ObjectId]] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def changed_ids(self) -> Set[ObjectId]:
         """Every object id involved in any change this tick."""
@@ -56,7 +68,40 @@ class TickDelta:
         """Whether nothing at all changed this tick."""
         return not (self.moved or self.inserted or self.removed)
 
+    def recycle(self) -> None:
+        """Clear all recorded changes in place, pooling the per-cell sets
+        for reuse by subsequent :meth:`enter` / :meth:`leave` calls."""
+        pool = self._pool
+        for mapping in (self.cell_enters, self.cell_leaves):
+            for s in mapping.values():
+                s.clear()
+                pool.append(s)
+            mapping.clear()
+        self.moved.clear()
+        self.inserted.clear()
+        self.removed.clear()
+        self.dirty_cells.clear()
+        self.touched_cells.clear()
+
     # -- construction helpers (used by GridIndex.apply_updates) ---------
+
+    def enter(self, key: CellKey, oid: ObjectId) -> None:
+        """Add to a cell's enter set, drawing fresh sets from the pool."""
+        s = self.cell_enters.get(key)
+        if s is None:
+            pool = self._pool
+            s = pool.pop() if pool else set()
+            self.cell_enters[key] = s
+        s.add(oid)
+
+    def leave(self, key: CellKey, oid: ObjectId) -> None:
+        """Add to a cell's leave set, drawing fresh sets from the pool."""
+        s = self.cell_leaves.get(key)
+        if s is None:
+            pool = self._pool
+            s = pool.pop() if pool else set()
+            self.cell_leaves[key] = s
+        s.add(oid)
 
     def record_move(
         self, oid: ObjectId, old_key: CellKey, new_key: CellKey
@@ -69,17 +114,17 @@ class TickDelta:
         self.touched_cells.add(old_key)
         self.dirty_cells.add(old_key)
         self.dirty_cells.add(new_key)
-        self.cell_leaves.setdefault(old_key, set()).add(oid)
-        self.cell_enters.setdefault(new_key, set()).add(oid)
+        self.leave(old_key, oid)
+        self.enter(new_key, oid)
 
     def record_insert(self, oid: ObjectId, key: CellKey) -> None:
         self.inserted.add(oid)
         self.dirty_cells.add(key)
         self.touched_cells.add(key)
-        self.cell_enters.setdefault(key, set()).add(oid)
+        self.enter(key, oid)
 
     def record_remove(self, oid: ObjectId, key: CellKey) -> None:
         self.removed.add(oid)
         self.dirty_cells.add(key)
         self.touched_cells.add(key)
-        self.cell_leaves.setdefault(key, set()).add(oid)
+        self.leave(key, oid)

@@ -5,6 +5,15 @@ objects currently inside it.  Objects carry an opaque *category* so that
 the bichromatic algorithms can search A objects and scan B objects on the
 same structure (category ``0`` is the default for monochromatic data).
 
+Storage is pluggable (see :mod:`repro.grid.store`): the default
+``"columnar"`` backend keeps parallel coordinate columns plus a per-cell
+row index, so the search kernels can scan whole cells as array slices;
+``"mapping"`` keeps the original dict-of-sets layout for differential
+testing and tiny populations.  The index itself owns the geometry
+(position -> cell math), the maintenance counters, and the per-tick
+:class:`~repro.grid.delta.TickDelta` bookkeeping — both backends see
+exactly the same sequence of primitive mutations.
+
 The index counts *cell changes* — moves that relocate an object to a
 different cell.  Figure 5a of the paper plots exactly this number as the
 grid-maintenance overhead of increasing grid resolution.
@@ -12,15 +21,26 @@ grid-maintenance overhead of increasing grid resolution.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
 
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.grid.cell import CellKey, cell_key_of, cell_rect_of
 from repro.grid.delta import TickDelta
+from repro.grid.store import make_store
 
 Category = Hashable
 ObjectId = Hashable
+
+#: Below this many moves per tick the vectorized bulk path costs more in
+#: array staging than it saves; the scalar loop handles small ticks.
+#: Measured crossover sits between 30 and 64 movers on a 2k-object grid.
+_BULK_MOVE_MIN = 48
+
+try:
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
 
 
 class GridIndex:
@@ -34,9 +54,18 @@ class GridIndex:
         The indexed data space; defaults to the unit square.  Out-of-extent
         positions are accepted and clamped into boundary cells, matching
         how moving-object generators occasionally overshoot the map edge.
+    store:
+        Storage backend: ``"columnar"`` (struct-of-arrays, the default) or
+        ``"mapping"`` (the dict-backed reference layout).  Answers are
+        bit-identical between the two; only the cost profile differs.
     """
 
-    def __init__(self, size: int, extent: Optional[Rect] = None):
+    def __init__(
+        self,
+        size: int,
+        extent: Optional[Rect] = None,
+        store: str = "columnar",
+    ):
         if size < 1:
             raise ValueError(f"grid size must be positive, got {size}")
         self.size = size
@@ -46,15 +75,11 @@ class GridIndex:
         self._ymin = self.extent.ymin
         self._inv_w = size / self.extent.width
         self._inv_h = size / self.extent.height
-        # cell key -> category -> set of object ids.  Cells spring into
-        # existence on first insert, so an almost-empty huge grid stays cheap.
-        self._cells: Dict[CellKey, Dict[Category, Set[ObjectId]]] = {}
-        self._positions: Dict[ObjectId, Point] = {}
-        self._categories: Dict[ObjectId, Category] = {}
-        self._cell_of: Dict[ObjectId, CellKey] = {}
-        # category -> ids of that category, so per-category enumeration
-        # and counting never scan the whole population.
-        self._by_category: Dict[Category, Set[ObjectId]] = {}
+        self.store_kind = store
+        self._store = make_store(store)
+        # Stable mapping view over the backend's positions: the scalar
+        # search paths and the shared tick context read through it.
+        self._positions = self._store.positions
         self.cell_changes = 0
         self.updates = 0
         # Monotonic count of every structural change (insert/remove/move),
@@ -63,6 +88,10 @@ class GridIndex:
         # carry the paper's Figure-5a semantics, miss inserts/removes, and
         # are zeroed by :meth:`reset_counters`.
         self.mutations = 0
+        # Reusable TickDelta for reuse_scratch=True callers (the engine):
+        # per-cell enter/leave sets are pooled across ticks instead of
+        # reallocated.
+        self._scratch_delta: Optional[TickDelta] = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -70,33 +99,17 @@ class GridIndex:
 
     def insert(self, oid: ObjectId, pos: Iterable[float], category: Category = 0) -> None:
         """Add a new object.  Raises ``KeyError`` if ``oid`` already exists."""
-        if oid in self._positions:
+        if oid in self._store:
             raise KeyError(f"object {oid!r} already in the index")
         x, y = pos
         p = Point(x, y)
         key = cell_key_of(self.extent, self.size, p)
-        self._positions[oid] = p
-        self._categories[oid] = category
-        self._cell_of[oid] = key
-        self._cells.setdefault(key, {}).setdefault(category, set()).add(oid)
-        self._by_category.setdefault(category, set()).add(oid)
+        self._store.insert(oid, p, category, key)
         self.mutations += 1
 
     def remove(self, oid: ObjectId) -> Point:
         """Remove an object and return its last position."""
-        pos = self._positions.pop(oid)
-        category = self._categories.pop(oid)
-        key = self._cell_of.pop(oid)
-        bucket = self._cells[key][category]
-        bucket.discard(oid)
-        if not bucket:
-            del self._cells[key][category]
-            if not self._cells[key]:
-                del self._cells[key]
-        ids = self._by_category[category]
-        ids.discard(oid)
-        if not ids:
-            del self._by_category[category]
+        pos, _key, _category = self._store.remove(oid)
         self.mutations += 1
         return pos
 
@@ -106,8 +119,8 @@ class GridIndex:
         Returns ``True`` when the move crossed a cell boundary (a *cell
         change*, the grid-maintenance event Figure 5a counts).
 
-        This is the single hottest call of a simulation (every object,
-        every tick), so the cell computation is inlined.
+        This is the single hottest scalar call of a simulation, so the
+        cell computation is inlined.
         """
         x, y = pos
         p = Point(x, y)
@@ -122,28 +135,17 @@ class GridIndex:
             iy = 0
         elif iy >= n:
             iy = n - 1
-        new_key = (ix, iy)
-        old_key = self._cell_of[oid]
-        self._positions[oid] = p
         self.updates += 1
         self.mutations += 1
-        if new_key == old_key:
+        old_key = self._store.move(oid, p, (ix, iy))
+        if old_key is None:
             return False
-        category = self._categories[oid]
-        bucket = self._cells[old_key][category]
-        bucket.discard(oid)
-        if not bucket:
-            del self._cells[old_key][category]
-            if not self._cells[old_key]:
-                del self._cells[old_key]
-        self._cells.setdefault(new_key, {}).setdefault(category, set()).add(oid)
-        self._cell_of[oid] = new_key
         self.cell_changes += 1
         return True
 
     def upsert(self, oid: ObjectId, pos: Iterable[float], category: Category = 0) -> None:
         """Insert or move, whichever applies."""
-        if oid in self._positions:
+        if oid in self._store:
             self.move(oid, pos)
         else:
             self.insert(oid, pos, category)
@@ -153,6 +155,7 @@ class GridIndex:
         moves: Iterable[Tuple[ObjectId, Iterable[float]]],
         inserts: Iterable[Tuple[ObjectId, Iterable[float], Category]] = (),
         removes: Iterable[ObjectId] = (),
+        reuse_scratch: bool = False,
     ) -> TickDelta:
         """Apply one tick's worth of updates in a single pass.
 
@@ -168,38 +171,67 @@ class GridIndex:
         A move that restates an object's current position is applied (and
         counted as an update, like :meth:`move`) but reported as *no*
         movement: a stationary object cannot affect any query.
+
+        With ``reuse_scratch=True`` the same :class:`TickDelta` instance
+        (and its per-cell sets) is recycled across calls — callers that
+        consume the delta within the tick (the engine) skip a tickful of
+        set allocations; callers that retain deltas must keep the
+        default.
         """
-        delta = TickDelta()
-        cells = self._cells
-        positions = self._positions
-        cell_of = self._cell_of
-        categories = self._categories
+        if reuse_scratch:
+            delta = self._scratch_delta
+            if delta is None:
+                delta = self._scratch_delta = TickDelta()
+            else:
+                delta.recycle()
+        else:
+            delta = TickDelta()
+        store = self._store
+
+        for oid in removes:
+            _pos, key, _category = store.remove(oid)
+            self.mutations += 1
+            delta.record_remove(oid, key)
+        for oid, pos, category in inserts:
+            self.insert(oid, pos, category)
+            delta.record_insert(oid, store.cell_of(oid))
+
+        if not isinstance(moves, (list, tuple)):
+            moves = list(moves)
+        n_moves = len(moves)
+        if n_moves >= _BULK_MOVE_MIN and store.vectorized and self._bulk_moves(
+            moves, delta
+        ):
+            self.updates += n_moves
+            self.mutations += n_moves
+            return delta
+
+        moved = delta.moved
+        touched = delta.touched_cells
+        dirty = delta.dirty_cells
         n = self.size
         xmin = self._xmin
         ymin = self._ymin
         inv_w = self._inv_w
         inv_h = self._inv_h
-
-        for oid in removes:
-            key = cell_of[oid]
-            self.remove(oid)
-            delta.record_remove(oid, key)
-        for oid, pos, category in inserts:
-            self.insert(oid, pos, category)
-            delta.record_insert(oid, cell_of[oid])
-
-        moved = delta.moved
-        touched = delta.touched_cells
-        dirty = delta.dirty_cells
-        enters = delta.cell_enters
-        leaves = delta.cell_leaves
-        n_moves = 0
+        store_move = store.move
+        # The no-op check reads raw columns on the columnar layout —
+        # store.position() would materialize a Point per mover.
+        col_rows = getattr(store, "row_of", None)
+        if col_rows is not None:
+            col_xs = store.xs
+            col_ys = store.ys
+        position = store.position
         for oid, pos in moves:
             x, y = pos
-            n_moves += 1
-            old = positions[oid]
-            if old.x == x and old.y == y:
-                continue
+            if col_rows is not None:
+                row = col_rows[oid]
+                if col_xs[row] == x and col_ys[row] == y:
+                    continue
+            else:
+                old = position(oid)
+                if old.x == x and old.y == y:
+                    continue
             p = pos if type(pos) is Point else Point(x, y)
             ix = int((x - xmin) * inv_w)
             iy = int((y - ymin) * inv_h)
@@ -212,52 +244,74 @@ class GridIndex:
             elif iy >= n:
                 iy = n - 1
             new_key = (ix, iy)
-            old_key = cell_of[oid]
-            positions[oid] = p
+            old_key = store_move(oid, p, new_key)
             moved.add(oid)
             touched.add(new_key)
-            if new_key == old_key:
+            if old_key is None:
                 continue
-            category = categories[oid]
-            bucket = cells[old_key][category]
-            bucket.discard(oid)
-            if not bucket:
-                del cells[old_key][category]
-                if not cells[old_key]:
-                    del cells[old_key]
-            cells.setdefault(new_key, {}).setdefault(category, set()).add(oid)
-            cell_of[oid] = new_key
             self.cell_changes += 1
             touched.add(old_key)
             dirty.add(old_key)
             dirty.add(new_key)
-            leaves.setdefault(old_key, set()).add(oid)
-            enters.setdefault(new_key, set()).add(oid)
+            delta.leave(old_key, oid)
+            delta.enter(new_key, oid)
         self.updates += n_moves
         self.mutations += n_moves
         return delta
+
+    def _bulk_moves(self, moves, delta: TickDelta) -> bool:
+        """Vectorized move batch over the columnar backend.
+
+        Returns ``False`` when the batch must take the scalar loop
+        (duplicate movers in one tick keep last-wins semantics there)."""
+        n = len(moves)
+        coords = _np.empty((n, 2), dtype=_np.float64)
+        oids = [None] * n
+        for i, (oid, pos) in enumerate(moves):
+            oids[i] = oid
+            coords[i, 0] = pos[0]
+            coords[i, 1] = pos[1]
+        result = self._store.bulk_move(
+            oids, coords, self._xmin, self._ymin, self._inv_w, self._inv_h, self.size
+        )
+        if result is None:
+            return False
+        changed_oids, touched_keys, crossers = result
+        delta.moved.update(changed_oids)
+        delta.touched_cells.update(touched_keys)
+        if crossers:
+            dirty = delta.dirty_cells
+            touched = delta.touched_cells
+            for oid, old_key, new_key in crossers:
+                touched.add(old_key)
+                dirty.add(old_key)
+                dirty.add(new_key)
+                delta.leave(old_key, oid)
+                delta.enter(new_key, oid)
+            self.cell_changes += len(crossers)
+        return True
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._positions)
+        return len(self._store)
 
     def __contains__(self, oid: ObjectId) -> bool:
-        return oid in self._positions
+        return oid in self._store
 
     def position(self, oid: ObjectId) -> Point:
         """Current position of an object."""
-        return self._positions[oid]
+        return self._store.position(oid)
 
     def category(self, oid: ObjectId) -> Category:
         """Category tag of an object."""
-        return self._categories[oid]
+        return self._store.category(oid)
 
     def cell_of(self, oid: ObjectId) -> CellKey:
         """Key of the cell currently holding the object."""
-        return self._cell_of[oid]
+        return self._store.cell_of(oid)
 
     def cell_key(self, pos: Iterable[float]) -> CellKey:
         """Key of the cell covering a position."""
@@ -271,23 +325,11 @@ class GridIndex:
         self, key: CellKey, category: Optional[Category] = None
     ) -> Iterator[ObjectId]:
         """Objects currently inside a cell, optionally of one category."""
-        buckets = self._cells.get(key)
-        if not buckets:
-            return
-        if category is None:
-            for bucket in buckets.values():
-                yield from bucket
-        else:
-            yield from buckets.get(category, ())
+        return self._store.objects_in_cell(key, category)
 
     def cell_population(self, key: CellKey, category: Optional[Category] = None) -> int:
         """Number of objects inside a cell."""
-        buckets = self._cells.get(key)
-        if not buckets:
-            return 0
-        if category is None:
-            return sum(len(bucket) for bucket in buckets.values())
-        return len(buckets.get(category, ()))
+        return self._store.cell_population(key, category)
 
     def objects(self, category: Optional[Category] = None) -> Iterator[ObjectId]:
         """All object ids, optionally restricted to one category.
@@ -295,32 +337,25 @@ class GridIndex:
         Per-category enumeration reads the maintained id set — O(size of
         the category), not a scan of the whole population.
         """
-        if category is None:
-            yield from self._positions
-        else:
-            yield from self._by_category.get(category, ())
+        return self._store.objects(category)
 
     def count(self, category: Optional[Category] = None) -> int:
         """Number of indexed objects, optionally of one category (O(1))."""
-        if category is None:
-            return len(self._positions)
-        return len(self._by_category.get(category, ()))
+        return self._store.count(category)
 
     def occupied_cells(self) -> Iterator[CellKey]:
         """Keys of all cells holding at least one object."""
-        yield from self._cells
+        return self._store.occupied_cells()
+
+    def occupied_count(self) -> int:
+        """Number of cells holding at least one object (O(1))."""
+        return self._store.occupied_count()
 
     def positions_snapshot(
         self, category: Optional[Category] = None
     ) -> Dict[ObjectId, Tuple[float, float]]:
         """A copy of all current positions, keyed by object id."""
-        if category is None:
-            return {oid: (p.x, p.y) for oid, p in self._positions.items()}
-        positions = self._positions
-        return {
-            oid: (positions[oid].x, positions[oid].y)
-            for oid in self._by_category.get(category, ())
-        }
+        return self._store.positions_snapshot(category)
 
     def reset_counters(self) -> None:
         """Zero the maintenance counters (cell changes and updates)."""

@@ -90,6 +90,9 @@ class QueryTickCost:
     shared_hits: int = 0
     shared_misses: int = 0
     exact_fallbacks: int = 0
+    #: Columnar-store rows this query's kernels scanned (slice gathers and
+    #: their tiny-bucket scalar fallbacks; zero on the mapping backend).
+    store_rows: int = 0
     answer_size: int = 0
     monitored: int = 0
 
@@ -376,6 +379,8 @@ class QueryCostLedger:
                     f"  predicates: {cost.exact_fallbacks} exact"
                     f" fallback(s)\n"
                 )
+            if cost.store_rows:
+                out.write(f"  store: {cost.store_rows} rows scanned\n")
             out.write(
                 f"  answer: {cost.answer_size} object(s),"
                 f" monitored {cost.monitored}\n"

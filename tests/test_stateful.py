@@ -16,7 +16,12 @@ Three state machines:
   running the shared-execution batch path, with several overlapping
   queries registered so the per-tick context genuinely memoizes across
   them — batching must never change an answer, under any interleaving
-  of movement, churn and pause/resume.
+  of movement, churn and pause/resume;
+- :class:`StoreLockstepMachine` drives the columnar, forced-scalar and
+  mapping storage backends through identical mutation sequences (single
+  ops and ``apply_updates`` batches) and asserts observational identity
+  plus the columnar store's internal row/bucket/free-list invariants at
+  every step.
 """
 
 import math
@@ -36,6 +41,7 @@ from repro.core.mono import MonoIGERN
 from repro.engine.simulation import Simulator
 from repro.grid.cell import cell_key_of
 from repro.grid.index import GridIndex
+from repro.grid.search import GridSearch
 from repro.motion.churn import TickEvents
 from repro.queries import IGERNMonoQuery, QueryPosition
 from repro.queries.brute import BruteForceMonoQuery, brute_bi_rnn, brute_mono_rnn
@@ -419,6 +425,109 @@ class BatchLockstepMachine(RuleBasedStateMachine):
             assert set(off) == brute_mono_rnn(snapshot, qpos)
 
 
+class StoreLockstepMachine(RuleBasedStateMachine):
+    """The three storage backends driven in lockstep must be
+    observationally identical at every step.
+
+    Mutations arrive both one at a time (``insert``/``move``/``remove``)
+    and as ``apply_updates`` batches — the engine's path, which also
+    exercises the columnar bulk-move kernel and the per-cell delta
+    bookkeeping.  After every step the backends must agree on positions,
+    per-cell membership and a search probe, and the columnar layouts
+    must pass their full internal consistency check (rows, buckets,
+    slots, free list, category sets)."""
+
+    _KINDS = ("columnar", "columnar-scalar", "mapping")
+
+    def __init__(self):
+        super().__init__()
+        self.grids = {kind: GridIndex(5, store=kind) for kind in self._KINDS}
+        self.searches = {
+            kind: GridSearch(grid) for kind, grid in self.grids.items()
+        }
+        self.live = []
+        self.next_id = 0
+
+    @rule(pos=point, category=st.sampled_from([None, "A", "B"]))
+    def insert(self, pos, category):
+        oid = self.next_id
+        self.next_id += 1
+        self.live.append(oid)
+        for grid in self.grids.values():
+            grid.insert(oid, pos, category)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data(), pos=point)
+    def move(self, data, pos):
+        oid = data.draw(st.sampled_from(self.live))
+        for grid in self.grids.values():
+            grid.move(oid, pos)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def remove(self, data):
+        oid = data.draw(st.sampled_from(self.live))
+        self.live.remove(oid)
+        for grid in self.grids.values():
+            grid.remove(oid)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def batch_tick(self, data):
+        targets = data.draw(
+            st.lists(st.sampled_from(self.live), unique=True, max_size=6)
+        )
+        moves = [(oid, data.draw(point)) for oid in targets]
+        inserts = []
+        for pos in data.draw(st.lists(point, max_size=2)):
+            inserts.append((self.next_id, pos, None))
+            self.live.append(self.next_id)
+            self.next_id += 1
+        deltas = {}
+        for kind, grid in self.grids.items():
+            delta = grid.apply_updates(moves, inserts=inserts)
+            deltas[kind] = (
+                frozenset(delta.moved),
+                frozenset(delta.dirty_cells),
+                frozenset(delta.touched_cells),
+            )
+        assert deltas["columnar"] == deltas["mapping"]
+        assert deltas["columnar-scalar"] == deltas["mapping"]
+
+    @invariant()
+    def backends_observationally_identical(self):
+        ref = self.grids["mapping"]
+        snap = ref.positions_snapshot()
+        cells = {
+            key: frozenset(ref.objects_in_cell(key))
+            for key in ref.occupied_cells()
+        }
+        for kind in ("columnar", "columnar-scalar"):
+            grid = self.grids[kind]
+            assert grid.positions_snapshot() == snap
+            assert {
+                key: frozenset(grid.objects_in_cell(key))
+                for key in grid.occupied_cells()
+            } == cells
+
+    @invariant()
+    def columnar_internal_consistency(self):
+        for kind in ("columnar", "columnar-scalar"):
+            self.grids[kind]._store.check_invariants()
+
+    @precondition(lambda self: self.live)
+    @invariant()
+    def search_probe_identical(self):
+        probes = {}
+        for kind, search in self.searches.items():
+            probes[kind] = (
+                search.count_closer_than((0.4, 0.6), threshold_sq=0.09),
+                sorted(search.witnesses_closer_than((0.4, 0.6), 0.09)),
+            )
+        assert probes["columnar"] == probes["mapping"]
+        assert probes["columnar-scalar"] == probes["mapping"]
+
+
 TestGridIndexStateful = GridIndexMachine.TestCase
 TestGridIndexStateful.settings = settings(
     max_examples=30, stateful_step_count=30
@@ -437,4 +546,9 @@ TestSchedulerLockstep.settings = settings(
 TestBatchLockstep = BatchLockstepMachine.TestCase
 TestBatchLockstep.settings = settings(
     max_examples=15, stateful_step_count=25
+)
+
+TestStoreLockstep = StoreLockstepMachine.TestCase
+TestStoreLockstep.settings = settings(
+    max_examples=25, stateful_step_count=30
 )
