@@ -39,6 +39,7 @@ from repro import obs
 from repro.engine.workload import (
     WorkloadSpec,
     build_generator,
+    build_network,
     build_simulator,
     central_object,
     set_default_batch,
@@ -46,12 +47,15 @@ from repro.engine.workload import (
 from repro.experiments.figures import ALL_EXPERIMENTS
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.report import experiment_table, write_csv
+from repro.metric import NetworkMetric
 from repro.motion.trace import Trace
 from repro.queries import (
     BruteForceBiQuery,
     BruteForceMonoQuery,
     IGERNBiQuery,
     IGERNMonoQuery,
+    NetworkBruteBiQuery,
+    NetworkBruteMonoQuery,
     QueryPosition,
 )
 
@@ -74,6 +78,14 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=7)
     demo.add_argument(
         "--check", action="store_true", help="verify each tick against brute force"
+    )
+    demo.add_argument(
+        "--metric",
+        choices=("euclidean", "network"),
+        default="euclidean",
+        help="distance metric: 'euclidean' (the paper's setting) or"
+        " 'network' (shortest-path over the workload's road network,"
+        " filter-and-refine core, networkx brute oracle under --check)",
     )
     demo.add_argument(
         "--batch",
@@ -407,23 +419,29 @@ def _run_demo(args: argparse.Namespace) -> int:
         bichromatic=args.bi,
     )
     sim = build_simulator(spec, batch=args.batch)
+    network = build_network(spec) if args.metric == "network" else None
+    metric = NetworkMetric(network) if network is not None else None
     if args.bi:
         qid = central_object(sim, "A")
         pos = QueryPosition(sim.grid, query_id=qid)
-        sim.add_query("igern", IGERNBiQuery(sim.grid, pos))
-        if args.check:
+        sim.add_query("igern", IGERNBiQuery(sim.grid, pos, metric=metric))
+        if args.check and network is not None:
+            sim.add_query("brute", NetworkBruteBiQuery(sim.grid, pos, network))
+        elif args.check:
             sim.add_query("brute", BruteForceBiQuery(sim.grid, pos))
     else:
         qid = central_object(sim)
         pos = QueryPosition(sim.grid, query_id=qid)
-        sim.add_query("igern", IGERNMonoQuery(sim.grid, pos))
-        if args.check:
+        sim.add_query("igern", IGERNMonoQuery(sim.grid, pos, metric=metric))
+        if args.check and network is not None:
+            sim.add_query("brute", NetworkBruteMonoQuery(sim.grid, pos, network))
+        elif args.check:
             sim.add_query("brute", BruteForceMonoQuery(sim.grid, pos))
 
     kind = "bichromatic" if args.bi else "monochromatic"
     print(
-        f"{kind} IGERN demo: {args.objects} objects, grid {args.grid}x"
-        f"{args.grid}, query object {qid}"
+        f"{kind} IGERN demo ({args.metric} metric): {args.objects} objects,"
+        f" grid {args.grid}x{args.grid}, query object {qid}"
     )
     result = sim.run(args.ticks)
     log = result["igern"]
@@ -440,6 +458,14 @@ def _run_demo(args: argparse.Namespace) -> int:
             ok = ok and match
             line += f"  brute-check={'ok' if match else 'MISMATCH'}"
         print(line)
+    if args.metric == "network":
+        from repro.metric import STATS
+
+        print(
+            f"network distance: {STATS.dijkstra_runs} dijkstra runs,"
+            f" {STATS.dijkstra_expansions} expansions,"
+            f" sharing ratio {STATS.sharing_ratio:.2f}"
+        )
     session.finish()
     if args.check:
         print("verification:", "all ticks match brute force" if ok else "FAILED")

@@ -87,11 +87,17 @@ class BiIGERN:
         prune: "str | bool" = "guarded",
         search: Optional[GridSearch] = None,
         shared_context=None,
+        metric=None,
     ):
         if cat_a == cat_b:
             raise ValueError("bichromatic query needs two distinct categories")
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        # Bisector pruning is a Euclidean theorem; non-Euclidean metrics
+        # must go through repro.core.network instead (the adapters in
+        # repro.queries dispatch on metric.euclidean).
+        AliveCellGrid.require_euclidean(metric)
+        self.metric = metric
         self.grid = grid
         self.cat_a = cat_a
         self.cat_b = cat_b

@@ -95,9 +95,15 @@ class MonoIGERN:
         search: Optional[GridSearch] = None,
         shared_cache=None,
         shared_context=None,
+        metric=None,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        # Bisector pruning is a Euclidean theorem; non-Euclidean metrics
+        # must go through repro.core.network instead (the adapters in
+        # repro.queries dispatch on metric.euclidean).
+        AliveCellGrid.require_euclidean(metric)
+        self.metric = metric
         self.grid = grid
         self.query_id = query_id
         self.k = k

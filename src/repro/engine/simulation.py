@@ -22,6 +22,7 @@ from repro.geometry import predicates
 from repro.grid.delta import TickDelta
 from repro.grid.index import GridIndex
 from repro.grid.store import STATS as STORE_STATS
+from repro.metric import STATS as METRIC_STATS
 from repro.obs.flight import FlightRecorder, TickDigest
 from repro.obs.ledger import (
     EVALUATED,
@@ -189,6 +190,20 @@ class Simulator:
             STORE_STATS.filter_rows,
             STORE_STATS.exact_rows,
         )
+        #: And for the network-metric counters (``repro.metric.STATS``):
+        #: ``network_dijkstra_runs_total`` /
+        #: ``network_dijkstra_expansions_total`` plus the distance-map
+        #: cache hit/miss pair feeding ``network_sharing_ratio``.
+        self._network_seen = (
+            METRIC_STATS.dijkstra_runs,
+            METRIC_STATS.dijkstra_expansions,
+            METRIC_STATS.cache_hits,
+            METRIC_STATS.cache_misses,
+        )
+        #: This simulator's share of the network distance-map requests,
+        #: for the lifetime sharing-ratio gauge.
+        self.network_cache_hits = 0
+        self.network_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Query registration
@@ -678,6 +693,35 @@ class Simulator:
                     exact_rows - seen_exact
                 )
             self._store_seen = (scanned, filtered, exact_rows)
+            runs, expansions, net_hits, net_misses = (
+                METRIC_STATS.dijkstra_runs,
+                METRIC_STATS.dijkstra_expansions,
+                METRIC_STATS.cache_hits,
+                METRIC_STATS.cache_misses,
+            )
+            seen_runs, seen_expansions, seen_hits, seen_misses = self._network_seen
+            if runs > seen_runs:
+                registry.counter("network_dijkstra_runs_total").inc(runs - seen_runs)
+            if expansions > seen_expansions:
+                registry.counter("network_dijkstra_expansions_total").inc(
+                    expansions - seen_expansions
+                )
+            if net_hits > seen_hits:
+                registry.counter("network_distance_cache_hits_total").inc(
+                    net_hits - seen_hits
+                )
+                self.network_cache_hits += net_hits - seen_hits
+            if net_misses > seen_misses:
+                registry.counter("network_distance_cache_misses_total").inc(
+                    net_misses - seen_misses
+                )
+                self.network_cache_misses += net_misses - seen_misses
+            requests = self.network_cache_hits + self.network_cache_misses
+            if requests:
+                registry.gauge("network_sharing_ratio").set(
+                    self.network_cache_hits / requests
+                )
+            self._network_seen = (runs, expansions, net_hits, net_misses)
         return out
 
     def _publish(

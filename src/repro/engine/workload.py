@@ -47,6 +47,29 @@ class WorkloadSpec:
         return {"A": self.a_fraction, "B": 1.0 - self.a_fraction}
 
 
+def build_network(spec: WorkloadSpec) -> RoadNetwork:
+    """The road network described by a spec.
+
+    Factored out of :func:`build_generator` so network-metric consumers
+    (the ``--metric network`` demo, the lockstep suites) can evaluate
+    queries over the very network the spec's generator moves objects on.
+    Only defined for the road-based kinds.
+    """
+    if spec.network == "grid_city":
+        side = max(2, int(round(math.sqrt(spec.network_nodes))))
+        return RoadNetwork.grid_city(rows=side, cols=side, seed=spec.seed)
+    if spec.network == "radial":
+        spokes = max(3, int(round(math.sqrt(spec.network_nodes))))
+        rings = max(1, spec.network_nodes // spokes)
+        return RoadNetwork.radial_city(rings=rings, spokes=spokes, seed=spec.seed)
+    if spec.network == "delaunay":
+        return RoadNetwork.delaunay(n_nodes=spec.network_nodes, seed=spec.seed)
+    raise ValueError(
+        f"workload kind {spec.network!r} has no road network; "
+        "expected one of ('grid_city', 'radial', 'delaunay')"
+    )
+
+
 def build_generator(spec: WorkloadSpec):
     """The motion generator described by a spec."""
     if spec.network not in _NETWORK_KINDS:
@@ -69,17 +92,8 @@ def build_generator(spec: WorkloadSpec):
         return GaussianClusterGenerator(
             spec.n_objects, seed=spec.seed, categories=categories
         )
-    if spec.network == "grid_city":
-        side = max(2, int(round(math.sqrt(spec.network_nodes))))
-        net = RoadNetwork.grid_city(rows=side, cols=side, seed=spec.seed)
-    elif spec.network == "radial":
-        spokes = max(3, int(round(math.sqrt(spec.network_nodes))))
-        rings = max(1, spec.network_nodes // spokes)
-        net = RoadNetwork.radial_city(rings=rings, spokes=spokes, seed=spec.seed)
-    else:
-        net = RoadNetwork.delaunay(n_nodes=spec.network_nodes, seed=spec.seed)
     return NetworkMovingObjectGenerator(
-        net,
+        build_network(spec),
         spec.n_objects,
         seed=spec.seed,
         speed_range=spec.speed_range,

@@ -57,9 +57,11 @@ from repro.fuzz.scenario import (
     ScriptedWorkload,
     generate_scenarios,
     query_id_of,
+    scenario_network,
     scripted,
 )
 from repro.geometry.rectangle import Rect
+from repro.metric import NetworkMetric
 from repro.obs.metrics import active_registry
 from repro.queries import (
     CRNNQuery,
@@ -71,6 +73,8 @@ from repro.queries import (
     VoronoiRepeatQuery,
     brute_bi_rnn,
     brute_mono_rnn,
+    network_brute_bi_rnn,
+    network_brute_mono_rnn,
 )
 
 CAT_A, CAT_B = "A", "B"
@@ -144,6 +148,12 @@ class _Lockstep:
         self.exact_oracle = exact_oracle
         self.qid = query_id_of(scenario)
         self.divergences: List[Divergence] = []
+        # One network per scenario, shared by every simulator's metric
+        # instances and by the oracle: distance maps are pure functions
+        # of the (immutable) network, so sharing is sound and keeps the
+        # oracle's networkx Dijkstra runs to one per source node.
+        self.network = scenario_network(scenario)
+        self._oracle_cache: Dict[int, Dict[int, float]] = {}
         extras = scenario.extra_query_points or []
         self.extra_names = [f"extra{i}" for i in range(len(extras))]
         extent = Rect(*scenario.extent)
@@ -187,16 +197,26 @@ class _Lockstep:
 
     def _igern(self, grid, position) -> "IGERNMonoQuery | IGERNBiQuery":
         sc = self.scenario
+        metric = None
+        if sc.metric == "network":
+            # Fresh metric per query (private Dijkstra cache), shared
+            # scenario network underneath.
+            metric = NetworkMetric(self.network)
         if sc.mode == "mono":
-            return IGERNMonoQuery(grid, position, k=sc.k)
-        return IGERNBiQuery(grid, position, k=sc.k)
+            return IGERNMonoQuery(grid, position, k=sc.k, metric=metric)
+        return IGERNBiQuery(grid, position, k=sc.k, metric=metric)
 
     def _register(self, sim: Simulator) -> None:
         sc = self.scenario
         k = sc.k
         grid = sim.grid
         sim.add_query("igern", self._igern(grid, self._position(sim)))
-        if sc.mode == "mono":
+        if sc.metric == "network":
+            # The Euclidean baselines are not defined under network
+            # distance; generated network scenarios carry baseline=None,
+            # and handcrafted corpus entries are held to the same rule.
+            pass
+        elif sc.mode == "mono":
             if sc.baseline == "crnn":
                 sim.add_query("crnn", CRNNQuery(grid, self._position(sim)))
             elif sc.baseline == "tpl":
@@ -237,6 +257,25 @@ class _Lockstep:
         sc = self.scenario
         grid = self.sim_off.grid
         exact = self.exact_oracle
+        if sc.metric == "network":
+            if sc.mode == "mono":
+                return network_brute_mono_rnn(
+                    self.network,
+                    grid.positions_snapshot(),
+                    qpos,
+                    query_id=query_id,
+                    k=sc.k,
+                    node_cache=self._oracle_cache,
+                )
+            return network_brute_bi_rnn(
+                self.network,
+                grid.positions_snapshot(CAT_A),
+                grid.positions_snapshot(CAT_B),
+                qpos,
+                query_id=query_id,
+                k=sc.k,
+                node_cache=self._oracle_cache,
+            )
         if sc.mode == "mono":
             return brute_mono_rnn(
                 grid.positions_snapshot(), qpos, query_id=query_id, k=sc.k,
@@ -516,6 +555,7 @@ class FuzzReport:
         for dimension, value in (
             ("mode", sc.mode),
             ("motion", sc.motion),
+            ("metric", sc.metric),
             ("k", sc.k),
             ("grid_size", sc.grid_size),
             ("extent", sc.extent),
@@ -534,7 +574,7 @@ class FuzzReport:
             f" {self.ticks} ticks, {self.divergences} divergences"
             f" in {self.elapsed:.1f}s"
         ]
-        for dimension in ("mode", "motion", "k", "baseline", "extra_queries"):
+        for dimension in ("mode", "motion", "metric", "k", "baseline", "extra_queries"):
             bucket = self.coverage.get(dimension, {})
             parts = ", ".join(f"{k}={v}" for k, v in sorted(bucket.items()))
             lines.append(f"  {dimension}: {parts}")

@@ -83,6 +83,15 @@ class Scenario:
     #: one query with another's probe.  ``None`` (the default, and the
     #: value of every pre-batching artifact) means no extra queries.
     extra_query_points: Optional[List[Tuple[float, float]]] = None
+    #: Distance backend: ``"euclidean"`` (the default, and the value of
+    #: every pre-metric artifact) or ``"network"`` — shortest-path
+    #: distance over the scenario's road network, evaluated by the
+    #: filter-and-refine core against the networkx brute oracle.
+    metric: str = "euclidean"
+    #: JSON description of the road network (``RoadNetwork.from_dict``)
+    #: for network-metric scenarios; ``None`` keeps the legacy implicit
+    #: roadnet-motion network, so pre-metric artifacts replay unchanged.
+    network: Optional[dict] = None
 
     @property
     def label(self) -> str:
@@ -90,11 +99,13 @@ class Scenario:
         extra = (
             f" +{len(self.extra_query_points)}q" if self.extra_query_points else ""
         )
+        net_tag = " net" if self.metric == "network" else ""
         return (
             f"s{self.seed}.{self.index} {self.mode} k={self.k} {self.motion} "
             f"n={self.n_objects} t={self.n_ticks} grid={self.grid_size} {q}"
             + (f" +{self.baseline}" if self.baseline else "")
             + extra
+            + net_tag
         )
 
     def to_dict(self) -> dict:
@@ -181,6 +192,58 @@ class LatticeJumpGenerator:
         for oid in self._positions:
             if self._rng.random() < self.jump_prob:
                 p = self._node()
+                self._positions[oid] = p
+                updates.append((oid, p))
+        return updates
+
+
+class NodeJumpGenerator:
+    """Objects teleporting between road-network *nodes*.
+
+    The roadnet analog of :class:`LatticeJumpGenerator`: every position
+    is exactly a node position, so equal-hop routes on a jitter-free
+    grid network produce *bit-equal* left-fold path sums.  Two objects
+    equidistant along different paths, a witness sitting exactly at the
+    query distance — the configurations where the network mode's
+    strict-``<`` tie semantics actually discriminate — occur routinely
+    here and essentially never under edge-walking motion (whose offsets
+    are arbitrary floats).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        n_objects: int,
+        seed: int = 0,
+        jump_prob: float = 0.35,
+        categories: Optional[Dict[Hashable, float]] = None,
+    ):
+        if n_objects < 1:
+            raise ValueError(f"n_objects must be positive, got {n_objects}")
+        self.network = network
+        self.jump_prob = jump_prob
+        self._rng = random.Random(seed)
+        weights = categories if categories else {0: 1.0}
+        labels = list(weights)
+        probs = [weights[label] for label in labels]
+        self._positions: Dict[Hashable, Point] = {}
+        self._categories: Dict[Hashable, Hashable] = {}
+        for i in range(n_objects):
+            self._positions[i] = network.node_pos(network.random_node(self._rng))
+            self._categories[i] = self._rng.choices(labels, weights=probs)[0]
+
+    def initial(self) -> List[Tuple[Hashable, Point, Hashable]]:
+        return [
+            (oid, pos, self._categories[oid])
+            for oid, pos in self._positions.items()
+        ]
+
+    def step(self, dt: float = 1.0) -> List[Tuple[Hashable, Point]]:
+        updates: List[Tuple[Hashable, Point]] = []
+        network = self.network
+        for oid in self._positions:
+            if self._rng.random() < self.jump_prob:
+                p = network.node_pos(network.random_node(self._rng))
                 self._positions[oid] = p
                 updates.append((oid, p))
         return updates
@@ -282,7 +345,9 @@ def build_motion(scenario: Scenario):
             n, seed=seed, lattice=8, extent=extent, categories=categories
         )
     if scenario.motion == "roadnet":
-        net = RoadNetwork.grid_city(rows=4, cols=4, seed=seed)
+        net = scenario_network(scenario)
+        if scenario.network is not None and scenario.network.get("node_jump"):
+            return NodeJumpGenerator(net, n, seed=seed, categories=categories)
         return NetworkMovingObjectGenerator(
             net,
             n,
@@ -292,6 +357,22 @@ def build_motion(scenario: Scenario):
             move_fraction=scenario.move_fraction,
         )
     raise ValueError(f"unknown motion model {scenario.motion!r}")
+
+
+def scenario_network(scenario: Scenario) -> Optional[RoadNetwork]:
+    """The road network of a roadnet scenario (``None`` otherwise).
+
+    Scenarios with an explicit ``network`` description rebuild it via
+    :meth:`RoadNetwork.from_dict`; roadnet scenarios without one (every
+    pre-metric artifact) keep the legacy implicit 4x4 grid city, seeded
+    exactly as before, so old artifacts replay byte-for-byte.
+    """
+    if scenario.motion != "roadnet":
+        return None
+    if scenario.network is not None:
+        return RoadNetwork.from_dict(scenario.network)
+    seed = scenario.seed * 1_000_003 + scenario.index
+    return RoadNetwork.grid_city(rows=4, cols=4, seed=seed)
 
 
 def scripted(scenario: Scenario) -> Scenario:
@@ -428,6 +509,44 @@ def make_scenario(seed: int, index: int) -> Scenario:
                 )
             )
         scenario.extra_query_points = extras
+    # Road-graph metric scenarios: most roadnet runs evaluate under the
+    # network distance mode, against the networkx brute oracle.  Every
+    # new draw happens strictly after every pre-existing draw, so the
+    # Euclidean scenarios of any (seed, index) — including Euclidean
+    # roadnet ones — keep their exact pre-metric shape (the acceptance
+    # bar: Euclidean-mode results stay bit-identical).
+    if motion == "roadnet" and rng.random() < 0.75:
+        scenario.metric = "network"
+        # Euclidean baselines answer a different question under network
+        # distance; the lockstep runs IGERN-net against the network
+        # brute oracle only.
+        scenario.baseline = None
+        scenario.network = {
+            "kind": "grid_city",
+            "rows": rng.choice((3, 4, 5)),
+            "cols": rng.choice((3, 4, 5)),
+            # jitter-0 grids make equal-hop routes bit-equal left-fold
+            # sums — the tie workload of the network mode.
+            "jitter": rng.choice((0.0, 0.0, 0.25)),
+            "diagonal_prob": rng.choice((0.0, 0.15)),
+            "seed": seed * 1_000_003 + index,
+        }
+        if rng.random() < 0.5:
+            # Objects teleport between nodes (ties routinely) instead of
+            # walking edges (arbitrary float offsets, ties never).
+            scenario.network["node_jump"] = True
+        if not scenario.moving_query:
+            # Fixed queries sit at a node or mid-edge: node queries tie
+            # with node-jumping objects, mid-edge queries exercise the
+            # same-edge direct route of the distance spec.
+            net = scenario_network(scenario)
+            if rng.random() < 0.5:
+                p = net.node_pos(net.random_node(rng))
+            else:
+                edges = net.sorted_edges()
+                u, v, length = edges[rng.randrange(len(edges))]
+                p = net.point_on_edge(u, v, 0.5 * length)
+            scenario.query_point = (p.x, p.y)
     return scenario
 
 

@@ -64,6 +64,28 @@ class AliveCellGrid:
     #: original private evaluation.
     shared_classify = None
 
+    @staticmethod
+    def require_euclidean(metric) -> None:
+        """Refuse to drive bisector pruning with a non-Euclidean metric.
+
+        The alive region is carved by perpendicular-bisector half-planes,
+        and "the bisector separates the plane into the points closer to
+        q and the points closer to the candidate" is a *Euclidean*
+        theorem — under road-network distance the locus of equidistant
+        points is not a line and half-plane coverage proves nothing.
+        The metric seam (repro.metric) therefore routes non-Euclidean
+        queries through filter-and-refine evaluation instead
+        (repro.core.network); constructing the IGERN cores with such a
+        metric is a wiring bug, caught here.  ``None`` means the default
+        Euclidean backend and is accepted.
+        """
+        if metric is not None and not getattr(metric, "euclidean", False):
+            raise TypeError(
+                "bisector-based alive-cell pruning requires a Euclidean "
+                f"metric, got {metric!r}; use the network evaluation core "
+                "(repro.core.network) for road-network distances"
+            )
+
     def __init__(self, size: int, extent: Optional[Rect] = None, k: int = 1):
         if size < 1:
             raise ValueError(f"grid size must be positive, got {size}")

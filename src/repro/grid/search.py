@@ -203,10 +203,20 @@ class GridSearch:
     original uninstrumented bodies behind a single flag check.
     """
 
-    def __init__(self, grid: GridIndex, tracer: Optional[Tracer] = None):
+    def __init__(
+        self, grid: GridIndex, tracer: Optional[Tracer] = None, metric=None
+    ):
         self.grid = grid
         self.stats = SearchStats()
         self.tracer = tracer if tracer is not None else get_tracer()
+        # Distance backend seam (repro.metric).  None means Euclidean:
+        # every kernel in this module compares squared straight-line
+        # distances, which is only the metric's distance for Euclidean
+        # backends.  Non-Euclidean metrics route witness counting
+        # through :meth:`network_witness_count` (filter-and-refine over
+        # the Euclidean lower bound) and never touch the bisector-based
+        # kernels.
+        self.metric = metric
         # Per-tick shared-execution context (see repro.grid.context).  When
         # bound by the batch executor, region scans read memoized per-cell
         # snapshots instead of re-enumerating the live cell directory; when
@@ -1080,6 +1090,65 @@ class GridSearch:
                         heapq.heappush(heap, (nd2, nkey))
         out.sort(key=lambda pair: pair[0])
         return [(oid, math.sqrt(d2)) for d2, oid in out]
+
+    # ------------------------------------------------------------------
+    # Non-Euclidean witness counting
+    # ------------------------------------------------------------------
+
+    def network_witness_count(
+        self,
+        metric,
+        center: Iterable[float],
+        threshold: float,
+        exclude: Iterable[ObjectId] = (),
+        category: Optional[Category] = None,
+        stop_at: Optional[int] = None,
+        kind: SearchKind = SearchKind.UNCONSTRAINED,
+    ) -> int:
+        """``min(stop_at, |{p : d_net(center, p) < threshold}|)`` under a
+        network metric — the verification probe of the network mode.
+
+        Filter-and-refine: straight-line distance lower-bounds the
+        spur-padded network distance, so the closed Euclidean ball of
+        radius ``metric.prefilter_radius(threshold)`` is a provable
+        superset of the open network ball (the multiplicative pad
+        absorbs the float rounding of path sums; extra admissions are
+        harmless because the refine step applies the exact shared float
+        comparison from ``RoadNetwork.point_to_point``).  The count is
+        order-independent, so the early exit at ``stop_at`` returns
+        exactly what the full enumeration would clamp to — enumeration
+        order differences between store backends cannot show through.
+        """
+        if metric is None:
+            metric = self.metric
+        if threshold <= 0.0:
+            # Network distances are non-negative; strictly-below-zero
+            # (or -equal-zero) witnesses cannot exist.
+            return 0
+        self.stats.witness_probes += 1
+        if math.isfinite(threshold):
+            rows = self.objects_within(
+                center,
+                metric.prefilter_radius(threshold),
+                exclude=exclude,
+                category=category,
+                kind=kind,
+            )
+            candidates = [oid for oid, _dist in rows]
+        else:  # pragma: no cover - connected networks keep distances finite
+            excluded = _as_excluded(exclude)
+            candidates = [
+                oid for oid in self.grid.objects(category) if oid not in excluded
+            ]
+        loc_center = metric.locate(center)
+        position = self.grid.position
+        count = 0
+        for oid in candidates:
+            if metric.distance_located(loc_center, metric.locate(position(oid))) < threshold:
+                count += 1
+                if stop_at is not None and count >= stop_at:
+                    break
+        return count
 
     # ------------------------------------------------------------------
     # Region scans

@@ -1,0 +1,233 @@
+"""Pluggable distance metrics: Euclidean and road-network shortest path.
+
+ROADMAP item 4.  The paper's motivating workload is moving objects on
+road networks; this module is the seam that lets the query layer evaluate
+R(k)NN under either the plain Euclidean metric (the default everywhere,
+byte-for-byte the pre-seam behavior) or shortest-path distance over a
+:class:`~repro.motion.roadnet.RoadNetwork`.
+
+Design constraints, in order of importance:
+
+1. **Engine/oracle bit-equality.**  The differential fuzzer holds the
+   network-metric engine to a networkx-based brute oracle bit for bit.
+   Both sides snap points and combine distances through the shared spec
+   on :class:`RoadNetwork` (:meth:`locate` / :meth:`point_to_point`);
+   this module only supplies the single-source Dijkstra maps, computed
+   with left-fold float sums (``dist[u] + w``) — the same fold networkx
+   uses — so the maps, and therefore every point distance, agree with
+   the oracle exactly (see the property suite in
+   ``tests/motion/test_roadnet_metric.py``, which pins the kernel
+   against ``networkx.single_source_dijkstra_path_length``).
+
+2. **Cross-query sharing (BRkNN-light, PAPERS.md).**  Batched RkNN
+   queries over the same road network mostly expand the same shortest
+   path trees.  When the batch executor binds its
+   :class:`~repro.grid.context.SharedTickContext`, per-source distance
+   maps are memoized there and shared by every co-evaluated query;
+   unbound, each metric keeps a private persistent cache (sound:
+   networks are immutable), so scheduler-off simulators compute
+   identical values on the cold path.
+
+3. **Sound Euclidean prefiltering.**  Straight-line distance lower
+   bounds shortest-path distance, so a Euclidean ball is a sound
+   superset filter for network witness enumeration.  Because engine
+   distances are finite-precision left folds, the prefilter radius is
+   padded multiplicatively by :data:`PREFILTER_PAD`; the pad only ever
+   admits extra candidates (the final test is the shared exact float
+   comparison), and 2**-30 exceeds the worst-case relative rounding of
+   any realistic path fold (~n * 2**-52) by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.motion.roadnet import RoadNetwork
+
+#: Multiplicative padding for Euclidean prefilter radii derived from
+#: network-distance thresholds (see module docstring, point 3).
+PREFILTER_PAD = 1.0 + 2.0**-30
+
+Located = Tuple[int, int, float, float]
+
+
+@dataclass
+class MetricStats:
+    """Process-global network-metric counters.
+
+    Published per tick by the simulator as deltas (the same last-seen
+    pattern as ``predicates.STATS`` and ``STORE_STATS``), feeding the
+    ``network_dijkstra_expansions_total`` / sharing-ratio series.
+    """
+
+    dijkstra_runs: int = 0
+    dijkstra_expansions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def reset(self) -> None:
+        self.dijkstra_runs = 0
+        self.dijkstra_expansions = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def sharing_ratio(self) -> float:
+        """Fraction of distance-map requests served from a cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+STATS = MetricStats()
+
+
+class Metric:
+    """Distance backend seam.
+
+    ``euclidean`` tells consumers whether the geometric machinery built
+    on straight-line distance — perpendicular-bisector half-plane
+    pruning, squared-distance comparisons, the alive-cell region — is
+    valid for this metric.  The IGERN cores refuse non-Euclidean
+    metrics (``AliveCellGrid.require_euclidean``); the network mode
+    evaluates by filter-and-refine instead (``repro.core.network``).
+    """
+
+    euclidean: bool = True
+
+    def distance(self, a: Iterable[float], b: Iterable[float]) -> float:
+        """Distance between two raw points."""
+        raise NotImplementedError
+
+    def bind_context(self, context) -> None:
+        """Attach a per-tick shared context (no-op unless the metric
+        has cross-query state worth sharing)."""
+
+    def prefilter_radius(self, threshold: float) -> float:
+        """A Euclidean radius whose closed ball contains every point at
+        metric distance strictly below ``threshold``."""
+        return threshold
+
+
+class EuclideanMetric(Metric):
+    """The default straight-line metric (identity seam)."""
+
+    euclidean = True
+
+    def distance(self, a: Iterable[float], b: Iterable[float]) -> float:
+        return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+#: Shared default instance; the seam's "nothing changed" value.
+EUCLIDEAN = EuclideanMetric()
+
+
+class NetworkMetric(Metric):
+    """Shortest-path distance over a :class:`RoadNetwork`.
+
+    A point's distance is ``(spur_a + route) + spur_b``: the Euclidean
+    spurs from the raw points to their canonical snaps plus the
+    shortest network route between the snaps (the standard access-cost
+    model; objects that wander off the network, e.g. under churn, stay
+    well-defined and the Euclidean lower bound still holds).  All snap
+    and combination decisions live on :meth:`RoadNetwork.locate` /
+    :meth:`RoadNetwork.point_to_point` — shared with the brute oracle.
+    """
+
+    euclidean = False
+
+    def __init__(self, network: RoadNetwork):
+        self.network = network
+        # Private persistent per-source distance-map cache, used when no
+        # shared tick context is bound.  Networks are immutable, so the
+        # cache never goes stale and cached maps are bit-identical to
+        # freshly computed ones.
+        self._cache: Dict[int, Dict[int, float]] = {}
+        self._context = None
+
+    # -- context plumbing ----------------------------------------------
+
+    def bind_context(self, context) -> None:
+        """Route distance-map memoization through a
+        :class:`~repro.grid.context.SharedTickContext` (the batch
+        executor's), so overlapping queries share Dijkstra expansions."""
+        self._context = context
+
+    # -- distance maps -------------------------------------------------
+
+    def node_distances(self, source: int) -> Dict[int, float]:
+        """The single-source shortest-path map of ``source``, memoized.
+
+        Served from the bound shared tick context when there is one
+        (cross-query sharing within the tick), else from the private
+        persistent cache.  Identical values either way.
+        """
+        ctx = self._context
+        if ctx is not None:
+            memo = ctx.network_memo(self.network)
+        else:
+            memo = self._cache
+        cached = memo.get(source)
+        if cached is not None:
+            STATS.cache_hits += 1
+            if ctx is not None:
+                ctx.account_network(hit=True)
+            return cached
+        STATS.cache_misses += 1
+        if ctx is not None:
+            ctx.account_network(hit=False)
+        dist = self.compute_distances(source)
+        memo[source] = dist
+        return dist
+
+    def compute_distances(self, source: int) -> Dict[int, float]:
+        """Uncached single-source Dijkstra over the road network.
+
+        Lazy-deletion form with left-fold float sums — the contract of
+        :meth:`RoadNetwork.point_to_point`.  Relaxation is strict
+        (``nd < dist``): flipping it to ``<=`` provably leaves every
+        distance bit-identical (equal sums overwrite equal sums; the
+        property suite pins this), which is why the fuzzer's planted
+        Dijkstra mutant targets the observable stale-entry guard and
+        the strict witness comparison instead.
+        """
+        stats = STATS
+        stats.dijkstra_runs += 1
+        neighbors = self.network.neighbors
+        inf = math.inf
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if dist[u] < d:  # stale lazy-deletion entry
+                continue
+            stats.dijkstra_expansions += 1
+            for v, w in neighbors(u):
+                nd = d + w
+                if nd < dist.get(v, inf):  # the relaxation
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist
+
+    # -- point distances -----------------------------------------------
+
+    def locate(self, point: Iterable[float]) -> Located:
+        return self.network.locate(point)
+
+    def distance_located(self, loc_a: Located, loc_b: Located) -> float:
+        """Distance between two pre-snapped points (candidate first —
+        Dijkstra sources are taken on the ``loc_a`` side)."""
+        return self.network.point_to_point(loc_a, loc_b, self.node_distances)
+
+    def distance(self, a: Iterable[float], b: Iterable[float]) -> float:
+        network = self.network
+        return network.point_to_point(
+            network.locate(a), network.locate(b), self.node_distances
+        )
+
+    def prefilter_radius(self, threshold: float) -> float:
+        if not math.isfinite(threshold):
+            return math.inf
+        return threshold * PREFILTER_PAD

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -65,6 +65,16 @@ class RoadNetwork:
             ]
             for node in graph.nodes
         }
+        # Canonical edge enumeration for :meth:`locate`: (u, v, length)
+        # with u < v, in sorted order, independently of construction or
+        # networkx iteration order.  The strict-< closest-edge scan over
+        # this list is what makes snapping deterministic across every
+        # consumer (engine metric and brute oracle alike).
+        self._sorted_edges: List[Tuple[int, int, float]] = sorted(
+            (min(u, v), max(u, v), length) for u, v, length in self.edges()
+        )
+        # Snap memo; networks are immutable, so entries never go stale.
+        self._locate_cache: Dict[Tuple[float, float], Tuple[int, int, float, float]] = {}
 
     # ------------------------------------------------------------------
     # Accessors
@@ -96,6 +106,13 @@ class RoadNetwork:
         for u, v, data in self._graph.edges(data=True):
             yield (u, v, data["length"])
 
+    def sorted_edges(self) -> Sequence[Tuple[int, int, float]]:
+        """All edges as ``(u, v, length)`` with ``u < v``, in sorted
+        order — the canonical enumeration :meth:`locate` snaps over.
+        Deterministic consumers (scenario sampling, tests) should prefer
+        this over :meth:`edges`, whose order is construction-dependent."""
+        return self._sorted_edges
+
     def random_node(self, rng: random.Random) -> int:
         return self._nodes[rng.randrange(len(self._nodes))]
 
@@ -110,6 +127,122 @@ class RoadNetwork:
     def shortest_path(self, source: int, target: int) -> List[int]:
         """Length-weighted shortest path as a node list (incl. endpoints)."""
         return nx.shortest_path(self._graph, source, target, weight="length")
+
+    # ------------------------------------------------------------------
+    # Network distance spec
+    # ------------------------------------------------------------------
+    #
+    # Everything below is the single shared definition of "network
+    # distance between two points" used by BOTH the engine metric
+    # (repro.metric.NetworkMetric) and the brute-force oracle
+    # (repro.queries.network_brute).  The two sides may differ in how
+    # they traverse the graph (memoized hand-rolled Dijkstra vs
+    # networkx), but every snap decision and every float combination
+    # happens here, once — which is what makes their answers
+    # bit-identical and the differential lockstep meaningful.
+
+    def locate(self, point: Iterable[float]) -> Tuple[int, int, float, float]:
+        """Canonical snap of an arbitrary point onto the network.
+
+        Returns ``(u, v, offset, spur)`` where ``(u, v)`` with ``u < v``
+        is the closest edge, ``offset`` the along-edge distance from
+        ``u`` of the clamped orthogonal projection, and ``spur`` the
+        Euclidean distance from the raw point to that projection (the
+        "access cost" of reaching the network; exactly ``0.0`` for
+        points sitting on a node).  Ties between equally close edges
+        are broken by the canonical sorted edge order (strict ``<``
+        keeps the first), so every consumer agrees on the snap and
+        therefore on every downstream distance bit.
+        """
+        px = float(point[0])
+        py = float(point[1])
+        key = (px, py)
+        cached = self._locate_cache.get(key)
+        if cached is not None:
+            return cached
+        pos = self._pos
+        best: Optional[Tuple[int, int, float]] = None
+        best_d2 = math.inf
+        for u, v, length in self._sorted_edges:
+            pu = pos[u]
+            pv = pos[v]
+            ex = pv.x - pu.x
+            ey = pv.y - pu.y
+            len2 = ex * ex + ey * ey
+            if len2 == 0.0:
+                t = 0.0
+            else:
+                t = ((px - pu.x) * ex + (py - pu.y) * ey) / len2
+                t = min(max(t, 0.0), 1.0)
+            dx = px - (pu.x + t * ex)
+            dy = py - (pu.y + t * ey)
+            d2 = dx * dx + dy * dy
+            if d2 < best_d2:
+                best_d2 = d2
+                best = (u, v, t * length)
+        assert best is not None  # a network always has at least one edge
+        located = (best[0], best[1], best[2], math.sqrt(best_d2))
+        self._locate_cache[key] = located
+        return located
+
+    def point_to_point(
+        self,
+        loc_a: Tuple[int, int, float, float],
+        loc_b: Tuple[int, int, float, float],
+        node_distances: Callable[[int], Dict[int, float]],
+    ) -> float:
+        """Network distance between two :meth:`locate` results.
+
+        ``node_distances(source)`` must return the single-source
+        shortest-path map of ``source`` computed with left-fold float
+        sums (``dist[u] + w``).  Under that contract any conforming
+        implementation returns bit-identical maps — float addition is
+        monotone and edge weights non-negative, so the minimum over
+        relaxation orders equals the minimum over paths of the same
+        left-fold sum — and this combination formula then yields
+        bit-identical point distances.
+
+        The route between the snapped points is the minimum of the
+        direct along-edge segment (when both share an edge) and the
+        four endpoint pairings ``(wa + D[ea][eb]) + wb``; the spurs are
+        folded in last as ``(spur_a + route) + spur_b``.  Dijkstra
+        sources are always taken on the ``loc_a`` side, so callers must
+        pass arguments in consistent roles (candidate first).
+        """
+        ua, va, off_a, spur_a = loc_a
+        ub, vb, off_b, spur_b = loc_b
+        len_a = self.edge_length(ua, va)
+        len_b = self.edge_length(ub, vb)
+        route = math.inf
+        if ua == ub and va == vb:
+            route = abs(off_a - off_b)
+        for ea, wa in ((ua, off_a), (va, len_a - off_a)):
+            dist = node_distances(ea)
+            for eb, wb in ((ub, off_b), (vb, len_b - off_b)):
+                d = dist.get(eb)
+                if d is None:
+                    continue
+                cand = (wa + d) + wb
+                if cand < route:
+                    route = cand
+        if not math.isfinite(route):  # pragma: no cover - disconnected input
+            return math.inf
+        return (spur_a + route) + spur_b
+
+    @staticmethod
+    def from_dict(params: Dict) -> "RoadNetwork":
+        """Rebuild a network from the JSON-friendly description stored
+        in fuzz scenarios (see ``repro.fuzz.scenario``)."""
+        params = dict(params)
+        params.pop("node_jump", None)  # motion style, not network structure
+        kind = params.pop("kind", "grid_city")
+        if kind == "grid_city":
+            return RoadNetwork.grid_city(**params)
+        if kind == "radial_city":
+            return RoadNetwork.radial_city(**params)
+        if kind == "delaunay":
+            return RoadNetwork.delaunay(**params)
+        raise ValueError(f"unknown road network kind {kind!r}")
 
     # ------------------------------------------------------------------
     # Builders

@@ -19,7 +19,11 @@ interface so the simulation engine can drive them interchangeably:
   bichromatic baseline: rebuild the query's Voronoi cell every tick;
 - :class:`repro.queries.brute.BruteForceMonoQuery` /
   :class:`repro.queries.brute.BruteForceBiQuery` — quadratic oracles used
-  by the correctness tests.
+  by the correctness tests;
+- :class:`repro.queries.network_brute.NetworkBruteMonoQuery` /
+  :class:`repro.queries.network_brute.NetworkBruteBiQuery` — quadratic
+  oracles under road-network distance (the ``--metric network`` mode's
+  differential reference).
 """
 
 from repro.queries.base import ContinuousQuery, QueryFootprint, QueryPosition
@@ -34,6 +38,12 @@ from repro.queries.brute import (
     BruteForceMonoQuery,
     brute_bi_rnn,
     brute_mono_rnn,
+)
+from repro.queries.network_brute import (
+    NetworkBruteBiQuery,
+    NetworkBruteMonoQuery,
+    network_brute_bi_rnn,
+    network_brute_mono_rnn,
 )
 
 __all__ = [
@@ -50,4 +60,8 @@ __all__ = [
     "BruteForceBiQuery",
     "brute_mono_rnn",
     "brute_bi_rnn",
+    "NetworkBruteMonoQuery",
+    "NetworkBruteBiQuery",
+    "network_brute_mono_rnn",
+    "network_brute_bi_rnn",
 ]

@@ -5,8 +5,10 @@ from __future__ import annotations
 from typing import FrozenSet, Hashable, Optional
 
 from repro.core.bi import BiIGERN
-from repro.core.state import BiState, StepReport
+from repro.core.network import NetworkBiCore
+from repro.core.state import StepReport
 from repro.grid.index import Category, GridIndex
+from repro.metric import EUCLIDEAN, Metric
 from repro.queries.base import ContinuousQuery, QueryFootprint, QueryPosition
 
 
@@ -14,7 +16,10 @@ class IGERNBiQuery(ContinuousQuery):
     """Continuous bichromatic RNN query evaluated with IGERN.
 
     The query is of type ``cat_a``; the answer consists of ``cat_b``
-    objects whose nearest A object is the query.
+    objects whose nearest A object is the query.  ``metric`` selects the
+    distance backend, exactly as on :class:`IGERNMonoQuery`: Euclidean
+    runs the bisector-pruned core, a network metric the
+    filter-and-refine core.
     """
 
     name = "IGERN-bi"
@@ -28,18 +33,34 @@ class IGERNBiQuery(ContinuousQuery):
         cat_b: Category = "B",
         k: int = 1,
         prune: "str | bool" = "guarded",
+        metric: Optional[Metric] = None,
     ):
         super().__init__(grid, position)
-        self._algo = BiIGERN(
-            grid,
-            cat_a=cat_a,
-            cat_b=cat_b,
-            query_id=position.query_id,
-            k=k,
-            prune=prune,
-            search=self.search,
-        )
-        self._state: Optional[BiState] = None
+        self.metric = EUCLIDEAN if metric is None else metric
+        self.search.metric = self.metric
+        if self.metric.euclidean:
+            self._algo = BiIGERN(
+                grid,
+                cat_a=cat_a,
+                cat_b=cat_b,
+                query_id=position.query_id,
+                k=k,
+                prune=prune,
+                search=self.search,
+                metric=metric,
+            )
+        else:
+            self.name = "IGERN-bi-net"
+            self._algo = NetworkBiCore(
+                grid,
+                self.metric,
+                cat_a=cat_a,
+                cat_b=cat_b,
+                query_id=position.query_id,
+                k=k,
+                search=self.search,
+            )
+        self._state = None
         self.last_report: Optional[StepReport] = None
 
     @property
@@ -49,6 +70,7 @@ class IGERNBiQuery(ContinuousQuery):
     def bind_shared_context(self, context) -> None:
         self._algo.shared_context = context
         self.search.shared_context = context
+        self.metric.bind_context(context)
 
     def bind_cost_recorder(self, cost) -> None:
         self._algo.cost = cost
@@ -69,7 +91,11 @@ class IGERNBiQuery(ContinuousQuery):
 
     def footprint(self) -> "QueryFootprint | None":
         """Monitored cells (alive region + per-B witness balls) and the
-        monitored A objects (plus the query object itself)."""
+        monitored A objects (plus the query object itself).  Network
+        metrics have no bounded Euclidean footprint — always ``None``,
+        so the scheduler re-evaluates every tick."""
+        if not self.metric.euclidean:
+            return None
         state = self._state
         if state is None:
             return None
@@ -92,12 +118,15 @@ class IGERNBiQuery(ContinuousQuery):
 
     @property
     def monitored_region_cells(self) -> int:
-        return self._state.alive.alive_count() if self._state is not None else 0
+        if self._state is None or not self.metric.euclidean:
+            return 0
+        return self._state.alive.alive_count()
 
     def monitored_area(self) -> float:
         """Exact area of the monitored region as a fraction of the space
-        (only defined for k = 1, where the region is convex)."""
-        if self._state is None:
+        (only defined for k = 1, Euclidean — network mode monitors the
+        whole space)."""
+        if self._state is None or not self.metric.euclidean:
             return 1.0
         polygon = self._state.alive.region_polygon()
         return polygon.area() / self.grid.extent.area

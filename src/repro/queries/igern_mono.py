@@ -5,13 +5,23 @@ from __future__ import annotations
 from typing import FrozenSet, Hashable, Optional
 
 from repro.core.mono import MonoIGERN
-from repro.core.state import MonoState, StepReport
+from repro.core.network import NetworkMonoCore
+from repro.core.state import StepReport
 from repro.grid.index import GridIndex
+from repro.metric import EUCLIDEAN, Metric
 from repro.queries.base import ContinuousQuery, QueryFootprint, QueryPosition
 
 
 class IGERNMonoQuery(ContinuousQuery):
-    """Continuous monochromatic R(k)NN query evaluated with IGERN."""
+    """Continuous monochromatic R(k)NN query evaluated with IGERN.
+
+    ``metric`` selects the distance backend (``repro.metric``): the
+    default Euclidean metric runs the bisector-pruned IGERN core,
+    byte-for-byte the pre-seam behavior; a network metric dispatches to
+    the filter-and-refine core (``repro.core.network``), whose witness
+    semantics — strict ``<``, equidistant objects never disqualify —
+    match the paper's under the road-network distance.
+    """
 
     name = "IGERN"
     flavor = "mono"
@@ -23,17 +33,31 @@ class IGERNMonoQuery(ContinuousQuery):
         k: int = 1,
         prune: "str | bool" = "guarded",
         shared_cache=None,
+        metric: Optional[Metric] = None,
     ):
         super().__init__(grid, position)
-        self._algo = MonoIGERN(
-            grid,
-            query_id=position.query_id,
-            k=k,
-            prune=prune,
-            search=self.search,
-            shared_cache=shared_cache,
-        )
-        self._state: Optional[MonoState] = None
+        self.metric = EUCLIDEAN if metric is None else metric
+        self.search.metric = self.metric
+        if self.metric.euclidean:
+            self._algo = MonoIGERN(
+                grid,
+                query_id=position.query_id,
+                k=k,
+                prune=prune,
+                search=self.search,
+                shared_cache=shared_cache,
+                metric=metric,
+            )
+        else:
+            self.name = "IGERN-net"
+            self._algo = NetworkMonoCore(
+                grid,
+                self.metric,
+                query_id=position.query_id,
+                k=k,
+                search=self.search,
+            )
+        self._state = None
         self.last_report: Optional[StepReport] = None
 
     @property
@@ -43,6 +67,9 @@ class IGERNMonoQuery(ContinuousQuery):
     def bind_shared_context(self, context) -> None:
         self._algo.shared_context = context
         self.search.shared_context = context
+        # Network metrics memoize Dijkstra maps in the shared context so
+        # co-evaluated queries share expansions (no-op for Euclidean).
+        self.metric.bind_context(context)
 
     def bind_cost_recorder(self, cost) -> None:
         self._algo.cost = cost
@@ -66,8 +93,14 @@ class IGERNMonoQuery(ContinuousQuery):
 
         ``None`` until the initial step ran, and whenever the monitored
         region is momentarily too large for a bounded footprint (the
-        executor then takes the unbounded search path).
+        executor then takes the unbounded search path).  Network-metric
+        queries always return ``None``: their witness sets have no
+        bounded Euclidean footprint (a far-away object can be
+        network-close), so the scheduler honestly re-evaluates every
+        tick.
         """
+        if not self.metric.euclidean:
+            return None
         state = self._state
         if state is None:
             return None
@@ -90,13 +123,15 @@ class IGERNMonoQuery(ContinuousQuery):
 
     @property
     def monitored_region_cells(self) -> int:
-        return self._state.alive.alive_count() if self._state is not None else 0
+        if self._state is None or not self.metric.euclidean:
+            return 0
+        return self._state.alive.alive_count()
 
     def monitored_area(self) -> float:
         """Exact area of the monitored region as a fraction of the space
         (the convex intersection of the candidate bisectors; only defined
-        for k = 1)."""
-        if self._state is None:
+        for k = 1, Euclidean — network mode monitors the whole space)."""
+        if self._state is None or not self.metric.euclidean:
             return 1.0
         polygon = self._state.alive.region_polygon()
         return polygon.area() / self.grid.extent.area

@@ -1,0 +1,238 @@
+"""Lockstep conformance of the road-network distance mode.
+
+The network-metric counterpart of ``tests/engine/test_scheduler.py``:
+IGERN evaluating under shortest-path distance (the filter-and-refine
+core of ``repro.core.network``) must produce bit-identical per-tick
+answers with the scheduler on and off, with batching on and off, and —
+at every tick of every configuration — match the independent networkx
+brute oracle registered in the same simulator.
+
+Network queries report no footprint (their reach along the network has
+no cell-box description), so the scheduler must honestly re-evaluate
+them every tick; that property is pinned here too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulation import Simulator
+from repro.engine.workload import (
+    WorkloadSpec,
+    build_network,
+    build_simulator,
+    central_object,
+)
+from repro.core.mono import MonoIGERN
+from repro.metric import STATS, NetworkMetric
+from repro.motion.churn import ChurnRandomWalkGenerator
+from repro.queries import (
+    IGERNBiQuery,
+    IGERNMonoQuery,
+    NetworkBruteBiQuery,
+    NetworkBruteMonoQuery,
+    QueryPosition,
+)
+
+
+def _network_spec(kind: str, move_fraction: float = 1.0) -> WorkloadSpec:
+    """A small road workload: objects move along a 36-node street grid
+    (kept small because the oracle is quadratic in network distances)."""
+    return WorkloadSpec(
+        n_objects=80,
+        grid_size=16,
+        seed=11,
+        network="grid_city",
+        network_nodes=36,
+        move_fraction=move_fraction,
+        bichromatic=(kind == "bi"),
+    )
+
+
+def _register(sim: Simulator, network, kind: str, k: int) -> None:
+    """The network-metric IGERN query plus the brute oracle, on the same
+    (moving) query object — same seed in both simulators, same ids."""
+    if kind == "mono":
+        qid = central_object(sim)
+        pos = QueryPosition(sim.grid, query_id=qid)
+        sim.add_query(
+            "q",
+            IGERNMonoQuery(sim.grid, pos, k=k, metric=NetworkMetric(network)),
+        )
+        sim.add_query("oracle", NetworkBruteMonoQuery(sim.grid, pos, network, k=k))
+    else:
+        qid = central_object(sim, "A")
+        pos = QueryPosition(sim.grid, query_id=qid)
+        sim.add_query(
+            "q",
+            IGERNBiQuery(sim.grid, pos, k=k, metric=NetworkMetric(network)),
+        )
+        sim.add_query("oracle", NetworkBruteBiQuery(sim.grid, pos, network, k=k))
+
+
+def _assert_network_lockstep(
+    sim_on: Simulator, sim_off: Simulator, n_ticks: int
+) -> None:
+    res_on = sim_on.run(n_ticks)
+    res_off = sim_off.run(n_ticks)
+    answers_on = [t.answer for t in res_on["q"].ticks]
+    answers_off = [t.answer for t in res_off["q"].ticks]
+    assert answers_on == answers_off, "scheduler on/off answers diverged"
+    for res, side in ((res_on, "on"), (res_off, "off")):
+        igern = [t.answer for t in res["q"].ticks]
+        oracle = [t.answer for t in res["oracle"].ticks]
+        assert igern == oracle, f"engine differs from brute oracle ({side})"
+    # Network queries carry no footprint, so nothing is ever skipped:
+    # every answer above was honestly recomputed this tick.
+    assert res_on.queries_skipped == 0
+    assert res_off.queries_skipped == 0
+    assert all(not t.skipped for t in res_on["q"].ticks)
+
+
+@pytest.mark.parametrize(
+    "kind,k",
+    [("mono", 1), ("mono", 2), ("mono", 3), ("bi", 1), ("bi", 2), ("bi", 3)],
+)
+def test_lockstep_matrix(kind: str, k: int):
+    """Scheduler on vs off vs brute oracle across mono/bi and k.
+
+    The query object is part of the moving population, so every run is
+    also a moving-query run."""
+    spec = _network_spec(kind)
+    network = build_network(spec)
+    sim_on = build_simulator(spec, scheduler=True)
+    sim_off = build_simulator(spec, scheduler=False)
+    _register(sim_on, network, kind, k)
+    _register(sim_off, network, kind, k)
+    _assert_network_lockstep(sim_on, sim_off, n_ticks=6)
+
+
+@pytest.mark.parametrize("kind", ["mono", "bi"])
+def test_lockstep_partial_movement(kind: str):
+    """Only half the population moves: the tick deltas are sparse, the
+    skip machinery is tempted, and network answers must not go stale."""
+    spec = _network_spec(kind, move_fraction=0.5)
+    network = build_network(spec)
+    sim_on = build_simulator(spec, scheduler=True)
+    sim_off = build_simulator(spec, scheduler=False)
+    _register(sim_on, network, kind, 2)
+    _register(sim_off, network, kind, 2)
+    _assert_network_lockstep(sim_on, sim_off, n_ticks=6)
+
+
+@pytest.mark.parametrize("kind", ["mono", "bi"])
+def test_lockstep_under_churn(kind: str):
+    """Births and deaths of *off-network* objects: the spur (access
+    cost) half of the distance spec, exercised end to end.  The fixed
+    query sits mid-edge on the network."""
+    categories = {"A": 0.4, "B": 0.6} if kind == "bi" else None
+    network = build_network(_network_spec(kind))
+    u, v, length = network.sorted_edges()[7]
+    qpoint = network.point_on_edge(u, v, 0.5 * length)
+
+    def make_sim(scheduler: bool) -> Simulator:
+        gen = ChurnRandomWalkGenerator(
+            70,
+            seed=5,
+            step_sigma=0.012,
+            birth_rate=0.05,
+            death_rate=0.05,
+            categories=categories,
+        )
+        sim = Simulator(gen, grid_size=16, scheduler=scheduler)
+        pos = QueryPosition(sim.grid, fixed=(qpoint.x, qpoint.y))
+        if kind == "mono":
+            sim.add_query(
+                "q", IGERNMonoQuery(sim.grid, pos, metric=NetworkMetric(network))
+            )
+            sim.add_query("oracle", NetworkBruteMonoQuery(sim.grid, pos, network))
+        else:
+            sim.add_query(
+                "q", IGERNBiQuery(sim.grid, pos, metric=NetworkMetric(network))
+            )
+            sim.add_query("oracle", NetworkBruteBiQuery(sim.grid, pos, network))
+        return sim
+
+    _assert_network_lockstep(make_sim(True), make_sim(False), n_ticks=8)
+
+
+def test_batched_run_matches_cold_and_shares_maps():
+    """batch=True answers equal batch=False answers bit for bit, and the
+    shared tick context actually serves Dijkstra maps across the
+    co-evaluated queries (the BRkNN-light sharing the counters report)."""
+    spec = _network_spec("mono")
+    network = build_network(spec)
+
+    def make_sim(batch: bool) -> Simulator:
+        sim = build_simulator(spec, scheduler=True, batch=batch)
+        qid = central_object(sim)
+        sim.add_query(
+            "q1",
+            IGERNMonoQuery(
+                sim.grid,
+                QueryPosition(sim.grid, query_id=qid),
+                metric=NetworkMetric(network),
+            ),
+        )
+        sim.add_query(
+            "q2",
+            IGERNMonoQuery(
+                sim.grid,
+                QueryPosition(sim.grid, fixed=(0.5, 0.5)),
+                metric=NetworkMetric(network),
+            ),
+        )
+        return sim
+
+    hits_before = STATS.cache_hits
+    res_batch = make_sim(True).run(4)
+    assert STATS.cache_hits > hits_before
+    res_cold = make_sim(False).run(4)
+    for name in ("q1", "q2"):
+        batched = [t.answer for t in res_batch[name].ticks]
+        cold = [t.answer for t in res_cold[name].ticks]
+        assert batched == cold, f"batched answers diverged for {name!r}"
+
+
+def test_network_queries_report_no_footprint():
+    """footprint() is None under a network metric: Euclidean cell boxes
+    cannot bound network reach, so the query opts out of skipping and
+    the scheduler treats it as always-affected."""
+    spec = _network_spec("mono")
+    network = build_network(spec)
+    sim = build_simulator(spec, scheduler=True)
+    qid = central_object(sim)
+    query = IGERNMonoQuery(
+        sim.grid,
+        QueryPosition(sim.grid, query_id=qid),
+        metric=NetworkMetric(network),
+    )
+    sim.add_query("q", query)
+    sim.execute_queries()
+    assert query.footprint() is None
+    assert sim.scheduler.footprint("q") is None
+    assert query.monitored_region_cells == 0
+    assert query.monitored_area() == 1.0
+
+
+def test_euclidean_core_refuses_network_metric():
+    """The bisector-pruning core is a Euclidean-only theorem; handing it
+    a network metric must fail loudly, not prune wrongly."""
+    spec = _network_spec("mono")
+    network = build_network(spec)
+    sim = build_simulator(spec, scheduler=False)
+    with pytest.raises(TypeError, match="[Ee]uclidean"):
+        MonoIGERN(sim.grid, metric=NetworkMetric(network))
+
+
+def test_default_metric_is_euclidean_and_unchanged():
+    """Omitting ``metric`` keeps the exact pre-seam IGERN behavior —
+    same core class, footprints present, scheduler skipping allowed."""
+    spec = WorkloadSpec(n_objects=60, grid_size=12, seed=3, network="walk")
+    sim = build_simulator(spec, scheduler=True)
+    qid = central_object(sim)
+    query = IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, query_id=qid))
+    sim.add_query("q", query)
+    sim.execute_queries()
+    assert query.metric.euclidean
+    assert query.footprint() is not None
