@@ -1,0 +1,256 @@
+"""Answer-lease hold benchmark: publications skipped, answers identical.
+
+A low-churn monitoring workload — the regime safe-region answer leases
+exist for.  Nine fixed monochromatic queries each watch a small cluster
+of objects; every tick a couple of objects per cluster jitter by a
+displacement orders of magnitude inside any lease budget, and every
+``BREAK_EVERY`` ticks one background object jumps across the space,
+breaking every outstanding lease (the re-issue path).  The same
+deterministic script is replayed through two query managers:
+
+- **oracle**: ``scheduler=False`` — every query evaluated every tick;
+- **leased**: ``scheduler=True, batch=True, lease=True`` — held leases
+  skip the evaluation *and* the subscriber publication.
+
+The test asserts bit-identical per-tick answers for every query, that at
+least half of all possible subscriber publications were suppressed by
+held leases (``lease_publications_skipped_total``), a hold-ratio floor,
+and that the break ticks actually broke leases (the re-issue machinery
+runs).  Results land in ``BENCH_lease_hold.json`` at the repo root and
+gate through ``igern bench run|check``.
+
+``LEASE_BENCH_QUICK=1`` selects a smaller configuration for CI; the
+identity and hold-rate assertions are identical in both.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.engine.manager import ContinuousQueryManager
+from repro.engine.simulation import Simulator
+from repro.geometry.point import Point
+from repro.queries.base import QueryPosition
+from repro.queries.igern_mono import IGERNMonoQuery
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = Path(
+    os.environ.get("LEASE_BENCH_OUT")
+    or str(REPO_ROOT / "BENCH_lease_hold.json")
+)
+
+QUICK = os.environ.get("LEASE_BENCH_QUICK", "") not in ("", "0")
+#: 3x3 lattice of fixed query points.
+QUERY_POINTS = [
+    (x, y) for x in (0.25, 0.50, 0.75) for y in (0.25, 0.50, 0.75)
+]
+CLUSTER_SIZE = 12
+CLUSTER_RADIUS = 0.04
+N_BACKGROUND = 150 if QUICK else 500
+N_TICKS = 40 if QUICK else 80
+#: Per-tick jitter scale — far inside any plausible lease budget, so the
+#: cumulative per-tick-maximum accounting stays within budget between
+#: breaks.
+JITTER_SIGMA = 1e-7
+JITTERS_PER_CLUSTER = 2
+JITTERS_BACKGROUND = 5
+#: One cross-space jump every this many ticks: larger than any budget,
+#: so it must break every outstanding lease and force re-issue.
+BREAK_EVERY = 20
+#: Acceptance floor: at least half of all possible subscriber
+#: publications suppressed by held leases.
+PUBLICATION_SKIP_FLOOR = 0.5
+HOLD_RATIO_FLOOR = 0.6
+
+
+class ReplayGenerator:
+    """Replays a precomputed update script, one move list per tick."""
+
+    def __init__(self, initial, script):
+        self._initial = initial
+        self._script = script
+        self._next = 0
+
+    def initial(self):
+        return iter(self._initial)
+
+    def step(self, dt):
+        moves = self._script[self._next]
+        self._next += 1
+        return moves
+
+
+def _make_workload(seed: int = 23):
+    """Clustered objects around each query point plus background noise."""
+    rng = random.Random(seed)
+    initial = []
+    positions = {}
+    clusters = []
+    oid = 0
+    for qx, qy in QUERY_POINTS:
+        members = []
+        for _ in range(CLUSTER_SIZE):
+            x = qx + rng.uniform(-CLUSTER_RADIUS, CLUSTER_RADIUS)
+            y = qy + rng.uniform(-CLUSTER_RADIUS, CLUSTER_RADIUS)
+            positions[oid] = (x, y)
+            initial.append((oid, Point(x, y), 0))
+            members.append(oid)
+            oid += 1
+        clusters.append(members)
+    background = []
+    for _ in range(N_BACKGROUND):
+        x, y = rng.random(), rng.random()
+        positions[oid] = (x, y)
+        initial.append((oid, Point(x, y), 0))
+        background.append(oid)
+        oid += 1
+
+    script = []
+    for tick in range(N_TICKS):
+        moves = []
+        movers = []
+        for members in clusters:
+            movers.extend(rng.sample(members, JITTERS_PER_CLUSTER))
+        movers.extend(rng.sample(background, JITTERS_BACKGROUND))
+        for mover in movers:
+            x, y = positions[mover]
+            nx = min(1.0, max(0.0, x + rng.gauss(0.0, JITTER_SIGMA)))
+            ny = min(1.0, max(0.0, y + rng.gauss(0.0, JITTER_SIGMA)))
+            positions[mover] = (nx, ny)
+            moves.append((mover, Point(nx, ny)))
+        if tick and tick % BREAK_EVERY == 0:
+            jumper = rng.choice(background)
+            nx, ny = rng.random(), rng.random()
+            positions[jumper] = (nx, ny)
+            moves.append((jumper, Point(nx, ny)))
+        script.append(moves)
+    return initial, script
+
+
+def _build(workload, lease: bool) -> ContinuousQueryManager:
+    initial, script = workload
+    if lease:
+        sim = Simulator(
+            ReplayGenerator(initial, script),
+            grid_size=32,
+            scheduler=True,
+            batch=True,
+            lease=True,
+        )
+    else:
+        sim = Simulator(
+            ReplayGenerator(initial, script), grid_size=32, scheduler=False
+        )
+    manager = ContinuousQueryManager(sim)
+    for i, (x, y) in enumerate(QUERY_POINTS):
+        manager.register(
+            f"q{i}",
+            IGERNMonoQuery(sim.grid, QueryPosition(sim.grid, fixed=(x, y))),
+        )
+    return manager
+
+
+def _run(manager: ContinuousQueryManager):
+    """Initial announce untimed, then N_TICKS timed; per-tick answers."""
+    sim = manager.simulator
+    names = list(sim.query_names())
+    answers = {name: [] for name in names}
+    manager.step()  # tick 0: initial evaluations, first announcements
+    for name in names:
+        answers[name].append(sim.query(name).answer)
+    start = time.perf_counter()
+    for _ in range(N_TICKS - 1):
+        manager.step()
+        for name in names:
+            answers[name].append(sim.query(name).answer)
+    elapsed = time.perf_counter() - start
+    return elapsed, answers
+
+
+def test_lease_hold_rate_and_answer_identity():
+    workload = _make_workload()
+    _, registry = obs.enable()
+    registry.clear()
+    try:
+        manager_lease = _build(workload, lease=True)
+        elapsed_lease, answers_lease = _run(manager_lease)
+        manager_oracle = _build(workload, lease=False)
+        elapsed_oracle, answers_oracle = _run(manager_oracle)
+
+        publications_skipped = sum(
+            counter.value
+            for counter in registry.collect()
+            if counter.name == "lease_publications_skipped_total"
+        )
+    finally:
+        obs.disable()
+
+    # Bit-identical answers, every query, every tick — a held lease
+    # serves the issue-time answer verbatim, so it must be the exact one.
+    for name in answers_oracle:
+        for tick, (leased, exact) in enumerate(
+            zip(answers_lease[name], answers_oracle[name])
+        ):
+            assert leased == exact, f"{name} diverged at tick {tick}"
+
+    sim = manager_lease.simulator
+    issued = sim.leases_issued
+    held = sim.leases_held
+    broken = sim.leases_broken
+    hold_ratio = sim.lease_hold_ratio
+    # Ticks after the initial announcement, per query, are the
+    # publications a held lease could suppress.
+    possible = len(QUERY_POINTS) * (N_TICKS - 1)
+    skip_rate = publications_skipped / possible if possible else 0.0
+
+    result = {
+        "workload": {
+            "n_queries": len(QUERY_POINTS),
+            "cluster_size": CLUSTER_SIZE,
+            "n_background": N_BACKGROUND,
+            "n_ticks": N_TICKS,
+            "jitter_sigma": JITTER_SIGMA,
+            "break_every": BREAK_EVERY,
+            "grid_size": 32,
+            "quick": QUICK,
+        },
+        "leases": {
+            "issued": issued,
+            "held": held,
+            "broken": broken,
+            "hold_ratio": hold_ratio,
+        },
+        "publications": {
+            "skipped": publications_skipped,
+            "possible": possible,
+            "skip_rate": skip_rate,
+        },
+        "timing": {
+            "lease_seconds": elapsed_lease,
+            "oracle_seconds": elapsed_oracle,
+        },
+        "answers_identical": True,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"\nlease hold: {publications_skipped:.0f}/{possible} publications"
+        f" skipped ({skip_rate:.1%}), hold ratio {hold_ratio:.3f}"
+        f" ({issued} issued, {held} held, {broken} broken)"
+    )
+
+    assert issued >= len(QUERY_POINTS)
+    # The cross-space jumps must actually break leases — otherwise the
+    # budget accounting is not running and "held" means nothing.
+    assert broken > 0
+    assert hold_ratio >= HOLD_RATIO_FLOOR, (
+        f"hold ratio {hold_ratio:.3f} under the {HOLD_RATIO_FLOOR} floor"
+    )
+    assert skip_rate >= PUBLICATION_SKIP_FLOOR, (
+        f"only {skip_rate:.1%} of subscriber publications were suppressed"
+        f" by held leases (floor {PUBLICATION_SKIP_FLOOR:.0%})"
+    )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import heapq
 import logging
+import math
 import time
 from typing import Callable, Dict, Optional, Set
 
@@ -24,11 +25,15 @@ from repro.grid.index import GridIndex
 from repro.grid.store import STATS as STORE_STATS
 from repro.metric import STATS as METRIC_STATS
 from repro.obs.flight import FlightRecorder, TickDigest
+from repro.leases import LeaseState
 from repro.obs.ledger import (
     EVALUATED,
     REASON_DELTA_DISJOINT,
     REASON_FOOTPRINT_HIT,
     REASON_INITIAL,
+    REASON_LEASE_BROKEN,
+    REASON_LEASE_HELD,
+    REASON_LEASE_NONE,
     REASON_NO_FOOTPRINT,
     REASON_RESUME_FORCED,
     REASON_SCHEDULER_OFF,
@@ -107,6 +112,16 @@ class Simulator:
         struct-of-arrays layout with vectorized cell kernels) or
         ``"mapping"`` (the dict-backed reference layout).  Answers are
         bit-identical; the fuzz harness runs both in lockstep.
+    lease:
+        When ``True``, lease-capable queries derive a safe-region answer
+        lease (:mod:`repro.leases`) at every evaluation, and the engine
+        skips their ticks — including footprint-affected ones — while
+        the lease verifiably holds under the tick's displacement
+        accounting.  Answers stay bit-identical (the lease is a sound
+        certificate; the fuzz harness validates it against the brute
+        oracle).  Off by default: lease derivation costs an extra
+        distance pass per evaluation, so the committed benchmark
+        baselines keep their cost profile.  Requires the scheduler.
     """
 
     def __init__(
@@ -122,6 +137,7 @@ class Simulator:
         ledger: "Optional[QueryCostLedger | bool]" = None,
         flight: "bool | FlightRecorder" = True,
         store: str = "columnar",
+        lease: bool = False,
     ):
         self.generator = generator
         self.dt = dt
@@ -137,6 +153,14 @@ class Simulator:
         self.scheduler: Optional[TickScheduler] = (
             TickScheduler() if scheduler else None
         )
+        #: Safe-region lease mode (requires the scheduler's delta path).
+        self.lease_mode: bool = bool(lease and scheduler)
+        #: Lifetime lease outcomes (mirrored into the registry as
+        #: ``lease_issued_total`` / ``lease_held_total`` /
+        #: ``lease_broken_total`` plus the ``lease_hold_ratio`` gauge).
+        self.leases_issued = 0
+        self.leases_held = 0
+        self.leases_broken = 0
         self.batch: Optional[BatchExecutor] = (
             BatchExecutor(self.grid) if batch and scheduler else None
         )
@@ -219,6 +243,8 @@ class Simulator:
             )
         self._queries[name] = query
         self._started[name] = False
+        if self.lease_mode and hasattr(query, "lease_enabled"):
+            query.lease_enabled = True
         logger.debug(
             "registered query %r (%s) at tick %d", name, query.name, self.current_tick
         )
@@ -256,6 +282,13 @@ class Simulator:
         if name not in self._queries:
             raise KeyError(f"no query named {name!r}")
         self._paused.add(name)
+        # Pausing forcibly invalidates any safe-region lease: a paused
+        # query cannot honor its publication contract, and the forced
+        # post-resume evaluation issues a fresh one.
+        if self.scheduler is not None and self.scheduler.drop_lease(name):
+            self.leases_broken += 1
+            if self.registry is not None:
+                self.registry.counter("lease_broken_total", query=name).inc()
         logger.debug("paused query %r at tick %d", name, self.current_tick)
 
     def resume_query(self, name: str) -> None:
@@ -345,19 +378,25 @@ class Simulator:
                 movement_time = self.clock() - move_start
                 if self.scheduler is None or delta is None:
                     out = self.execute_queries()
-                elif ledger_on:
-                    # The reason-annotated matcher costs slightly more
-                    # than the set-only one, so it runs only while the
-                    # ledger is recording.
+                else:
                     sched_start = self.clock()
-                    reasons = self.scheduler.affected_reasons(delta)
+                    if ledger_on:
+                        # The reason-annotated matcher costs slightly
+                        # more than the set-only one, so it runs only
+                        # while the ledger is recording.
+                        reasons = self.scheduler.affected_reasons(delta)
+                        run = set(reasons)
+                    else:
+                        reasons = None
+                        run = self.scheduler.affected(delta)
+                    lease_skips = None
+                    if self.lease_mode:
+                        run, reasons, lease_skips = self._apply_leases(
+                            delta, run, reasons
+                        )
                     scheduler_time = self.clock() - sched_start
                     out = self.execute_queries(
-                        run=set(reasons), reasons=reasons
-                    )
-                else:
-                    out = self.execute_queries(
-                        run=self.scheduler.affected(delta)
+                        run=run, reasons=reasons, lease_skips=lease_skips
                     )
         except Exception as exc:
             if flight is not None:
@@ -421,23 +460,35 @@ class Simulator:
         if self.scheduler is not None:
             if hasattr(self.generator, "step_events"):
                 events = self.generator.step_events(self.dt)
+                moves = events.moves
+                if self.lease_mode and not isinstance(moves, (list, tuple)):
+                    moves = list(moves)
                 self._last_events = (
-                    events.moves,
+                    moves,
                     events.inserts,
                     events.removes,
                 )
-                return grid.apply_updates(
-                    events.moves,
+                disp = self._displacements(moves) if self.lease_mode else None
+                delta = grid.apply_updates(
+                    moves,
                     inserts=events.inserts,
                     removes=events.removes,
                     reuse_scratch=True,
                 )
+                if disp:
+                    delta.displacements.update(disp)
+                return delta
             updates = self.generator.step(self.dt)
-            if self.flight is not None:
+            if self.flight is not None or self.lease_mode:
                 if not isinstance(updates, list):
                     updates = list(updates)
+            if self.flight is not None:
                 self._last_events = (updates, [], [])
-            return grid.apply_updates(updates, reuse_scratch=True)
+            disp = self._displacements(updates) if self.lease_mode else None
+            delta = grid.apply_updates(updates, reuse_scratch=True)
+            if disp:
+                delta.displacements.update(disp)
+            return delta
         if hasattr(self.generator, "step_events"):
             events = self.generator.step_events(self.dt)
             for oid in events.removes:
@@ -451,10 +502,133 @@ class Simulator:
                 grid.move(oid, pos)
         return None
 
+    def _displacements(self, moves) -> Dict:
+        """Per-object Euclidean displacement of this tick's movers.
+
+        Computed against the *pre-apply* grid positions (the vectorized
+        bulk-update path does not expose old positions), recorded onto
+        the delta only in lease mode — the scheduler charges lease
+        budgets from these magnitudes.
+        """
+        grid = self.grid
+        hypot = math.hypot
+        out: Dict = {}
+        for oid, pos in moves:
+            if oid not in grid:
+                continue
+            old = grid.position(oid)
+            dx = pos[0] - old.x
+            dy = pos[1] - old.y
+            if dx != 0.0 or dy != 0.0:
+                out[oid] = hypot(dx, dy)
+        return out
+
+    def _apply_leases(
+        self,
+        delta: TickDelta,
+        run: Set[str],
+        reasons: Optional[Dict[str, str]],
+    ):
+        """Intersect this tick's delta with the active safe-region leases.
+
+        Runs between the scheduler's footprint matching and the dispatch
+        partition.  Every active lease first absorbs the tick's
+        displacement/churn through :meth:`TickScheduler.absorb_displacements`;
+        then a lease that still *holds* (budget unspent, query point
+        inside the safe region — an exact test) removes its query from
+        the to-run set even when the delta touched its footprint, and
+        the skip is published under the ``lease-held`` reason.  A lease
+        that fails either check is dropped and its query forced into the
+        to-run set under ``lease-broken`` — forced, because after
+        lease-held skips of footprint-touching ticks the registered
+        footprint is stale and cannot justify a disjointness skip.
+        """
+        scheduler = self.scheduler
+        registry = self.registry
+        scheduler.absorb_displacements(delta)
+        states = scheduler.lease_states()
+        lease_skips: Dict[str, str] = {}
+        if states:
+            broken: list = []
+            for name, state in states.items():
+                if name in self._paused or name in self._force_eval:
+                    continue
+                query = self._queries.get(name)
+                if query is None or not self._started.get(name, False):
+                    continue
+                affected = name in run
+                footprint_void = scheduler.footprint(name) is None
+                if not (affected or footprint_void or state.tainted):
+                    # Footprint-disjoint tick with intact disjointness
+                    # evidence: the ordinary skip path already covers
+                    # this query; the lease only absorbed the budget.
+                    continue
+                if state.holds(query.position.current()):
+                    run.discard(name)
+                    lease_skips[name] = REASON_LEASE_HELD
+                    if affected or footprint_void:
+                        # This skip consumed a tick that touched (or
+                        # could have touched) the footprint, so the
+                        # disjointness evidence is void until the next
+                        # full evaluation; only the lease justifies
+                        # skips from here on.
+                        state.tainted = True
+                    self.leases_held += 1
+                    if registry is not None:
+                        registry.counter("lease_held_total", query=name).inc()
+                else:
+                    run.add(name)
+                    broken.append(name)
+                    if reasons is not None:
+                        reasons[name] = REASON_LEASE_BROKEN
+                    self.leases_broken += 1
+                    if registry is not None:
+                        registry.counter(
+                            "lease_broken_total", query=name
+                        ).inc()
+            for name in broken:
+                scheduler.drop_lease(name)
+        if reasons is not None:
+            # Lease-capable queries evaluated with no lease to consult
+            # get the explicit lease-none code: in lease mode, the
+            # absence of a certificate *is* why the evaluation cost was
+            # paid.
+            for name, query in self._queries.items():
+                if (
+                    name in states
+                    or name in self._paused
+                    or not getattr(query, "lease_enabled", False)
+                    or not self._started.get(name, False)
+                    or reasons.get(name) == REASON_LEASE_BROKEN
+                ):
+                    continue
+                if name in run or scheduler.footprint(name) is None:
+                    reasons[name] = REASON_LEASE_NONE
+        if registry is not None:
+            decided = self.leases_held + self.leases_broken
+            if decided:
+                registry.gauge("lease_hold_ratio").set(
+                    self.leases_held / decided
+                )
+        return run, reasons, (lease_skips or None)
+
+    def active_lease(self, name: str) -> Optional[LeaseState]:
+        """The live lease bookkeeping for a query, if any."""
+        if self.scheduler is None:
+            return None
+        return self.scheduler.lease_state(name)
+
+    @property
+    def lease_hold_ratio(self) -> float:
+        """Held fraction of all lease skip decisions so far."""
+        decided = self.leases_held + self.leases_broken
+        return self.leases_held / decided if decided else 0.0
+
     def execute_queries(
         self,
         run: Optional[Set[str]] = None,
         reasons: Optional[Dict[str, str]] = None,
+        lease_skips: Optional[Dict[str, str]] = None,
     ) -> Dict[str, TickMetrics]:
         """Execute every non-paused query at the current time, measured.
 
@@ -464,7 +638,10 @@ class Simulator:
         ``None`` (scheduler off, or the initial step) evaluates everyone.
         ``reasons`` optionally annotates each ``run`` member with *why*
         it matched (:meth:`TickScheduler.affected_reasons`) — forwarded
-        into the cost ledger when it is recording.
+        into the cost ledger when it is recording.  ``lease_skips`` maps
+        queries whose safe-region lease held this tick to their skip
+        reason code: they take the skip path even without a usable
+        footprint (the lease itself is the skip-safety evidence).
 
         With batching enabled, the to-evaluate set is decided first, then
         evaluated in footprint-overlap group order against one fresh
@@ -490,6 +667,12 @@ class Simulator:
             if name in self._paused:
                 continue
             if (
+                lease_skips is not None
+                and name in lease_skips
+                and self._started[name]
+            ):
+                skipped.append(name)
+            elif (
                 run is not None
                 and self._started[name]
                 and name not in run
@@ -513,6 +696,11 @@ class Simulator:
             query = self._queries[name]
             last = self._last_metrics.get(name)
             answer = query.skip_tick()
+            skip_reason = (
+                lease_skips.get(name, REASON_DELTA_DISJOINT)
+                if lease_skips is not None
+                else REASON_DELTA_DISJOINT
+            )
             metrics = TickMetrics(
                 tick=self.current_tick,
                 wall_time=0.0,
@@ -521,7 +709,7 @@ class Simulator:
                 region_cells=last.region_cells if last is not None else 0,
                 ops={},
                 skipped=True,
-                reason=REASON_DELTA_DISJOINT,
+                reason=skip_reason,
             )
             out[name] = metrics
             self._last_metrics[name] = metrics
@@ -530,7 +718,7 @@ class Simulator:
                 registry.counter(
                     "ticks_skipped_total",
                     query=name,
-                    reason=REASON_DELTA_DISJOINT,
+                    reason=skip_reason,
                 ).inc()
             if ledger_on:
                 ledger.record(
@@ -538,7 +726,7 @@ class Simulator:
                         query=name,
                         tick=self.current_tick,
                         decision=SKIPPED,
-                        reason=REASON_DELTA_DISJOINT,
+                        reason=skip_reason,
                         answer_size=len(answer),
                         monitored=metrics.monitored,
                     )
@@ -565,12 +753,16 @@ class Simulator:
                     reason = REASON_INITIAL
                 elif name in self._force_eval:
                     reason = REASON_RESUME_FORCED
+                elif reasons is not None and name in reasons:
+                    # Scheduler/lease annotations win: for footprinted
+                    # queries this is the affected_reasons entry, in
+                    # lease mode possibly a lease-broken / lease-none
+                    # override.
+                    reason = reasons[name]
                 elif scheduler is None:
                     reason = REASON_SCHEDULER_OFF
                 elif scheduler.footprint(name) is None:
                     reason = REASON_NO_FOOTPRINT
-                elif reasons is not None:
-                    reason = reasons.get(name, REASON_FOOTPRINT_HIT)
                 else:
                     reason = REASON_FOOTPRINT_HIT
                 cost = QueryTickCost(
@@ -633,6 +825,21 @@ class Simulator:
                     )
                 else:
                     scheduler.update_footprint(name, query.footprint())
+                if self.lease_mode:
+                    lease = getattr(
+                        getattr(query, "last_report", None), "lease", None
+                    )
+                    if lease is not None:
+                        lease.epoch = self.current_tick
+                        self.leases_issued += 1
+                        if registry is not None:
+                            registry.counter(
+                                "lease_issued_total", query=name
+                            ).inc()
+                    # Every evaluation replaces the active lease
+                    # wholesale; a query that produced none has its
+                    # stale lease dropped.
+                    scheduler.update_lease(name, lease)
             if span is not None:
                 tracer.end(span, monitored=metrics.monitored, answer=len(answer))
             if registry is not None:

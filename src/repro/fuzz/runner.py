@@ -1,14 +1,15 @@
 """Lockstep differential execution of one scenario, and the fuzz loop.
 
-For every scenario the runner builds **four simulators over the
+For every scenario the runner builds **five simulators over the
 identical frozen event script** — scheduler+batch on (the columnar
 store default), scheduler on with batching off, scheduler off (the
-evaluate-everything oracle configuration), and scheduler+batch on over
-the dict-backed ``store="mapping"`` grid layout — registers the same
+evaluate-everything oracle configuration), scheduler+batch on over
+the dict-backed ``store="mapping"`` grid layout, and scheduler+batch
+with safe-region answer leases on (``lease=True``) — registers the same
 executors in all of them (IGERN plus, per scenario, one baseline and up
 to three extra fixed IGERN queries clustered near the main one so the
 batch layer actually shares), and advances them tick by tick in
-lockstep.  After every tick it checks five layers:
+lockstep.  After every tick it checks six layers:
 
 1. **oracle** — each executor's answer in the scheduler-off simulator
    must equal the quadratic brute-force answer recomputed from the raw
@@ -31,7 +32,14 @@ lockstep.  After every tick it checks five layers:
    enumeration order, which legitimately differs between layouts while
    both remain valid supersets — the invariant layer checks each side's
    internal consistency instead.);
-5. **invariants** — every IGERN monitored state passes
+5. **lease** — each executor's answer in the lease-mode simulator must
+   be bit-identical to the scheduler-off answer (a held lease carries
+   the certified answer forward), and every issued lease's *contract*
+   is re-derived from raw positions each tick: while the population is
+   unchanged, every object sits within the lease's object budget of its
+   issue-time position, and the query point lies inside the safe
+   region, the issue-time answer must equal the brute oracle's;
+6. **invariants** — every IGERN monitored state passes
    :meth:`~repro.core.state.MonoState.check_invariants` /
    :meth:`~repro.core.state.BiState.check_invariants` in *all three*
    simulators (in particular after skipped ticks), and the registered
@@ -47,9 +55,10 @@ or a scenario count, publishing ``fuzz_scenarios_total`` and
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.simulation import Simulator
 from repro.fuzz.scenario import (
@@ -84,7 +93,7 @@ CAT_A, CAT_B = "A", "B"
 class Divergence:
     """One observed disagreement or invariant violation."""
 
-    kind: str  # "oracle" | "scheduler" | "batch" | "store" | "invariant" | "grid-sync"
+    kind: str  # "oracle" | "scheduler" | "batch" | "store" | "lease" | "invariant" | "grid-sync"
     tick: int
     name: str  # executor name or invariant site
     expected: list
@@ -128,6 +137,10 @@ class ScenarioResult:
     scenario: Scenario  # always the scripted form
     ticks: int
     divergences: List[Divergence]
+    #: Lease outcome counts of the lease-mode simulator
+    #: (``issued`` / ``held`` / ``broken``) — feeds the fuzz report's
+    #: ``leases`` coverage dimension.
+    lease_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -185,10 +198,24 @@ class _Lockstep:
             batch=True,
             store="mapping",
         )
+        self.sim_lease = Simulator(
+            ScriptedWorkload(scenario.script),
+            grid_size=scenario.grid_size,
+            extent=extent,
+            scheduler=True,
+            batch=True,
+            lease=True,
+        )
         self._register(self.sim_on)
         self._register(self.sim_batch)
         self._register(self.sim_off)
         self._register(self.sim_store)
+        self._register(self.sim_lease)
+        #: Independent lease-contract tracker: query name -> (lease
+        #: object at issue, issue-time position snapshot).  Validated
+        #: against the brute oracle every tick the contract holds, with
+        #: no reliance on the engine's own budget bookkeeping.
+        self._lease_contracts: Dict[str, Tuple[object, dict]] = {}
 
     def _position(self, sim: Simulator) -> QueryPosition:
         if self.qid is not None:
@@ -240,17 +267,33 @@ class _Lockstep:
         metrics_batch = self.sim_batch.execute_queries()
         metrics_off = self.sim_off.execute_queries()
         metrics_store = self.sim_store.execute_queries()
-        self._check_tick(0, metrics_on, metrics_off, metrics_batch, metrics_store)
+        metrics_lease = self.sim_lease.execute_queries()
+        self._check_tick(
+            0, metrics_on, metrics_off, metrics_batch, metrics_store, metrics_lease
+        )
         for t in range(1, self.scenario.n_ticks + 1):
             metrics_on = self.sim_on.step()
             metrics_batch = self.sim_batch.step()
             metrics_off = self.sim_off.step()
             metrics_store = self.sim_store.step()
-            self._check_tick(t, metrics_on, metrics_off, metrics_batch, metrics_store)
+            metrics_lease = self.sim_lease.step()
+            self._check_tick(
+                t,
+                metrics_on,
+                metrics_off,
+                metrics_batch,
+                metrics_store,
+                metrics_lease,
+            )
         return ScenarioResult(
             scenario=self.scenario,
             ticks=self.scenario.n_ticks,
             divergences=self.divergences,
+            lease_stats={
+                "issued": self.sim_lease.leases_issued,
+                "held": self.sim_lease.leases_held,
+                "broken": self.sim_lease.leases_broken,
+            },
         )
 
     def _oracle(self, qpos, query_id) -> set:
@@ -318,6 +361,7 @@ class _Lockstep:
         metrics_off: Dict,
         metrics_batch: Dict,
         metrics_store: Dict,
+        metrics_lease: Dict,
     ) -> None:
         report = self.divergences
         off_positions = self.sim_off.grid.positions_snapshot()
@@ -325,6 +369,7 @@ class _Lockstep:
             ("on", self.sim_on),
             ("batch", self.sim_batch),
             ("store", self.sim_store),
+            ("lease", self.sim_lease),
         ):
             if sim.grid.positions_snapshot() != off_positions:
                 report.append(
@@ -387,6 +432,19 @@ class _Lockstep:
                         detail="mapping-store answer differs from the columnar path",
                     )
                 )
+            lease_answer = set(metrics_lease[name].answer)
+            if lease_answer != off_answer:
+                report.append(
+                    Divergence(
+                        kind="lease",
+                        tick=tick,
+                        name=name,
+                        expected=sorted(off_answer, key=repr),
+                        actual=sorted(lease_answer, key=repr),
+                        detail="lease-mode answer differs from the evaluate-everything path",
+                    )
+                )
+        self._check_lease_contracts(tick, expectations)
         # Memoization soundness, one level below answers: sim_on and
         # sim_batch make identical scheduling decisions, so their IGERN
         # monitored sets must match exactly.  (sim_off is not comparable
@@ -443,6 +501,74 @@ class _Lockstep:
                                 detail=violation,
                             )
                         )
+
+    def _check_lease_contracts(self, tick: int, expectations: Dict[str, set]) -> None:
+        """Validate every issued lease's *stated contract* against the
+        brute oracle, independently of the engine's budget bookkeeping.
+
+        A lease promises: while the population is unchanged, every data
+        object sits within ``object_budget`` of its issue-time position,
+        and the query point lies inside the safe region, the issue-time
+        answer is *the* exact answer.  The tracker snapshots positions
+        when a new lease appears and re-derives that promise from raw
+        positions each subsequent tick — so an unsoundly wide lease is
+        caught even on ticks the engine chose to evaluate anyway.
+        """
+        sim = self.sim_lease
+        scheduler = sim.scheduler
+        if scheduler is None:
+            return
+        tracked = self._lease_contracts
+        positions = None
+        for name in sim.query_names():
+            state = scheduler.lease_state(name)
+            if state is None:
+                tracked.pop(name, None)
+                continue
+            lease = state.lease
+            if positions is None:
+                positions = sim.grid.positions_snapshot()
+            entry = tracked.get(name)
+            if entry is None or entry[0] is not lease:
+                # Freshly issued this tick: the grid holds exactly the
+                # issue-time positions (leases are derived during the
+                # tick's evaluation, after movement landed).
+                tracked[name] = (lease, dict(positions))
+                continue
+            issued = entry[1]
+            if positions.keys() != issued.keys():
+                continue  # churn voids the contract (and breaks the lease)
+            budget = lease.object_budget
+            within = True
+            for oid, pos in positions.items():
+                if oid == lease.query_oid:
+                    continue
+                old = issued[oid]
+                if math.hypot(pos[0] - old[0], pos[1] - old[1]) > budget:
+                    within = False
+                    break
+            if not within:
+                continue
+            qpos = sim.query(name).position.current()
+            if not lease.contains(qpos):
+                continue
+            expected = expectations.get(name)
+            if expected is not None and set(lease.answer) != expected:
+                self.divergences.append(
+                    Divergence(
+                        kind="lease",
+                        tick=tick,
+                        name=name,
+                        expected=sorted(expected, key=repr),
+                        actual=sorted(lease.answer, key=repr),
+                        detail=(
+                            "lease contract holds (population unchanged,"
+                            " displacements within budget, query inside"
+                            " the safe region) but the certified answer"
+                            " is not the oracle answer"
+                        ),
+                    )
+                )
 
     def _query_id(self, name: str):
         return self.qid if name == "igern" else None
@@ -565,6 +691,14 @@ class FuzzReport:
             ("extra_queries", len(sc.extra_query_points or [])),
         ):
             self._cover(dimension, value)
+        stats = result.lease_stats
+        if stats.get("held"):
+            lease_bucket = "held"
+        elif stats.get("issued"):
+            lease_bucket = "issued"
+        else:
+            lease_bucket = "none"
+        self._cover("leases", lease_bucket)
         if not result.ok:
             self.failures.append(result)
 
@@ -574,7 +708,15 @@ class FuzzReport:
             f" {self.ticks} ticks, {self.divergences} divergences"
             f" in {self.elapsed:.1f}s"
         ]
-        for dimension in ("mode", "motion", "metric", "k", "baseline", "extra_queries"):
+        for dimension in (
+            "mode",
+            "motion",
+            "metric",
+            "k",
+            "baseline",
+            "extra_queries",
+            "leases",
+        ):
             bucket = self.coverage.get(dimension, {})
             parts = ", ".join(f"{k}={v}" for k, v in sorted(bucket.items()))
             lines.append(f"  {dimension}: {parts}")

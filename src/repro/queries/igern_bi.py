@@ -8,6 +8,7 @@ from repro.core.bi import BiIGERN
 from repro.core.network import NetworkBiCore
 from repro.core.state import StepReport
 from repro.grid.index import Category, GridIndex
+from repro.leases import derive_bi_lease
 from repro.metric import EUCLIDEAN, Metric
 from repro.queries.base import ContinuousQuery, QueryFootprint, QueryPosition
 
@@ -24,6 +25,9 @@ class IGERNBiQuery(ContinuousQuery):
 
     name = "IGERN-bi"
     flavor = "bi"
+    #: Flipped on by the engine in lease mode (see
+    #: :class:`repro.queries.igern_mono.IGERNMonoQuery.lease_enabled`).
+    lease_enabled = False
 
     def __init__(
         self,
@@ -77,6 +81,15 @@ class IGERNBiQuery(ContinuousQuery):
 
     def initial(self) -> FrozenSet[Hashable]:
         self._state, report = self._algo.initial(self.position.current())
+        if self.lease_enabled and self.metric.euclidean:
+            report.lease = derive_bi_lease(
+                self._state,
+                self.grid,
+                self._algo.cat_a,
+                self._algo.cat_b,
+                self.k,
+                self.position.query_id,
+            )
         self.last_report = report
         self._answer = report.answer
         return report.answer
@@ -85,6 +98,15 @@ class IGERNBiQuery(ContinuousQuery):
         if self._state is None:
             return self.initial()
         report = self._algo.incremental(self._state, self.position.current())
+        if self.lease_enabled and self.metric.euclidean:
+            report.lease = derive_bi_lease(
+                self._state,
+                self.grid,
+                self._algo.cat_a,
+                self._algo.cat_b,
+                self.k,
+                self.position.query_id,
+            )
         self.last_report = report
         self._answer = report.answer
         return report.answer

@@ -8,6 +8,7 @@ from repro.core.mono import MonoIGERN
 from repro.core.network import NetworkMonoCore
 from repro.core.state import StepReport
 from repro.grid.index import GridIndex
+from repro.leases import derive_mono_lease
 from repro.metric import EUCLIDEAN, Metric
 from repro.queries.base import ContinuousQuery, QueryFootprint, QueryPosition
 
@@ -25,6 +26,10 @@ class IGERNMonoQuery(ContinuousQuery):
 
     name = "IGERN"
     flavor = "mono"
+    #: Flipped on by the engine in lease mode: every evaluation then
+    #: derives a safe-region answer lease onto its report
+    #: (:mod:`repro.leases`; Euclidean only, like footprints).
+    lease_enabled = False
 
     def __init__(
         self,
@@ -76,6 +81,10 @@ class IGERNMonoQuery(ContinuousQuery):
 
     def initial(self) -> FrozenSet[Hashable]:
         self._state, report = self._algo.initial(self.position.current())
+        if self.lease_enabled and self.metric.euclidean:
+            report.lease = derive_mono_lease(
+                self._state, self.grid, self.k, self.position.query_id
+            )
         self.last_report = report
         self._answer = report.answer
         return report.answer
@@ -84,6 +93,10 @@ class IGERNMonoQuery(ContinuousQuery):
         if self._state is None:
             return self.initial()
         report = self._algo.incremental(self._state, self.position.current())
+        if self.lease_enabled and self.metric.euclidean:
+            report.lease = derive_mono_lease(
+                self._state, self.grid, self.k, self.position.query_id
+            )
         self.last_report = report
         self._answer = report.answer
         return report.answer

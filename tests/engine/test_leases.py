@@ -1,0 +1,230 @@
+"""Property-based soundness of safe-region answer leases.
+
+The lease contract (:mod:`repro.leases`): while every data object stays
+within ``object_budget`` of its issue-time position, the query point
+stays inside the safe region, and no object is inserted or removed, the
+issue-time answer set is *the* exact answer.  These tests hammer that
+claim directly — derive a lease from a random configuration, perturb
+every object and the query point within the stated budgets, and assert
+the brute-force oracle (exact adaptive predicates, no shared code with
+the lease derivation) still returns exactly the leased answer.
+
+Adversarial companions pin the boundary behavior: bit-equal ties (built
+on lattice coordinates, where distances agree to the last bit) must
+refuse a lease outright — at a tie, *any* nonzero motion can flip the
+answer, so no budget is sound — and a displacement landing exactly on
+the stated budget must still preserve the answer.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.rectangle import Rect
+from repro.grid.index import GridIndex
+from repro.leases import derive_bi_lease, derive_mono_lease
+from repro.queries import (
+    IGERNBiQuery,
+    IGERNMonoQuery,
+    QueryPosition,
+    brute_bi_rnn,
+    brute_mono_rnn,
+)
+
+EXTENT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def _mono_lease(positions, qid, qpoint, k):
+    """Evaluate IGERN once and derive a lease from its final state."""
+    grid = GridIndex(8, extent=EXTENT)
+    for oid, (x, y) in positions.items():
+        grid.insert(oid, (x, y), 0)
+    if qid is not None:
+        position = QueryPosition(grid, query_id=qid)
+    else:
+        position = QueryPosition(grid, fixed=qpoint)
+    query = IGERNMonoQuery(grid, position, k=k)
+    query.initial()
+    return derive_mono_lease(query._state, grid, k, qid)
+
+
+def _bi_lease(positions_a, positions_b, qid, k):
+    grid = GridIndex(8, extent=EXTENT)
+    for oid, (x, y) in positions_a.items():
+        grid.insert(oid, (x, y), "A")
+    for oid, (x, y) in positions_b.items():
+        grid.insert(oid, (x, y), "B")
+    query = IGERNBiQuery(
+        grid, QueryPosition(grid, query_id=qid), cat_a="A", cat_b="B", k=k
+    )
+    query.initial()
+    return derive_bi_lease(query._state, grid, "A", "B", k, qid)
+
+
+def _perturb(positions, budget, rng, exclude=()):
+    """Move every object a random distance within ``budget`` (strictly —
+    the radius is shaved so float rounding cannot overshoot), asserting
+    the *actual* float displacement respects the stated budget."""
+    out = {}
+    for oid, (x, y) in positions.items():
+        if oid in exclude:
+            out[oid] = (x, y)
+            continue
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        radius = rng.uniform(0.0, budget) * (1.0 - 1e-9)
+        nx = min(1.0, max(0.0, x + radius * math.cos(angle)))
+        ny = min(1.0, max(0.0, y + radius * math.sin(angle)))
+        assert math.hypot(nx - x, ny - y) <= budget
+        out[oid] = (nx, ny)
+    return out
+
+
+def _perturbed_query(lease, rng):
+    """A query point inside the safe region (falls back to the issue
+    position, which is inside by construction)."""
+    qx, qy = lease.qpos
+    s = (lease.query_budget / math.sqrt(2.0)) * (1.0 - 1e-9)
+    candidate = (qx + rng.uniform(-s, s), qy + rng.uniform(-s, s))
+    if lease.contains(candidate):
+        return candidate
+    return lease.qpos
+
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64)
+points = st.tuples(coord, coord)
+
+
+class TestMonoLeaseSoundness:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        pts=st.lists(points, min_size=3, max_size=10, unique=True),
+        k=st.integers(min_value=1, max_value=2),
+        moving=st.booleans(),
+        perturb_seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_answer_invariant_under_budgeted_perturbation(
+        self, pts, k, moving, perturb_seed
+    ):
+        positions = {i: p for i, p in enumerate(pts)}
+        if moving:
+            qid, qpoint = 0, None
+        else:
+            qid, qpoint = None, pts[0]
+        lease = _mono_lease(positions, qid, qpoint, k)
+        if lease is None:
+            return  # refusing to certify is always sound
+        assert lease.object_budget > 0.0 and lease.query_budget > 0.0
+        rng = random.Random(perturb_seed)
+        exclude = (qid,) if qid is not None else ()
+        moved = _perturb(positions, lease.object_budget, rng, exclude=exclude)
+        qnew = _perturbed_query(lease, rng)
+        if qid is not None:
+            moved[qid] = qnew
+        oracle = brute_mono_rnn(moved, qnew, query_id=qid, k=k)
+        assert oracle == set(lease.answer), (
+            f"lease certified {sorted(lease.answer)!r} but the oracle says "
+            f"{sorted(oracle)!r} after a within-budget perturbation "
+            f"(m={lease.object_budget!r}, eps={lease.query_budget!r})"
+        )
+
+    def test_boundary_displacement_exactly_at_budget(self):
+        """A mover landing exactly on the object budget keeps the answer."""
+        positions = {1: (0.2, 0.5), 2: (0.8, 0.5), 3: (0.5, 0.9)}
+        lease = _mono_lease(positions, None, (0.5, 0.5), 1)
+        assert lease is not None
+        m = lease.object_budget
+        moved = dict(positions)
+        nx = positions[1][0] + m
+        # The stated contract is closed at the budget: displacement == m
+        # is within it.  Guard against float addition overshooting m.
+        while nx - positions[1][0] > m:
+            nx = math.nextafter(nx, 0.0)
+        assert nx - positions[1][0] <= m
+        moved[1] = (nx, positions[1][1])
+        oracle = brute_mono_rnn(moved, lease.qpos, query_id=None, k=1)
+        assert oracle == set(lease.answer)
+
+    def test_bit_equal_tie_refuses_lease(self):
+        """An exact tie (lattice coordinates) has zero slack: any nonzero
+        motion can flip the answer, so the only sound lease is none."""
+        # dist(o1, q) == dist(o1, w) == 0.25, bit-equal.
+        positions = {1: (0.25, 0.5), 2: (0.0, 0.5)}
+        assert _mono_lease(positions, None, (0.5, 0.5), 1) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ix=st.integers(min_value=1, max_value=7),
+        iy=st.integers(min_value=1, max_value=7),
+        d=st.integers(min_value=1, max_value=3),
+    )
+    def test_lattice_mirror_ties_refuse_lease(self, ix, iy, d):
+        """Mirror pairs on the 1/8 lattice tie bit-equally around the
+        query; the derivation must refuse every such configuration."""
+        q = (ix / 8.0, iy / 8.0)
+        if not (0.0 <= q[0] - d / 8.0 and q[0] + d / 8.0 <= 1.0):
+            return
+        mid = (q[0] - d / 16.0, q[1])  # equidistant from q and the witness
+        positions = {1: mid, 2: (q[0] - d / 8.0, q[1])}
+        assert _mono_lease(positions, None, q, 1) is None
+
+
+class TestBiLeaseSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pts_a=st.lists(points, min_size=2, max_size=6, unique=True),
+        pts_b=st.lists(points, min_size=1, max_size=6, unique=True),
+        k=st.integers(min_value=1, max_value=2),
+        perturb_seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_answer_invariant_under_budgeted_perturbation(
+        self, pts_a, pts_b, k, perturb_seed
+    ):
+        positions_a = {i: p for i, p in enumerate(pts_a)}
+        positions_b = {100 + i: p for i, p in enumerate(pts_b)}
+        qid = 0  # the query is the first A object
+        lease = _bi_lease(positions_a, positions_b, qid, k)
+        if lease is None:
+            return
+        rng = random.Random(perturb_seed)
+        moved_a = _perturb(positions_a, lease.object_budget, rng, exclude=(qid,))
+        moved_b = _perturb(positions_b, lease.object_budget, rng)
+        qnew = _perturbed_query(lease, rng)
+        moved_a[qid] = qnew
+        oracle = brute_bi_rnn(moved_a, moved_b, qnew, query_id=qid, k=k)
+        assert oracle == set(lease.answer), (
+            f"bi lease certified {sorted(lease.answer)!r} but the oracle "
+            f"says {sorted(oracle)!r} after a within-budget perturbation"
+        )
+
+    def test_bit_equal_bi_tie_refuses_lease(self):
+        """A B object bit-equally torn between the query and another A
+        object has zero slack — no lease."""
+        positions_a = {0: (0.5, 0.5), 1: (0.0, 0.5)}
+        positions_b = {100: (0.25, 0.5)}
+        assert _bi_lease(positions_a, positions_b, 0, 1) is None
+
+
+class TestLeaseShape:
+    def test_region_contains_issue_position(self):
+        positions = {1: (0.2, 0.5), 2: (0.8, 0.5), 3: (0.5, 0.9)}
+        lease = _mono_lease(positions, None, (0.5, 0.5), 1)
+        assert lease is not None
+        assert lease.contains(lease.qpos)
+        assert lease.sources  # contributing bisector memo keys recorded
+
+    def test_region_excludes_points_past_the_slab(self):
+        positions = {1: (0.2, 0.5), 2: (0.8, 0.5), 3: (0.5, 0.9)}
+        lease = _mono_lease(positions, None, (0.5, 0.5), 1)
+        assert lease is not None
+        qx, qy = lease.qpos
+        far = lease.query_budget * 2.0
+        assert not lease.contains((qx + far, qy))
+        assert not lease.contains((qx, qy + far))
+
+    def test_region_polygon_has_positive_area(self):
+        positions = {1: (0.2, 0.5), 2: (0.8, 0.5), 3: (0.5, 0.9)}
+        lease = _mono_lease(positions, None, (0.5, 0.5), 1)
+        assert lease is not None
+        polygon = lease.region_polygon()
+        assert polygon.area() > 0.0

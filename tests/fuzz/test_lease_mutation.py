@@ -1,0 +1,192 @@
+"""Mutation smoke tests for safe-region answer leases.
+
+Plant a bug in the lease derivation, assert the differential fuzzer's
+lease lockstep layer catches it, shrink the failure, save it, replay it
+deterministically, unplant, replay clean — the lease counterpart of
+``tests/fuzz/test_mutation.py`` and ``test_network_mutation.py``.
+
+Two mutants, chosen deliberately:
+
+- **Guard sign flip.**  ``SLACK_GUARD_REL`` negated turns the rounding
+  guard that *shaves* every slack into ulp-scale *widening*: a bit-equal
+  tie — raw slack exactly zero, where any nonzero motion can flip the
+  answer and the only sound lease is none — now yields a tiny-budget
+  lease that certifies a flippable answer.
+- **Witness-slab drop.**  Removing the four ``|x - qx| <= s`` /
+  ``|y - qy| <= s`` slab planes from the safe region leaves only the
+  inward-offset bisectors, which do not bound the query's displacement
+  along a bisector-parallel direction — the region no longer implies
+  the ``eps`` bound the slack argument needs, so a query sliding along
+  the corridor keeps a lease whose answer is long stale.
+
+Randomly generated fuzz scenarios cannot see either mutant: their
+displacements are enormous next to the mutants' bogus budgets, so every
+mutant lease still breaks before certifying anything wrong.  The
+targets are therefore two *handcrafted* boundary scenarios — an exact
+bit-equal tie nudged by 1e-15, and a query walking out through the slab
+corridor — built here and committed (clean) to ``tests/fuzz_corpus/``
+as permanent lease-boundary regression entries.
+"""
+
+import repro.leases as leases
+from repro.fuzz.corpus import artifact_name, replay_artifact, save_artifact
+from repro.fuzz.runner import run_scenario
+from repro.fuzz.scenario import Scenario
+from repro.fuzz.shrink import shrink
+
+
+def tie_boundary_scenario() -> Scenario:
+    """A bit-equal witness tie, then a 1e-15 nudge that breaks it.
+
+    ``dist(o1, q) == dist(o1, w) == 0.25`` exactly (lattice
+    coordinates), so ``o1`` is an answer under strict-``<`` witness
+    semantics with *zero* slack: the sound derivation must refuse a
+    lease.  The tick moves the witness by ``1e-15`` — far inside any
+    ulp-scale bogus budget — and flips ``o1`` out of the answer.
+    """
+    script = {
+        "initial": [[1, 0.25, 0.5, 0], [2, 0.0, 0.5, 0]],
+        "ticks": [{"moves": [[2, 1e-15, 0.5]], "inserts": [], "removes": []}],
+        "query_id": None,
+    }
+    return Scenario(
+        seed=0,
+        index=0,
+        mode="mono",
+        k=1,
+        grid_size=8,
+        extent=(0.0, 0.0, 1.0, 1.0),
+        motion="lattice",
+        n_objects=2,
+        n_ticks=1,
+        move_fraction=0.5,
+        a_fraction=1.0,
+        moving_query=False,
+        query_point=(0.5, 0.5),
+        baseline=None,
+        script=script,
+    )
+
+
+def slab_exit_scenario() -> Scenario:
+    """A moving query that leaves the safe region through the slabs.
+
+    Two answer objects flank the query on the x axis, so the offset
+    bisectors bound only ``x`` and the witness slabs are the *sole*
+    constraint on ``y``.  The tick slides the query far along ``y``
+    (region exit, answer empties) while every actual data object holds
+    still — exactly the motion a slab-less region wrongly admits.
+    """
+    script = {
+        "initial": [
+            [0, 0.5, 0.5, 0],
+            [1, 0.45, 0.5, 0],
+            [2, 0.55, 0.5, 0],
+        ],
+        "ticks": [{"moves": [[0, 0.5, 0.7]], "inserts": [], "removes": []}],
+        "query_id": 0,
+    }
+    return Scenario(
+        seed=0,
+        index=1,
+        mode="mono",
+        k=1,
+        grid_size=8,
+        extent=(0.0, 0.0, 1.0, 1.0),
+        motion="walk",
+        n_objects=3,
+        n_ticks=1,
+        move_fraction=0.34,
+        a_fraction=1.0,
+        moving_query=True,
+        query_point=None,
+        baseline=None,
+        script=script,
+    )
+
+
+_original_region_planes = leases._region_planes
+
+
+def _region_planes_without_slabs(halfplanes, qpos, eps, m):
+    """The region builder with the four witness-margin slabs dropped."""
+    planes, sources = _original_region_planes(halfplanes, qpos, eps, m)
+    if planes is not None:
+        planes = planes[:-4]
+    return planes, sources
+
+
+def _assert_caught_shrunk_replayable(tmp_path, monkeypatch, scenario, plant, note):
+    with monkeypatch.context() as m:
+        plant(m)
+
+        result = run_scenario(scenario)
+        assert not result.ok, "planted lease mutant went uncaught"
+        kinds = {d.kind for d in result.divergences}
+        assert "lease" in kinds
+        assert result.lease_stats["held"] > 0, (
+            "the mutant lease was never held — the scenario exercised"
+            " nothing"
+        )
+
+        outcome = shrink(result.scenario, result)
+        assert not outcome.result.ok
+        assert outcome.objects <= len(result.scenario.script["initial"])
+        assert outcome.ticks <= result.scenario.n_ticks
+
+        path = save_artifact(
+            tmp_path / artifact_name(outcome.result), outcome.result, note=note
+        )
+        replay_one = replay_artifact(path)
+        replay_two = replay_artifact(path)
+        assert not replay_one.ok
+        assert [d.describe() for d in replay_one.divergences] == [
+            d.describe() for d in replay_two.divergences
+        ]
+
+    # Mutant removed: the same artifact must now pass — the divergence
+    # was the mutant's, not the scenario's.
+    assert replay_artifact(path).ok
+
+
+def test_planted_guard_flip_mutant_caught_shrunk_and_replayable(
+    tmp_path, monkeypatch
+):
+    _assert_caught_shrunk_replayable(
+        tmp_path,
+        monkeypatch,
+        tie_boundary_scenario(),
+        lambda m: m.setattr(leases, "SLACK_GUARD_REL", -1e-13),
+        note="planted negated slack guard: bit-equal tie leased (mutation smoke test)",
+    )
+
+
+def test_planted_slab_drop_mutant_caught_shrunk_and_replayable(
+    tmp_path, monkeypatch
+):
+    _assert_caught_shrunk_replayable(
+        tmp_path,
+        monkeypatch,
+        slab_exit_scenario(),
+        lambda m: m.setattr(leases, "_region_planes", _region_planes_without_slabs),
+        note="planted slab-less safe region: query escape leased (mutation smoke test)",
+    )
+
+
+class TestBoundaryScenariosAreCleanUnmutated:
+    """The handcrafted scenarios themselves are sound lease-boundary
+    regressions: the tie refuses a lease, the slab exit breaks one, and
+    both replay with zero divergences.  Their committed corpus twins
+    (``tests/fuzz_corpus/mono-*lease*.json``) are held to the same bar
+    by the corpus replay test."""
+
+    def test_tie_boundary_refuses_lease_and_stays_clean(self):
+        result = run_scenario(tie_boundary_scenario())
+        assert result.ok, [d.describe() for d in result.divergences]
+        assert result.lease_stats["issued"] == 0
+
+    def test_slab_exit_breaks_lease_and_stays_clean(self):
+        result = run_scenario(slab_exit_scenario())
+        assert result.ok, [d.describe() for d in result.divergences]
+        assert result.lease_stats["issued"] > 0
+        assert result.lease_stats["broken"] > 0

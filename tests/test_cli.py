@@ -187,7 +187,8 @@ class TestObsExplain:
 
 class TestBench:
     def _degrade(self, directory):
-        """Copies of the committed baselines with a halved speedup."""
+        """Copies of the committed baselines with a halved headline metric
+        (speedup where one is gated, lease hold rates otherwise)."""
         import json
         import shutil
 
@@ -198,7 +199,11 @@ class TestBench:
             target = directory / bench.result_file
             shutil.copy(REPO_ROOT / bench.result_file, target)
             doc = json.loads(target.read_text())
-            doc["speedup"] = doc["speedup"] / 2.0
+            if "speedup" in doc:
+                doc["speedup"] = doc["speedup"] / 2.0
+            else:
+                doc["leases"]["hold_ratio"] /= 2.0
+                doc["publications"]["skip_rate"] /= 2.0
             target.write_text(json.dumps(doc))
         return directory
 
