@@ -1,0 +1,178 @@
+"""Sharded serving throughput: the tentpole acceptance benchmark.
+
+A monochromatic monitoring fleet — N_QUERIES standing R-NN queries over
+N_OBJECTS moving objects — is served two ways from the same precomputed
+update stream:
+
+- **serving**: a :class:`ShardCluster` of N_SHARDS worker processes
+  behind the gateway, queries partitioned across shards, every tick's
+  updates broadcast and the per-query answers merged at the gateway;
+- **single_process**: one :class:`ShardState` (the plain engine —
+  ``GridIndex`` + ``TickScheduler`` + ``BatchExecutor`` — with no
+  gateway in front) hosting all the queries.
+
+The test asserts bit-identical per-tick answers for every query across
+the two deployments — the ISSUE-10 acceptance bar — and writes
+``BENCH_serving.json`` with ticks/sec for both plus the gateway's
+nearest-rank p50/p99 tick-latency bands.
+
+``SERVING_BENCH_QUICK=1`` selects a small configuration for CI; the
+identity assertion is the same in both.  ``SERVING_BENCH_OUT`` redirects
+the result JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.serving import QuerySpec, ShardCluster
+from repro.serving.shard import ShardConfig, ShardState
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = Path(
+    os.environ.get("SERVING_BENCH_OUT")
+    or str(REPO_ROOT / "BENCH_serving.json")
+)
+
+QUICK = os.environ.get("SERVING_BENCH_QUICK", "") not in ("", "0")
+N_OBJECTS = 5_000 if QUICK else 100_000
+N_QUERIES = 200 if QUICK else 10_000
+N_SHARDS = 2 if QUICK else 4
+N_TICKS = 10 if QUICK else 20
+GRID_SIZE = 64
+#: Mostly-static regime (the paper's stability experiments): 0.1% of the
+#: fleet jitters per tick, so the scheduler skips the untouched queries.
+MOVE_FRACTION = 0.001
+STEP_SIGMA = 0.004
+
+
+def _make_workload(seed: int = 23):
+    """Uniform initial placement plus a per-tick gaussian-jitter script."""
+    rng = random.Random(seed)
+    positions = {}
+    initial = []
+    for oid in range(N_OBJECTS):
+        x, y = rng.random(), rng.random()
+        positions[oid] = (x, y)
+        initial.append((oid, x, y, 0))
+    n_movers = max(1, int(MOVE_FRACTION * N_OBJECTS))
+    script = []
+    for _ in range(N_TICKS):
+        moves = []
+        for oid in rng.sample(range(N_OBJECTS), n_movers):
+            ox, oy = positions[oid]
+            x = min(1.0, max(0.0, ox + rng.gauss(0.0, STEP_SIGMA)))
+            y = min(1.0, max(0.0, oy + rng.gauss(0.0, STEP_SIGMA)))
+            positions[oid] = (x, y)
+            moves.append((oid, x, y))
+        script.append(moves)
+    return initial, script
+
+
+def _query_specs(seed: int = 29):
+    rng = random.Random(seed)
+    return [
+        QuerySpec(name=f"q{i}", point=(rng.random(), rng.random()))
+        for i in range(N_QUERIES)
+    ]
+
+
+def _run_cluster(initial, script, specs):
+    """Timed region covers subscription, initial eval, and every tick."""
+    answers = {}
+    with ShardCluster(
+        N_SHARDS,
+        grid_size=GRID_SIZE,
+        transport="process",
+        mp_context="fork",
+    ) as cluster:
+        cluster.load(initial)
+        start = time.perf_counter()
+        for spec in specs:
+            cluster.add_query(spec)
+        for name, (answer, _, _) in cluster.initial_eval().answers.items():
+            answers[name] = [answer]
+        for moves in script:
+            result = cluster.tick(moves)
+            for name, (answer, _, _) in result.answers.items():
+                answers[name].append(answer)
+        elapsed = time.perf_counter() - start
+        p50 = cluster.tick_latency_percentile(50)
+        p99 = cluster.tick_latency_percentile(99)
+    return elapsed, p50, p99, answers
+
+
+def _run_single(initial, script, specs):
+    state = ShardState(
+        ShardConfig(shard_id=0, n_shards=1, grid_size=GRID_SIZE), initial
+    )
+    answers = {}
+    start = time.perf_counter()
+    for spec in specs:
+        state.add_query(spec)
+    for name, (answer, _, _) in state.initial_eval().answers.items():
+        answers[name] = [answer]
+    for moves in script:
+        result = state.tick(moves, [], [])
+        for name, (answer, _, _) in result.answers.items():
+            answers[name].append(answer)
+    elapsed = time.perf_counter() - start
+    return elapsed, answers
+
+
+def test_serving_throughput_and_answer_identity():
+    initial, script = _make_workload()
+    specs = _query_specs()
+
+    elapsed_serving, p50, p99, answers_serving = _run_cluster(
+        initial, script, specs
+    )
+    elapsed_single, answers_single = _run_single(initial, script, specs)
+
+    # Bit-identical answers: every query, every tick, both deployments.
+    assert set(answers_serving) == set(answers_single)
+    for name in answers_single:
+        assert len(answers_serving[name]) == N_TICKS + 1
+        for tick, (a_shard, a_single) in enumerate(
+            zip(answers_serving[name], answers_single[name])
+        ):
+            assert a_shard == a_single, f"{name} diverged at tick {tick}"
+
+    result = {
+        "workload": {
+            "n_objects": N_OBJECTS,
+            "n_queries": N_QUERIES,
+            "n_ticks": N_TICKS,
+            "n_shards": N_SHARDS,
+            "move_fraction": MOVE_FRACTION,
+            "grid_size": GRID_SIZE,
+            "quick": QUICK,
+        },
+        "serving": {
+            "seconds": elapsed_serving,
+            "ticks_per_sec": N_TICKS / elapsed_serving,
+            "p50_tick_seconds": p50,
+            "p99_tick_seconds": p99,
+            "transport": "process",
+        },
+        "single_process": {
+            "seconds": elapsed_single,
+            "ticks_per_sec": N_TICKS / elapsed_single,
+        },
+        "answers_identical": True,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"\nserving: {N_QUERIES} queries / {N_OBJECTS} objects on "
+        f"{N_SHARDS} shards: {result['serving']['ticks_per_sec']:.1f}"
+        f" ticks/s (p50={p50 * 1e3:.1f}ms p99={p99 * 1e3:.1f}ms) vs "
+        f"{result['single_process']['ticks_per_sec']:.1f} ticks/s"
+        f" single-process"
+    )
+
+    # The latency samples must exist and be ordered sanely.
+    assert 0.0 < p50 <= p99

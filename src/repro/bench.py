@@ -141,6 +141,16 @@ def _large_n_metrics(result: dict) -> Dict[str, float]:
     }
 
 
+def _serving_metrics(result: dict) -> Dict[str, float]:
+    serving = result["serving"]
+    return {
+        "answers_identical": 1.0 if result["answers_identical"] else 0.0,
+        "p99_tick_seconds": float(serving["p99_tick_seconds"]),
+        "p50_tick_seconds": float(serving["p50_tick_seconds"]),
+        "ticks_per_sec": float(serving["ticks_per_sec"]),
+    }
+
+
 BENCHMARKS: Dict[str, Benchmark] = {
     "tick_throughput": Benchmark(
         name="tick_throughput",
@@ -213,6 +223,30 @@ BENCHMARKS: Dict[str, Benchmark] = {
             # Deterministic row count of the probe workload: scanning
             # more rows means the kernels lost pruning, full size only.
             MetricCheck("rows_scanned", "upper", "rel", 0.05),
+        ),
+    ),
+    "serving": Benchmark(
+        name="serving",
+        test_path="benchmarks/test_serving_throughput.py",
+        result_file="BENCH_serving.json",
+        quick_env="SERVING_BENCH_QUICK",
+        out_env="SERVING_BENCH_OUT",
+        metrics=_serving_metrics,
+        checks=(
+            # Sharded answers must match the single-process engine —
+            # any divergence is a correctness bug, not a perf delta.
+            MetricCheck("answers_identical", "exact", quick_ok=True),
+            # p99 tick latency band: the quick config is strictly
+            # smaller than the committed full baseline, so exceeding
+            # the full-size band under --quick is a hard regression.
+            MetricCheck(
+                "p99_tick_seconds", "upper", "rel", 1.50, quick_ok=True
+            ),
+            MetricCheck(
+                "p50_tick_seconds", "upper", "rel", 1.50, quick_ok=True
+            ),
+            # Throughput: wall-clock, full workload only.
+            MetricCheck("ticks_per_sec", "lower", "rel", 0.40),
         ),
     ),
 }

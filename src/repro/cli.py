@@ -273,6 +273,12 @@ def _build_parser() -> argparse.ArgumentParser:
         " (no float filters), the gold standard for the adaptive"
         " predicates",
     )
+    fuzz_run.add_argument(
+        "--serving",
+        action="store_true",
+        help="also run every scenario through a 3-shard serving cluster"
+        " and require bit-identical answers and lease decisions",
+    )
     _add_obs_flags(fuzz_run)
 
     fuzz_replay = fuzz_sub.add_parser(
@@ -288,6 +294,34 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="corpus directory (default: tests/fuzz_corpus)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the sharded serving layer over a synthetic workload"
+    )
+    serve.add_argument("-n", "--objects", type=int, default=2000)
+    serve.add_argument("--queries", type=int, default=32)
+    serve.add_argument("--ticks", type=int, default=20)
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument(
+        "--transport",
+        choices=["inline", "process"],
+        default="process",
+        help="inline runs shards in the gateway process (debugging);"
+        " process gives each shard its own worker (default)",
+    )
+    serve.add_argument("--grid", type=int, default=64)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--move-fraction",
+        type=float,
+        default=0.2,
+        help="fraction of objects jittered each tick (default: 0.2)",
+    )
+    serve.add_argument("--k", type=int, default=1)
+    serve.add_argument("--bi", action="store_true", help="bichromatic queries")
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress the per-tick delta log"
     )
 
     watch = sub.add_parser(
@@ -643,6 +677,7 @@ def _run_fuzz_cmd(args: argparse.Namespace) -> int:
             start=args.start,
             check_invariants=not args.no_invariants,
             exact_oracle=args.exact_oracle,
+            serving=args.serving,
         )
         print(report.summary())
         for result in report.failures:
@@ -776,6 +811,84 @@ def _run_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import random
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serving import AsyncGateway, QuerySpec, ShardCluster
+
+    registry = MetricsRegistry()
+    rng = random.Random(args.seed)
+    cats = ("A", "B") if args.bi else (0,)
+    initial = [
+        (i, rng.random(), rng.random(), cats[i % len(cats)])
+        for i in range(args.objects)
+    ]
+    moved_per_tick = max(1, int(args.objects * args.move_fraction))
+
+    async def run() -> int:
+        cluster = ShardCluster(
+            args.shards,
+            grid_size=args.grid,
+            transport=args.transport,
+            registry=registry,
+            mp_context="fork" if args.transport == "process" else None,
+        )
+        with cluster:
+            gateway = AsyncGateway(cluster)
+            await gateway.load(initial)
+            queues = {}
+            for i in range(args.queries):
+                spec = QuerySpec(
+                    name=f"q{i}",
+                    mode="bi" if args.bi else "mono",
+                    point=(rng.random(), rng.random()),
+                    k=args.k,
+                )
+                queues[spec.name] = await gateway.subscribe(spec)
+            await gateway.initial_eval()
+            for name, queue in queues.items():
+                while not queue.empty():
+                    delta = queue.get_nowait()
+                    if not args.quiet:
+                        print(f"t={delta.tick} {name} answer={list(delta.answer)}")
+            for _ in range(args.ticks):
+                for oid in rng.sample(range(args.objects), moved_per_tick):
+                    await gateway.submit_move(oid, rng.random(), rng.random())
+                result = await gateway.tick()
+                published = 0
+                for name, queue in queues.items():
+                    while not queue.empty():
+                        delta = queue.get_nowait()
+                        published += 1
+                        if not args.quiet:
+                            print(
+                                f"t={delta.tick} {name} "
+                                f"+{list(delta.added)} -{list(delta.removed)}"
+                                f" answer={list(delta.answer)}"
+                            )
+                print(
+                    f"tick {result.tick}: {moved_per_tick} updates,"
+                    f" {published} answer deltas"
+                )
+            cluster.collect_counters()
+            p50 = cluster.tick_latency_percentile(50)
+            p99 = cluster.tick_latency_percentile(99)
+            print(
+                f"\n{args.ticks} ticks on {args.shards}"
+                f" {args.transport} shard(s):"
+                f" p50={p50 * 1e3:.2f}ms p99={p99 * 1e3:.2f}ms"
+            )
+            for metric in cluster.merged_registry().collect():
+                if metric.name.startswith("gateway_") and metric.kind == "counter":
+                    print(f"  {metric.name} = {metric.value}")
+            await gateway.close()
+        return 0
+
+    return asyncio.run(run())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "demo":
@@ -790,6 +903,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_fuzz_cmd(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "watch":
         return _run_watch(args)
     if args.command == "list":

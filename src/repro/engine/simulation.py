@@ -197,6 +197,11 @@ class Simulator:
         self.queries_evaluated = 0
         self.ticks_skipped = 0
         self.current_tick = 0
+        #: Set to the tick number when an exception escapes mid-
+        #: :meth:`step` (movement possibly applied, scheduler/lease/
+        #: ledger state stale); cleared by the next successfully
+        #: completed step.  See :meth:`_poison_tick`.
+        self.poisoned_tick: Optional[int] = None
         #: Last-seen values of the process-global predicate counters, so
         #: each tick publishes only this simulator's delta (mirrored into
         #: the registry as ``predicate_filter_hits_total`` /
@@ -399,6 +404,7 @@ class Simulator:
                         run=run, reasons=reasons, lease_skips=lease_skips
                     )
         except Exception as exc:
+            self._poison_tick()
             if flight is not None:
                 latency = self.clock() - t0
                 digest = self._digest(latency, {})
@@ -413,6 +419,7 @@ class Simulator:
                 )
             raise
         latency = self.clock() - t0
+        self.poisoned_tick = None
         if ledger_on:
             ledger.end_tick(latency, movement_time, scheduler_time)
         if flight is not None:
@@ -422,6 +429,44 @@ class Simulator:
             if anomaly is not None:
                 flight.capture(self, anomaly)
         return out
+
+    def _poison_tick(self) -> None:
+        """Fail-fast bookkeeping for an exception escaping mid-tick.
+
+        By the time an evaluation (or the dispatch glue) raises, the
+        tick's movement has usually already landed in the grid while
+        the queries past the failure point never executed — so their
+        registered footprints, answer leases, and carried answers
+        describe a *pre-movement* world.  Left alone, a later
+        footprint-disjoint tick would "safely" skip them and serve a
+        stale answer (the half-applied-tick bug).
+
+        The step cannot be rolled back cheaply, so it fails *observably*
+        instead: the tick is marked poisoned, every outstanding lease is
+        dropped (its displacement accounting missed this tick), and
+        every registered query is forced to evaluate at its next tick —
+        sound from arbitrarily stale state, because the incremental step
+        rebuilds from current positions (see :meth:`pause_query`).
+        """
+        self.poisoned_tick = self.current_tick
+        self._force_eval.update(self._queries)
+        scheduler = self.scheduler
+        registry = self.registry
+        if scheduler is not None:
+            for name in list(scheduler.lease_states()):
+                if scheduler.drop_lease(name):
+                    self.leases_broken += 1
+                    if registry is not None:
+                        registry.counter(
+                            "lease_broken_total", query=name
+                        ).inc()
+        if registry is not None:
+            registry.counter("ticks_poisoned_total").inc()
+        logger.warning(
+            "tick %d poisoned: forcing re-evaluation of %d queries",
+            self.current_tick,
+            len(self._queries),
+        )
 
     def _digest(
         self, latency: float, out: Dict[str, TickMetrics]

@@ -155,6 +155,7 @@ class _Lockstep:
         scenario: Scenario,
         check_invariants: bool = True,
         exact_oracle: bool = False,
+        serving: bool = False,
     ):
         self.scenario = scenario
         self.check_invariants = check_invariants
@@ -211,6 +212,64 @@ class _Lockstep:
         self._register(self.sim_off)
         self._register(self.sim_store)
         self._register(self.sim_lease)
+        # Optional sixth participant: the sharded serving cluster
+        # (inline transport for determinism and coverage, lease mode on,
+        # fan-out agreement checking every query on every shard).  Only
+        # the IGERN executors ride along — the serving layer does not
+        # host baselines.
+        self.cluster = None
+        self._cluster_feed: Optional[ScriptedWorkload] = None
+        if serving:
+            from repro.serving import QuerySpec, ShardCluster
+
+            self.cluster = ShardCluster(
+                3,
+                grid_size=scenario.grid_size,
+                extent=extent,
+                transport="inline",
+                scheduler=True,
+                batch=True,
+                lease=True,
+                network=self.network,
+                fanout_check=True,
+            )
+            self._cluster_feed = ScriptedWorkload(scenario.script)
+            self.cluster.load(
+                [
+                    (oid, p.x, p.y, cat)
+                    for oid, p, cat in self._cluster_feed.initial()
+                ]
+            )
+            metric_kind = "network" if scenario.metric == "network" else "euclidean"
+            if self.qid is not None:
+                main = QuerySpec(
+                    name="igern",
+                    mode=scenario.mode,
+                    query_id=self.qid,
+                    k=scenario.k,
+                    metric=metric_kind,
+                )
+            else:
+                main = QuerySpec(
+                    name="igern",
+                    mode=scenario.mode,
+                    point=tuple(scenario.query_point),
+                    k=scenario.k,
+                    metric=metric_kind,
+                )
+            self.cluster.add_query(main)
+            for name, point in zip(
+                self.extra_names, scenario.extra_query_points or []
+            ):
+                self.cluster.add_query(
+                    QuerySpec(
+                        name=name,
+                        mode=scenario.mode,
+                        point=tuple(point),
+                        k=scenario.k,
+                        metric=metric_kind,
+                    )
+                )
         #: Independent lease-contract tracker: query name -> (lease
         #: object at issue, issue-time position snapshot).  Validated
         #: against the brute oracle every tick the contract holds, with
@@ -271,6 +330,7 @@ class _Lockstep:
         self._check_tick(
             0, metrics_on, metrics_off, metrics_batch, metrics_store, metrics_lease
         )
+        self._check_serving(0, metrics_off, initial=True)
         for t in range(1, self.scenario.n_ticks + 1):
             metrics_on = self.sim_on.step()
             metrics_batch = self.sim_batch.step()
@@ -285,6 +345,9 @@ class _Lockstep:
                 metrics_store,
                 metrics_lease,
             )
+            self._check_serving(t, metrics_off)
+        if self.cluster is not None:
+            self.cluster.close()
         return ScenarioResult(
             scenario=self.scenario,
             ticks=self.scenario.n_ticks,
@@ -570,6 +633,78 @@ class _Lockstep:
                     )
                 )
 
+    def _check_serving(
+        self, tick: int, metrics_off: Dict, initial: bool = False
+    ) -> None:
+        """Advance the serving cluster one tick and hold it to lockstep.
+
+        Two comparisons: merged answers must be bit-identical to the
+        scheduler-off oracle configuration, and the cluster's lease
+        decisions (spent budget / taint / break, per live lease) must be
+        bit-identical to the single-process lease-mode simulator — the
+        sharded service may not certify differently than the engine it
+        wraps.  Fan-out disagreements between shard replicas surface as
+        a ``RuntimeError`` from the merge and are recorded too.
+        """
+        if self.cluster is None:
+            return
+        igern_names = ["igern", *self.extra_names]
+        try:
+            if initial:
+                result = self.cluster.initial_eval()
+            else:
+                events = self._cluster_feed.step_events()
+                result = self.cluster.tick(
+                    [(oid, p.x, p.y) for oid, p in events.moves],
+                    [(oid, p.x, p.y, cat) for oid, p, cat in events.inserts],
+                    list(events.removes),
+                )
+        except RuntimeError as exc:
+            self.divergences.append(
+                Divergence(
+                    kind="serving",
+                    tick=tick,
+                    name="cluster",
+                    expected=[],
+                    actual=[],
+                    detail=str(exc),
+                )
+            )
+            return
+        for name in igern_names:
+            entry = result.answers.get(name)
+            served = set(entry[0]) if entry is not None else None
+            off_answer = set(metrics_off[name].answer)
+            if served != off_answer:
+                self.divergences.append(
+                    Divergence(
+                        kind="serving",
+                        tick=tick,
+                        name=name,
+                        expected=sorted(off_answer, key=repr),
+                        actual=sorted(served or (), key=repr),
+                        detail="sharded answer differs from the single-process engine",
+                    )
+                )
+        ref_scheduler = self.sim_lease.scheduler
+        if ref_scheduler is not None:
+            ref_leases = {
+                name: (state.spent, state.tainted, state.broken)
+                for name, state in ref_scheduler.lease_states().items()
+                if name in igern_names
+            }
+            if result.leases != ref_leases:
+                self.divergences.append(
+                    Divergence(
+                        kind="serving",
+                        tick=tick,
+                        name="leases",
+                        expected=sorted(ref_leases.items(), key=repr),
+                        actual=sorted(result.leases.items(), key=repr),
+                        detail="sharded lease decisions differ from the lease-mode engine",
+                    )
+                )
+
     def _query_id(self, name: str):
         return self.qid if name == "igern" else None
 
@@ -630,6 +765,7 @@ def run_scenario(
     scenario: Scenario,
     check_invariants: bool = True,
     exact_oracle: bool = False,
+    serving: bool = False,
 ) -> ScenarioResult:
     """Differentially execute one scenario; returns its scripted result.
 
@@ -637,10 +773,17 @@ def run_scenario(
     for pure :class:`fractions.Fraction` arithmetic, which shares no code
     with the filtered predicates — the gold standard against which the
     whole filtered stack is differentially validated.
+
+    ``serving`` adds the sharded serving cluster as a sixth lockstep
+    participant: merged gateway answers and lease decisions must be
+    bit-identical to the single-process engine.
     """
     sc = scripted(scenario)
     result = _Lockstep(
-        sc, check_invariants=check_invariants, exact_oracle=exact_oracle
+        sc,
+        check_invariants=check_invariants,
+        exact_oracle=exact_oracle,
+        serving=serving,
     ).run()
     registry = active_registry()
     if registry is not None:
@@ -736,6 +879,7 @@ def run_fuzz(
     clock: Callable[[], float] = time.perf_counter,
     on_result: Optional[Callable[[ScenarioResult], None]] = None,
     exact_oracle: bool = False,
+    serving: bool = False,
 ) -> FuzzReport:
     """Run the seeded scenario stream until a budget or count is hit.
 
@@ -757,6 +901,7 @@ def run_fuzz(
             scenario,
             check_invariants=check_invariants,
             exact_oracle=exact_oracle,
+            serving=serving,
         )
         report.record(result)
         if on_result is not None:

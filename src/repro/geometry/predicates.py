@@ -133,6 +133,23 @@ class PredicateStats:
         self.filter_hits = 0
         self.exact_fallbacks = 0
 
+    def snapshot(self) -> dict:
+        """Plain-data copy of the counters (process-boundary safe)."""
+        return {
+            "filter_hits": self.filter_hits,
+            "exact_fallbacks": self.exact_fallbacks,
+        }
+
+    def merge(self, delta: dict) -> None:
+        """Fold another process's counter *delta* into this instance.
+
+        The serving gateway merges worker-side deltas here so process
+        totals stay correct under multiprocessing — without this seam a
+        worker's counts die with its process.
+        """
+        self.filter_hits += delta.get("filter_hits", 0)
+        self.exact_fallbacks += delta.get("exact_fallbacks", 0)
+
 
 #: Process-wide predicate accounting (the engine publishes deltas of it).
 STATS = PredicateStats()

@@ -70,6 +70,21 @@ class StoreStats:
         #: Rows the filter could not decide, routed to exact arithmetic.
         self.exact_rows = 0
 
+    def snapshot(self) -> dict:
+        """Plain-data copy of the counters (process-boundary safe)."""
+        return {
+            "rows_scanned": self.rows_scanned,
+            "filter_rows": self.filter_rows,
+            "exact_rows": self.exact_rows,
+        }
+
+    def merge(self, delta: dict) -> None:
+        """Fold another process's counter *delta* into this instance
+        (the worker→gateway seam; see ``PredicateStats.merge``)."""
+        self.rows_scanned += delta.get("rows_scanned", 0)
+        self.filter_rows += delta.get("filter_rows", 0)
+        self.exact_rows += delta.get("exact_rows", 0)
+
 
 STATS = StoreStats()
 

@@ -51,6 +51,14 @@ from repro.motion.roadnet import RoadNetwork
 #: network-distance thresholds (see module docstring, point 3).
 PREFILTER_PAD = 1.0 + 2.0**-30
 
+#: Entry cap of a :class:`NetworkMetric`'s private persistent
+#: distance-map cache.  Each entry is a full single-source map —
+#: O(nodes) floats — so an uncapped cache converges on O(nodes**2)
+#: memory over a long run on a large network.  256 sources comfortably
+#: covers the per-tick working set of every committed workload while
+#: bounding the worst case.
+PRIVATE_CACHE_MAX = 256
+
 Located = Tuple[int, int, float, float]
 
 
@@ -73,6 +81,23 @@ class MetricStats:
         self.dijkstra_expansions = 0
         self.cache_hits = 0
         self.cache_misses = 0
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of the counters (process-boundary safe)."""
+        return {
+            "dijkstra_runs": self.dijkstra_runs,
+            "dijkstra_expansions": self.dijkstra_expansions,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def merge(self, delta: dict) -> None:
+        """Fold another process's counter *delta* into this instance
+        (the worker→gateway seam; see ``PredicateStats.merge``)."""
+        self.dijkstra_runs += delta.get("dijkstra_runs", 0)
+        self.dijkstra_expansions += delta.get("dijkstra_expansions", 0)
+        self.cache_hits += delta.get("cache_hits", 0)
+        self.cache_misses += delta.get("cache_misses", 0)
 
     @property
     def sharing_ratio(self) -> float:
@@ -104,6 +129,10 @@ class Metric:
     def bind_context(self, context) -> None:
         """Attach a per-tick shared context (no-op unless the metric
         has cross-query state worth sharing)."""
+
+    def observe_grid(self, grid) -> None:
+        """Note the grid driving the queries (no-op unless the metric
+        keeps cross-tick state to scope by tick epoch)."""
 
     def prefilter_radius(self, threshold: float) -> float:
         """A Euclidean radius whose closed ball contains every point at
@@ -138,13 +167,25 @@ class NetworkMetric(Metric):
 
     euclidean = False
 
-    def __init__(self, network: RoadNetwork):
+    def __init__(self, network: RoadNetwork, cache_cap: int = PRIVATE_CACHE_MAX):
+        if cache_cap < 1:
+            raise ValueError(f"cache_cap must be positive, got {cache_cap}")
         self.network = network
         # Private persistent per-source distance-map cache, used when no
         # shared tick context is bound.  Networks are immutable, so the
         # cache never goes stale and cached maps are bit-identical to
-        # freshly computed ones.
+        # freshly computed ones — but each map is O(nodes), so retention
+        # is bounded two ways: a hard entry cap (FIFO eviction on
+        # insert), and generational eviction on tick-epoch change
+        # (:meth:`observe_grid` drops every source the previous epoch
+        # never touched).
         self._cache: Dict[int, Dict[int, float]] = {}
+        self._cache_cap = cache_cap
+        #: Sources served from the private cache in the current epoch.
+        self._used: set = set()
+        #: Last observed ``GridIndex.mutations`` stamp (``None`` until
+        #: a grid is observed).
+        self._grid_stamp: Optional[int] = None
         self._context = None
 
     # -- context plumbing ----------------------------------------------
@@ -154,6 +195,31 @@ class NetworkMetric(Metric):
         :class:`~repro.grid.context.SharedTickContext` (the batch
         executor's), so overlapping queries share Dijkstra expansions."""
         self._context = context
+
+    def observe_grid(self, grid) -> None:
+        """Scope the private cache by the grid's tick epoch.
+
+        Query adapters call this before every evaluation.  The
+        ``GridIndex.mutations`` stamp advances whenever a tick's
+        movement lands, so a changed stamp marks an epoch boundary:
+        every cached source the finished epoch never requested is
+        evicted then.  Together with the insert-time cap this pins the
+        private cache at (last epoch's working set) ∪ (cap) instead of
+        letting a long churn run accumulate one O(nodes) map per source
+        node ever touched.  Eviction is a pure memory policy — cached
+        maps are pure functions of the immutable network, so recomputed
+        maps are bit-identical and answers are unaffected.
+        """
+        stamp = grid.mutations
+        if stamp == self._grid_stamp:
+            return
+        self._grid_stamp = stamp
+        cache = self._cache
+        used = self._used
+        if len(cache) > len(used):
+            for source in [s for s in cache if s not in used]:
+                del cache[source]
+        used.clear()
 
     # -- distance maps -------------------------------------------------
 
@@ -169,6 +235,7 @@ class NetworkMetric(Metric):
             memo = ctx.network_memo(self.network)
         else:
             memo = self._cache
+            self._used.add(source)
         cached = memo.get(source)
         if cached is not None:
             STATS.cache_hits += 1
@@ -180,6 +247,12 @@ class NetworkMetric(Metric):
             ctx.account_network(hit=False)
         dist = self.compute_distances(source)
         memo[source] = dist
+        if ctx is None and len(memo) > self._cache_cap:
+            # FIFO eviction (dict insertion order): a plain bound, not
+            # an optimizer — evicted maps recompute bit-identically.
+            evict = next(iter(memo))
+            del memo[evict]
+            self._used.discard(evict)
         return dist
 
     def compute_distances(self, source: int) -> Dict[int, float]:

@@ -197,6 +197,71 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    # ------------------------------------------------------------------
+    # Process-boundary seam
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> List[dict]:
+        """Every metric as one plain-data record (picklable, JSON-able).
+
+        The serving workers ship these across the process boundary; the
+        gateway folds them back with :meth:`merge` so obs totals stay
+        correct under multiprocessing.
+        """
+        out: List[dict] = []
+        for metric in self.collect():
+            entry: dict = {
+                "name": metric.name,
+                "labels": [list(pair) for pair in metric.labels],
+                "kind": metric.kind,
+            }
+            if isinstance(metric, Histogram):
+                entry["bounds"] = list(metric.bounds)
+                entry["bucket_counts"] = list(metric.bucket_counts)
+                entry["count"] = metric.count
+                entry["total"] = metric.total
+            else:
+                entry["value"] = metric.value
+            out.append(entry)
+        return out
+
+    def merge(self, entries: List[dict], **extra_labels: Any) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters add, histograms add bucket-wise (bucket bounds must
+        match), gauges take the snapshot's value.  ``extra_labels`` are
+        appended to every merged metric's label set — the gateway tags
+        worker metrics with their shard id so same-named series from
+        different workers stay distinguishable where that matters.
+        Merging the *same* snapshot twice double-counts counters; callers
+        ship deltas or merge into a fresh registry.
+        """
+        for entry in entries:
+            labels = {key: value for key, value in entry["labels"]}
+            labels.update(extra_labels)
+            kind = entry["kind"]
+            name = entry["name"]
+            if kind == "counter":
+                if entry["value"]:
+                    self.counter(name, **labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(entry["value"])
+            elif kind == "histogram":
+                hist = self.histogram(
+                    name, buckets=tuple(entry["bounds"]), **labels
+                )
+                if hist.bounds != tuple(entry["bounds"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ from the"
+                        " snapshot's; cannot merge"
+                    )
+                for i, n in enumerate(entry["bucket_counts"]):
+                    hist.bucket_counts[i] += n
+                hist.count += entry["count"]
+                hist.total += entry["total"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} in snapshot")
+
 
 # ----------------------------------------------------------------------
 # SearchStats bridge

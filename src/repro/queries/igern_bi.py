@@ -80,6 +80,9 @@ class IGERNBiQuery(ContinuousQuery):
         self._algo.cost = cost
 
     def initial(self) -> FrozenSet[Hashable]:
+        # Network metrics scope their private distance-map cache by the
+        # grid's tick epoch (no-op for Euclidean).
+        self.metric.observe_grid(self.grid)
         self._state, report = self._algo.initial(self.position.current())
         if self.lease_enabled and self.metric.euclidean:
             report.lease = derive_bi_lease(
@@ -97,6 +100,7 @@ class IGERNBiQuery(ContinuousQuery):
     def tick(self) -> FrozenSet[Hashable]:
         if self._state is None:
             return self.initial()
+        self.metric.observe_grid(self.grid)
         report = self._algo.incremental(self._state, self.position.current())
         if self.lease_enabled and self.metric.euclidean:
             report.lease = derive_bi_lease(

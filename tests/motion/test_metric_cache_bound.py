@@ -1,0 +1,105 @@
+"""The private network-distance cache must stay bounded across ticks.
+
+Regression tests for the unbounded-cache bug: a :class:`NetworkMetric`
+without a bound shared tick context memoizes one O(nodes) distance map
+per source ever requested, so a long run over a large network converged
+on O(nodes**2) resident floats.  The fix bounds it two ways — a hard
+entry cap with FIFO eviction, and generational eviction at tick-epoch
+boundaries (:meth:`NetworkMetric.observe_grid`, keyed off
+``GridIndex.mutations``).  Eviction is a pure memory policy: recomputed
+maps are bit-identical, which the lockstep fuzz suite already holds the
+metric to.
+"""
+
+import pytest
+
+from repro.engine.simulation import Simulator
+from repro.grid.index import GridIndex
+from repro.metric import PRIVATE_CACHE_MAX, NetworkMetric
+from repro.motion.churn import ChurnRandomWalkGenerator
+from repro.motion.roadnet import RoadNetwork
+from repro.queries import IGERNMonoQuery, QueryPosition
+
+
+def test_private_cache_respects_hard_cap():
+    # 20x20 grid city: 400 nodes, comfortably above the default cap.
+    net = RoadNetwork.grid_city(rows=20, cols=20, seed=3)
+    metric = NetworkMetric(net)
+    assert len(net.nodes) > PRIVATE_CACHE_MAX
+    for source in net.nodes:
+        metric.node_distances(source)
+    assert len(metric._cache) <= PRIVATE_CACHE_MAX
+
+
+def test_private_cache_cap_override_validates():
+    net = RoadNetwork.grid_city(rows=2, cols=2, seed=0)
+    with pytest.raises(ValueError):
+        NetworkMetric(net, cache_cap=0)
+
+
+def test_epoch_change_evicts_untouched_sources():
+    net = RoadNetwork.grid_city(rows=4, cols=4, seed=1)
+    metric = NetworkMetric(net)
+    grid = GridIndex(4)
+    grid.insert("a", (0.5, 0.5))
+    metric.observe_grid(grid)
+    first_six = list(net.nodes[:6])
+    straggler = net.nodes[6]
+    for source in first_six:
+        metric.node_distances(source)
+    assert len(metric._cache) == 6
+
+    # Epoch boundary: everything was touched last epoch, so all survive.
+    grid.move("a", (0.6, 0.6))
+    metric.observe_grid(grid)
+    assert len(metric._cache) == 6
+
+    # Only the straggler is touched this epoch; the next boundary drops
+    # the first six.
+    metric.node_distances(straggler)
+    grid.move("a", (0.7, 0.7))
+    metric.observe_grid(grid)
+    assert set(metric._cache) == {straggler}
+
+    # Same stamp again: no further eviction.
+    metric.observe_grid(grid)
+    assert set(metric._cache) == {straggler}
+
+
+def test_evicted_sources_recompute_identically():
+    net = RoadNetwork.grid_city(rows=5, cols=5, seed=2)
+    metric = NetworkMetric(net, cache_cap=2)
+    a, b, c = net.nodes[0], net.nodes[1], net.nodes[2]
+    first = dict(metric.node_distances(a))
+    metric.node_distances(b)
+    metric.node_distances(c)  # evicts the first source
+    assert a not in metric._cache
+    assert metric.node_distances(a) == first
+
+
+def test_cache_pinned_over_long_churn_run():
+    """End to end: a scheduler-off network simulator over heavy churn
+    holds its private cache at the per-epoch working set, not at one
+    entry per source node ever touched."""
+    net = RoadNetwork.grid_city(rows=6, cols=6, seed=9)
+    generator = ChurnRandomWalkGenerator(
+        24, seed=5, step_sigma=0.05, birth_rate=0.3, death_rate=0.3
+    )
+    sim = Simulator(generator, grid_size=8, scheduler=False, flight=False)
+    metric = NetworkMetric(net, cache_cap=16)
+    sim.add_query(
+        "net",
+        IGERNMonoQuery(
+            sim.grid,
+            QueryPosition(sim.grid, fixed=(0.5, 0.5)),
+            metric=metric,
+        ),
+    )
+    high_water = 0
+    sim.run(0)
+    for _ in range(30):
+        sim.step()
+        high_water = max(high_water, len(metric._cache))
+    # One epoch's working set plus the carried previous epoch, never the
+    # cumulative union of 30 ticks of churn positions.
+    assert high_water <= 2 * 16

@@ -187,8 +187,9 @@ class TestObsExplain:
 
 class TestBench:
     def _degrade(self, directory):
-        """Copies of the committed baselines with a halved headline metric
-        (speedup where one is gated, lease hold rates otherwise)."""
+        """Copies of the committed baselines with a degraded headline
+        metric (speedup where one is gated, tick latency for serving,
+        lease hold rates otherwise)."""
         import json
         import shutil
 
@@ -201,6 +202,9 @@ class TestBench:
             doc = json.loads(target.read_text())
             if "speedup" in doc:
                 doc["speedup"] = doc["speedup"] / 2.0
+            elif "serving" in doc:
+                doc["serving"]["p99_tick_seconds"] *= 4.0
+                doc["serving"]["p50_tick_seconds"] *= 4.0
             else:
                 doc["leases"]["hold_ratio"] /= 2.0
                 doc["publications"]["skip_rate"] /= 2.0
